@@ -1,0 +1,860 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) on the simulated dataplane, plus bechamel
+   microbenchmarks of the per-packet primitives.
+
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe -- fig7    # one experiment
+
+   Experiments: stats fig7 fig8 fig9 fig11 fig12 fig13 table4 merger
+   overhead replay fig15 ablation micro.
+
+   Absolute microseconds depend on the calibrated cost model
+   (lib/sim/cost.ml); the claims under reproduction are the *shapes* —
+   who wins, by what factor, and where crossovers sit. EXPERIMENTS.md
+   records paper-vs-measured for each experiment. *)
+
+open Nfp_core
+
+let section title =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================================\n%!"
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* Measurement helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let search_packets = 16000
+let latency_packets = 20000
+
+let gen_of_size ?(style = Nfp_traffic.Pktgen.Ascii) size =
+  let g =
+    Nfp_traffic.Pktgen.create
+      {
+        Nfp_traffic.Pktgen.default with
+        sizes = Nfp_traffic.Size_dist.fixed size;
+        payload_style = style;
+        flows = 256;
+      }
+  in
+  Nfp_traffic.Pktgen.packet g
+
+let gen_datacenter () =
+  let g =
+    Nfp_traffic.Pktgen.create
+      {
+        Nfp_traffic.Pktgen.default with
+        sizes = Nfp_traffic.Size_dist.datacenter;
+        flows = 256;
+      }
+  in
+  Nfp_traffic.Pktgen.packet g
+
+type measurement = { mpps : float; latency_us : float; p99_us : float }
+
+let measure ?(hi = 14.88) ~gen make =
+  let mpps =
+    Nfp_sim.Harness.max_lossless_mpps ~make ~gen ~packets:search_packets ~hi
+      ~iterations:8 ()
+  in
+  let r =
+    Nfp_sim.Harness.run ~make ~gen
+      ~arrivals:(Nfp_sim.Harness.Burst (0.9 *. mpps, 32))
+      ~packets:latency_packets ()
+  in
+  {
+    mpps;
+    latency_us = Nfp_algo.Stats.mean r.latency /. 1000.0;
+    p99_us = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0;
+  }
+
+(* Fresh NF instances per deployment; [kinds] maps instance -> type. *)
+let lookup_of kinds () =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (name, kind) ->
+      match Nfp_nf.Registry.instantiate kind ~name with
+      | Some nf -> Hashtbl.replace table name nf
+      | None -> failwith ("no implementation for " ^ kind))
+    kinds;
+  Hashtbl.find table
+
+let nfp_make ?(copy_mode = `Auto) ?(mergers = 1) ~kinds graph =
+  let profile_of n = Nfp_nf.Registry.profile_of (List.assoc n kinds) in
+  let plan =
+    match Tables.plan ~copy_mode ~profile_of graph with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  fun engine ~output ->
+    Nfp_infra.System.make
+      ~config:{ Nfp_infra.System.default_config with mergers }
+      ~plan
+      ~nfs:(lookup_of kinds ())
+      engine ~output
+
+let onvm_make ~kinds order engine ~output =
+  let lookup = lookup_of kinds () in
+  Nfp_baseline.Opennetvm.make ~nfs:(List.map lookup order) engine ~output
+
+(* ------------------------------------------------------------------ *)
+(* stats: Table 3 and the §4 NF-pair statistics                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_stats () =
+  section "§4  Action dependency table (Table 3) and NF-pair statistics";
+  Format.printf "%a@." Dependency.pp_table ();
+  let s = Analysis.run () in
+  note "NF pairs parallelizable : %.1f%%   (paper: 53.8%%)" s.parallelizable_pct;
+  note "  without packet copies : %.1f%%   (paper: 41.5%%)" s.no_copy_pct;
+  note "  needing packet copies : %.1f%%   (paper: 12.3%%)" s.with_copy_pct;
+  note "";
+  note "Per-pair verdicts over the Table 2 population (weights in %%):";
+  List.iter
+    (fun p ->
+      note "  %-13s before %-13s %5.2f  %s" p.Analysis.nf1 p.Analysis.nf2
+        (100.0 *. p.Analysis.weight)
+        (Dependency.verdict_to_string p.Analysis.verdict))
+    s.pairs
+
+(* ------------------------------------------------------------------ *)
+(* fig7: sequential forwarder chains, OpenNetVM vs NFP                 *)
+(* ------------------------------------------------------------------ *)
+
+let forwarder_kinds n =
+  List.init n (fun i -> (Printf.sprintf "fwd%d" i, "Forwarder"))
+
+let run_fig7 () =
+  section "Fig. 7  Sequential service chains (1-5 forwarders)";
+  note "(a) latency, 64B packets (paper: both systems ~5-17us, linear in chain length,";
+  note "    NFP within a few us of OpenNetVM):";
+  note "    %-6s %-22s %-22s" "NFs" "OpenNetVM (us)" "NFP (us)";
+  let gen = gen_of_size 64 in
+  for n = 1 to 5 do
+    let kinds = forwarder_kinds n in
+    let order = List.map fst kinds in
+    let onvm = measure ~gen (onvm_make ~kinds order) in
+    let nfp = measure ~gen (nfp_make ~kinds (Graph.seq (List.map Graph.nf order))) in
+    note "    %-6d %-22.1f %-22.1f" n onvm.latency_us nfp.latency_us
+  done;
+  note "";
+  note "(b) processing rate vs packet size, Mpps (paper: NFP at line rate for any";
+  note "    length; OpenNetVM slightly below and roughly flat in chain length):";
+  note "    %-8s %-10s %-12s %-12s %-12s %-10s" "size" "line" "NFP-5NF" "ONVM-1NF" "ONVM-3NF"
+    "ONVM-5NF";
+  List.iter
+    (fun size ->
+      let gen = gen_of_size size in
+      let hi = Nfp_sim.Nic.max_mpps ~frame_bytes:size in
+      let rate n make = (measure ~hi ~gen (make n)).mpps in
+      let nfp n =
+        let kinds = forwarder_kinds n in
+        nfp_make ~kinds (Graph.seq (List.map Graph.nf (List.map fst kinds)))
+      in
+      let onvm n =
+        let kinds = forwarder_kinds n in
+        onvm_make ~kinds (List.map fst kinds)
+      in
+      note "    %-8d %-10.2f %-12.2f %-12.2f %-12.2f %-10.2f" size hi (rate 5 nfp)
+        (rate 1 onvm) (rate 3 onvm) (rate 5 onvm))
+    [ 64; 256; 1024; 1500 ]
+
+(* ------------------------------------------------------------------ *)
+(* fig8/fig9/fig11 rigs: 2..d instances of one NF (Fig. 10 setups)     *)
+(* ------------------------------------------------------------------ *)
+
+let rig_kinds kind d = List.init d (fun i -> (Printf.sprintf "nf%d" i, kind))
+
+let rig_measurements ?(mergers = 1) ?(gen = gen_of_size 64) ?(hi = 14.88) kind d =
+  let kinds = rig_kinds kind d in
+  let names = List.map fst kinds in
+  let seq_graph = Graph.seq (List.map Graph.nf names) in
+  let par_graph = Graph.par (List.map Graph.nf names) in
+  let onvm = measure ~hi ~gen (onvm_make ~kinds names) in
+  let nfp_seq = measure ~hi ~gen (nfp_make ~kinds seq_graph) in
+  let par_nc = measure ~hi ~gen (nfp_make ~copy_mode:`Share_all ~mergers ~kinds par_graph) in
+  let par_c = measure ~hi ~gen (nfp_make ~copy_mode:`Copy_all ~mergers ~kinds par_graph) in
+  (onvm, nfp_seq, par_nc, par_c)
+
+let print_rig_row label (onvm, nfp_seq, par_nc, par_c) =
+  note "  %-12s | %7.1f %7.2f | %7.1f %7.2f | %7.1f %7.2f (%4.0f%%) | %7.1f %7.2f (%4.0f%%)"
+    label onvm.latency_us onvm.mpps nfp_seq.latency_us nfp_seq.mpps par_nc.latency_us
+    par_nc.mpps
+    (100.0 *. (nfp_seq.latency_us -. par_nc.latency_us) /. nfp_seq.latency_us)
+    par_c.latency_us par_c.mpps
+    (100.0 *. (nfp_seq.latency_us -. par_c.latency_us) /. nfp_seq.latency_us)
+
+let rig_header () =
+  note "  %-12s | %-15s | %-15s | %-24s | %-24s" "" "ONVM-seq" "NFP-seq" "NFP-par-nocopy"
+    "NFP-par-copy";
+  note "  %-12s | %7s %7s | %7s %7s | %7s %7s %7s | %7s %7s %7s" "" "us" "Mpps" "us" "Mpps"
+    "us" "Mpps" "(red.)" "us" "Mpps" "(red.)"
+
+let run_fig8 () =
+  section "Fig. 8  Two instances of each NF type, sequential vs parallel (64B)";
+  note "(paper: latency rises with NF complexity left to right; parallel beats";
+  note " sequential, and the gain grows with complexity; copies cost little)";
+  rig_header ();
+  List.iter
+    (fun kind -> print_rig_row kind (rig_measurements kind 2))
+    [ "Forwarder"; "LoadBalancer"; "Firewall"; "Monitor"; "VPN"; "IDS" ]
+
+(* The registry cannot instantiate parameterized firewall variants, so
+   Fig. 9/11 build their deployments from explicit instances. *)
+let fw_deploy ?(copy_mode = `Auto) ?(mergers = 1) ~extra ~graph names =
+  let profile_of _ = Nfp_nf.Registry.profile_of "Firewall" in
+  let plan =
+    match Tables.plan ~copy_mode ~profile_of graph with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  fun engine ~output ->
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        Hashtbl.replace table n (fst (Nfp_nf.Firewall.create ~name:n ~extra_cycles:extra ())))
+      names;
+    Nfp_infra.System.make
+      ~config:{ Nfp_infra.System.default_config with mergers }
+      ~plan ~nfs:(Hashtbl.find table) engine ~output
+
+let fw_onvm ~extra names engine ~output =
+  let nfs =
+    List.map (fun n -> fst (Nfp_nf.Firewall.create ~name:n ~extra_cycles:extra ())) names
+  in
+  Nfp_baseline.Opennetvm.make ~nfs engine ~output
+
+let run_fig9 () =
+  section "Fig. 9  Firewall complexity sweep (two instances, 1-3000 extra cycles, 64B)";
+  note "(paper: latency reduction from parallelism grows with per-packet cycles,";
+  note " reaching ~45%% at 3000 cycles; copy overhead stays minimal)";
+  rig_header ();
+  let gen = gen_of_size 64 in
+  List.iter
+    (fun extra ->
+      let names = [ "fw0"; "fw1" ] in
+      let seq = Graph.seq (List.map Graph.nf names) in
+      let par = Graph.par (List.map Graph.nf names) in
+      let onvm = measure ~gen (fw_onvm ~extra names) in
+      let nfp_seq = measure ~gen (fw_deploy ~extra ~graph:seq names) in
+      let par_nc = measure ~gen (fw_deploy ~copy_mode:`Share_all ~extra ~graph:par names) in
+      let par_c = measure ~gen (fw_deploy ~copy_mode:`Copy_all ~extra ~graph:par names) in
+      print_rig_row (Printf.sprintf "%d cyc" extra) (onvm, nfp_seq, par_nc, par_c))
+    [ 1; 600; 1200; 1800; 2400; 3000 ]
+
+let run_fig11 () =
+  section "Fig. 11  Parallelism degree 2-5 (firewall + 300 cycles, 64B)";
+  note "(paper: latency reduction grows 33%%->52%% with degree for no-copy and up to";
+  note " 32%% with copies; processing rate roughly unaffected; two merger instances";
+  note " serve degree >= 4)";
+  rig_header ();
+  let gen = gen_of_size 64 in
+  List.iter
+    (fun d ->
+      let names = List.init d (fun i -> Printf.sprintf "fw%d" i) in
+      let mergers = if d >= 4 then 2 else 1 in
+      let seq = Graph.seq (List.map Graph.nf names) in
+      let par = Graph.par (List.map Graph.nf names) in
+      let onvm = measure ~gen (fw_onvm ~extra:300 names) in
+      let nfp_seq = measure ~gen (fw_deploy ~extra:300 ~graph:seq names) in
+      let par_nc =
+        measure ~gen (fw_deploy ~copy_mode:`Share_all ~mergers ~extra:300 ~graph:par names)
+      in
+      let par_c =
+        measure ~gen (fw_deploy ~copy_mode:`Copy_all ~mergers ~extra:300 ~graph:par names)
+      in
+      print_rig_row (Printf.sprintf "degree %d" d) (onvm, nfp_seq, par_nc, par_c))
+    [ 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* fig12: the six four-NF graph structures of Fig. 14                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig12 () =
+  section "Fig. 12  Service-graph structures with 4 NFs (firewall + 300 cycles, 64B)";
+  note "(paper: latency tracks the equivalent chain length; structure (2) wins,";
+  note " structure (5), equivalent length 3, sees little reduction)";
+  let names = [ "fw0"; "fw1"; "fw2"; "fw3" ] in
+  let n i = Graph.nf (List.nth names i) in
+  let shapes =
+    [
+      ("(1) seq", Graph.seq [ n 0; n 1; n 2; n 3 ]);
+      ("(2) 1|1|1|1", Graph.par [ n 0; n 1; n 2; n 3 ]);
+      ("(3) 1->3par", Graph.seq [ n 0; Graph.par [ n 1; n 2; n 3 ] ]);
+      ("(4) 1|2seq|1", Graph.par [ n 0; Graph.seq [ n 1; n 2 ]; n 3 ]);
+      ("(5) 1|3seq", Graph.par [ n 0; Graph.seq [ n 1; n 2; n 3 ] ]);
+      ("(6) 2seq|2seq", Graph.par [ Graph.seq [ n 0; n 1 ]; Graph.seq [ n 2; n 3 ] ]);
+    ]
+  in
+  let gen = gen_of_size 64 in
+  note "  %-14s %-7s | %-17s | %-17s" "structure" "eq.len" "no copy (us, Mpps)"
+    "copy (us, Mpps)";
+  let baseline = ref 0.0 in
+  List.iter
+    (fun (label, graph) ->
+      let nc = measure ~gen (fw_deploy ~copy_mode:`Share_all ~mergers:2 ~extra:300 ~graph names) in
+      let c = measure ~gen (fw_deploy ~copy_mode:`Copy_all ~mergers:2 ~extra:300 ~graph names) in
+      if !baseline = 0.0 then baseline := nc.latency_us;
+      note "  %-14s %-7d | %7.1f  %6.2f   | %7.1f  %6.2f   (vs seq: %4.0f%%)" label
+        (Graph.equivalent_length graph) nc.latency_us nc.mpps c.latency_us c.mpps
+        (100.0 *. (!baseline -. nc.latency_us) /. !baseline))
+    shapes
+
+(* ------------------------------------------------------------------ *)
+(* fig13: real-world data-center service chains                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig13 () =
+  section "Fig. 13  Real-world service chains (IMC data-center packet sizes)";
+  let chains =
+    [
+      ( "north-south",
+        [ ("vpn", "VPN"); ("mon", "Monitor"); ("fw", "Firewall"); ("lb", "LoadBalancer") ],
+        [ "vpn"; "mon"; "fw"; "lb" ],
+        "paper: 241us -> 210us (12.9% reduction), 0% overhead" );
+      ( "west-east",
+        [ ("ids", "IPS"); ("mon", "Monitor"); ("lb", "LoadBalancer") ],
+        [ "ids"; "mon"; "lb" ],
+        "paper: 220us -> 141us (35.9% reduction), 8.8% overhead" );
+    ]
+  in
+  List.iter
+    (fun (label, kinds, order, paper) ->
+      let policy =
+        { Nfp_policy.Rule.bindings = kinds; rules = Nfp_policy.Rule.of_chain order }
+      in
+      let out =
+        match Compiler.compile policy with
+        | Ok o -> o
+        | Error es -> failwith (String.concat ";" es)
+      in
+      let plan =
+        match Tables.of_output out with Ok p -> p | Error e -> failwith e
+      in
+      note "";
+      note "%s   [%s]" label paper;
+      note "  chain : %s" (String.concat " -> " order);
+      note "  graph : %s   (equivalent length %d of %d)" (Graph.to_string out.graph)
+        (Graph.equivalent_length out.graph)
+        (Graph.nf_count out.graph);
+      let mean_size =
+        int_of_float (Nfp_traffic.Size_dist.mean Nfp_traffic.Size_dist.datacenter)
+      in
+      note "  resource overhead: %.1f%% of packet memory (paper formula: %.1f%%)"
+        (100.0 *. Overhead.plan_overhead plan ~packet_bytes:mean_size)
+        (100.0
+        *. Overhead.ratio_distribution ~sizes:Nfp_traffic.Size_dist.datacenter
+             ~degree:(if plan.header_copies + plan.full_copies > 0 then 2 else 1));
+      let gen = gen_datacenter () in
+      let hi = Nfp_sim.Nic.max_mpps ~frame_bytes:724 in
+      let run_variant tag uniform =
+        let wrap lookup n =
+          let nf = lookup n in
+          if uniform then { nf with Nfp_nf.Nf.cost_cycles = (fun _ -> 1200) } else nf
+        in
+        let onvm =
+          measure ~hi ~gen (fun engine ~output ->
+              let lookup = lookup_of kinds () in
+              Nfp_baseline.Opennetvm.make ~nfs:(List.map (wrap lookup) order) engine ~output)
+        in
+        let nfp =
+          measure ~hi ~gen (fun engine ~output ->
+              let lookup = lookup_of kinds () in
+              Nfp_infra.System.make ~plan ~nfs:(wrap lookup) engine ~output)
+        in
+        note "  %-22s OpenNetVM %6.1f us  ->  NFP %6.1f us   (%.1f%% reduction)" tag
+          onvm.latency_us nfp.latency_us
+          (100.0 *. (onvm.latency_us -. nfp.latency_us) /. onvm.latency_us)
+      in
+      run_variant "cost-faithful NFs :" false;
+      run_variant "cost-uniform NFs  :" true)
+    chains;
+  note "";
+  note "(cost-uniform rows equalize per-NF cycles, the regime the paper's uniform";
+  note " per-stage latencies imply; cost-faithful rows keep Fig. 8's cost ordering,";
+  note " where the heavyweight VPN/IDS stage dominates and parallelizing the light";
+  note " NFs moves the total far less -- see EXPERIMENTS.md)"
+
+(* ------------------------------------------------------------------ *)
+(* table4: OpenNetVM vs NFP vs BESS                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_table4 () =
+  section "Table 4  Pipelining vs run-to-completion (1-3 firewalls, 64B, n+2 cores)";
+  note "(paper: ONVM 25/33/47us at ~9.4Mpps flat; NFP 23/27/31us at ~10.9Mpps;";
+  note " BESS 11.3us flat at 14.7Mpps line rate)";
+  note "  %-6s | %-16s | %-16s | %-16s" "chain" "OpenNetVM" "NFP (parallel)" "BESS (RTC)";
+  note "  %-6s | %7s %8s | %7s %8s | %7s %8s" "len" "us" "Mpps" "us" "Mpps" "us" "Mpps";
+  let gen = gen_of_size 64 in
+  List.iter
+    (fun n ->
+      let names = List.init n (fun i -> Printf.sprintf "fw%d" i) in
+      let onvm = measure ~gen (fw_onvm ~extra:0 names) in
+      let nfp_graph =
+        if n = 1 then Graph.nf "fw0" else Graph.par (List.map Graph.nf names)
+      in
+      let nfp =
+        measure ~gen (fw_deploy ~copy_mode:`Share_all ~extra:0 ~graph:nfp_graph names)
+      in
+      let bess =
+        measure ~gen (fun engine ~output ->
+            Nfp_baseline.Bess.make ~cores:(n + 2)
+              ~chain:(fun () ->
+                List.map (fun nm -> fst (Nfp_nf.Firewall.create ~name:nm ())) names)
+              engine ~output)
+      in
+      note "  %-6d | %7.1f %8.2f | %7.1f %8.2f | %7.1f %8.2f" n onvm.latency_us onvm.mpps
+        nfp.latency_us nfp.mpps bess.latency_us bess.mpps)
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* merger: §6.3.3 merger load balancing                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_merger () =
+  section "§6.3.3  Merger capacity and load balancing (firewall, 64B)";
+  note "(paper: one merger instance sustains 10.7 Mpps at degree 2; two instances";
+  note " suffice for full speed up to degree 5)";
+  let gen = gen_of_size 64 in
+  let rate ~d ~mergers =
+    let names = List.init d (fun i -> Printf.sprintf "fw%d" i) in
+    let graph = Graph.par (List.map Graph.nf names) in
+    (measure ~gen (fw_deploy ~copy_mode:`Share_all ~mergers ~extra:0 ~graph names)).mpps
+  in
+  note "  %-8s %-14s %-14s" "degree" "1 merger" "2 mergers";
+  List.iter
+    (fun d ->
+      note "  %-8d %-14.2f %-14.2f" d (rate ~d ~mergers:1) (rate ~d ~mergers:2))
+    [ 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* overhead: §6.3.1 resource overhead                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_overhead () =
+  section "§6.3.1  Resource overhead of header-only copying";
+  note "ro = 64 x (d-1) / s, in %% of packet memory:";
+  note "  %-8s %8s %8s %8s %8s" "size" "d=2" "d=3" "d=4" "d=5";
+  List.iter
+    (fun s ->
+      note "  %-8d %7.1f%% %7.1f%% %7.1f%% %7.1f%%" s
+        (100.0 *. Overhead.ratio ~packet_bytes:s ~degree:2)
+        (100.0 *. Overhead.ratio ~packet_bytes:s ~degree:3)
+        (100.0 *. Overhead.ratio ~packet_bytes:s ~degree:4)
+        (100.0 *. Overhead.ratio ~packet_bytes:s ~degree:5))
+    Nfp_traffic.Size_dist.common_sizes;
+  note "";
+  note "Data-center mix (IMC'10, mean %.0fB):"
+    (Nfp_traffic.Size_dist.mean Nfp_traffic.Size_dist.datacenter);
+  List.iter
+    (fun d ->
+      note "  degree %d: %.1f%%   (paper: 0.088 x (d-1) = %.1f%%)" d
+        (100.0
+        *. Overhead.ratio_distribution ~sizes:Nfp_traffic.Size_dist.datacenter ~degree:d)
+        (100.0 *. Overhead.datacenter_ratio ~degree:d))
+    [ 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* replay: §6.4 result correctness                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_replay () =
+  section "§6.4  Result correctness: replay against sequential execution";
+  let run_chain label kinds order =
+    let policy =
+      { Nfp_policy.Rule.bindings = kinds; rules = Nfp_policy.Rule.of_chain order }
+    in
+    let out =
+      match Compiler.compile policy with Ok o -> o | Error es -> failwith (String.concat ";" es)
+    in
+    let plan = match Tables.of_output out with Ok p -> p | Error e -> failwith e in
+    let gen =
+      Nfp_traffic.Pktgen.create
+        {
+          Nfp_traffic.Pktgen.default with
+          payload_style = Nfp_traffic.Pktgen.Tagged;
+          sizes = Nfp_traffic.Size_dist.datacenter;
+          flows = 512;
+        }
+    in
+    let o =
+      Nfp_traffic.Replay.run
+        ~chain:(fun () ->
+          let lookup = lookup_of kinds () in
+          List.map lookup order)
+        ~deployment:(fun () -> (plan, lookup_of kinds ()))
+        ~gen:(Nfp_traffic.Pktgen.packet gen) ~packets:2000
+    in
+    note "  %-12s %d/%d packets identical (%s)" label o.agreements o.total
+      (if Nfp_traffic.Replay.agrees o then "PASS" else "FAIL")
+  in
+  run_chain "north-south"
+    [ ("vpn", "VPN"); ("mon", "Monitor"); ("fw", "Firewall"); ("lb", "LoadBalancer") ]
+    [ "vpn"; "mon"; "fw"; "lb" ];
+  run_chain "west-east"
+    [ ("ids", "IPS"); ("mon", "Monitor"); ("lb", "LoadBalancer") ]
+    [ "ids"; "mon"; "lb" ]
+
+(* ------------------------------------------------------------------ *)
+(* fig15: OpenBox block-level parallelism                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig15 () =
+  section "Fig. 15  OpenBox+NFP block-level parallelism (firewall + IPS)";
+  let fw = Nfp_openbox.Pipeline.firewall () in
+  let ips = Nfp_openbox.Pipeline.ips () in
+  let merged = Nfp_openbox.Pipeline.merge fw ips in
+  let stages = Nfp_openbox.Pipeline.stages merged in
+  note "  shared prefix: %d blocks" (List.length merged.shared);
+  Format.printf "  merged graph : %a@." Nfp_openbox.Pipeline.pp_stages stages;
+  let seq = Nfp_openbox.Pipeline.total_cycles fw + Nfp_openbox.Pipeline.total_cycles ips in
+  let staged = Nfp_openbox.Pipeline.staged_cycles stages in
+  note "  critical path: %d cycles vs %d for the two chains (%.1f%% saved)" staged seq
+    (100.0 *. float_of_int (seq - staged) /. float_of_int seq);
+  (* Deploy the three variants on the dataplane and measure. *)
+  let rename suffix (b : Nfp_openbox.Block.t) = { b with Nfp_openbox.Block.name = b.name ^ suffix } in
+  let chained =
+    List.map
+      (fun b -> [ b ])
+      (List.map (rename "_f") fw @ List.map (rename "_i") ips)
+  in
+  let merged_seq = List.concat_map (fun stage -> List.map (fun b -> [ b ]) stage) stages in
+  let gen = gen_of_size 256 in
+  let hi = Nfp_sim.Nic.max_mpps ~frame_bytes:256 in
+  let deploy block_stages =
+    let graph, nfs = Nfp_openbox.Pipeline.to_deployment block_stages in
+    let plan =
+      match Tables.plan ~profile_of:(fun n -> (nfs n).Nfp_nf.Nf.profile) graph with
+      | Ok p -> p
+      | Error e -> failwith e
+    in
+    fun engine ~output -> Nfp_infra.System.make ~plan ~nfs engine ~output
+  in
+  (* All three variants are DPI-bound; compare latency at a common
+     offered rate below that bound. *)
+  let variants =
+    [
+      ("two chains, sequential", chained);
+      ("OpenBox merged, sequential", merged_seq);
+      ("OpenBox + NFP parallel", stages);
+    ]
+  in
+  let rates =
+    List.map
+      (fun (_, bs) ->
+        Nfp_sim.Harness.max_lossless_mpps ~make:(deploy bs) ~gen ~packets:search_packets
+          ~hi ~iterations:8 ())
+      variants
+  in
+  let common = 0.7 *. List.fold_left min hi rates in
+  note "";
+  note "  measured on the dataplane (256B packets, common load %.2f Mpps);" common;
+  note "  the DPI block dominates every variant, so block sharing/parallelism of";
+  note "  the cheap blocks moves end-to-end latency only marginally -- the same";
+  note "  cost-threshold effect as Fig. 8:";
+  List.iter2
+    (fun (label, bs) rate ->
+      let r =
+        Nfp_sim.Harness.run ~make:(deploy bs) ~gen
+          ~arrivals:(Nfp_sim.Harness.Burst (common, 32))
+          ~packets:latency_packets ()
+      in
+      note "  %-28s %6.1f us   (max %5.2f Mpps)" label
+        (Nfp_algo.Stats.mean r.latency /. 1000.0)
+        rate)
+    variants rates
+
+(* ------------------------------------------------------------------ *)
+(* ablation: field-sensitive write-read                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation () =
+  section "Ablation  Field-sensitive write-before-read (beyond the paper's Table 3)";
+  let strict = Analysis.run () in
+  let relaxed = Analysis.run ~field_sensitive_write_read:true () in
+  note "  paper-strict Table 3     : %.1f%% parallelizable (%.1f%% no-copy)"
+    strict.parallelizable_pct strict.no_copy_pct;
+  note "  field-sensitive W-then-R : %.1f%% parallelizable (%.1f%% no-copy)"
+    relaxed.parallelizable_pct relaxed.no_copy_pct;
+  let show text =
+    let graph fswr =
+      match Compiler.compile_text ~field_sensitive_write_read:fswr text with
+      | Ok o -> Graph.to_string o.graph
+      | Error es -> String.concat ";" es
+    in
+    note "  %-34s strict: %-24s relaxed: %s" text (graph false) (graph true)
+  in
+  show "Chain(Compression, Gateway)";
+  show "Chain(Compression, Monitor)";
+  show "Chain(Proxy, Gateway)"
+
+(* ------------------------------------------------------------------ *)
+(* micro: bechamel microbenchmarks of the per-packet primitives        *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  section "Microbenchmarks  Per-packet primitives (bechamel, ns/op)";
+  let open Bechamel in
+  let open Toolkit in
+  let flow =
+    Nfp_packet.Flow.make
+      ~sip:(Option.get (Nfp_packet.Flow.ip_of_string "10.0.1.1"))
+      ~dip:(Option.get (Nfp_packet.Flow.ip_of_string "10.8.2.10"))
+      ~sport:12000 ~dport:61080 ~proto:6
+  in
+  let pkt1500 = Nfp_packet.Packet.create ~flow ~payload:(String.make 1446 'x') () in
+  let aes = Nfp_algo.Aes.expand_key "0123456789abcdef" in
+  let block = Bytes.make 16 'b' in
+  let lpm =
+    let t = Nfp_algo.Lpm.create () in
+    for i = 0 to 999 do
+      Nfp_algo.Lpm.add t
+        ~prefix:(Int32.of_int ((10 lsl 24) lor (i lsl 8)))
+        ~len:24 i
+    done;
+    t
+  in
+  let aho = Nfp_algo.Aho_corasick.build (Nfp_nf.Ids.default_signatures 100) in
+  let payload = String.make 1446 'Q' in
+  let v2 = Nfp_packet.Packet.full_copy pkt1500 in
+  Nfp_packet.Packet.set_sip v2 42l;
+  let get = function 1 -> Some pkt1500 | 2 -> Some v2 | _ -> None in
+  let tests =
+    Test.make_grouped ~name:"nfp" ~fmt:"%s %s"
+      [
+        Test.make ~name:"header-only copy"
+          (Staged.stage (fun () -> Nfp_packet.Packet.header_only_copy pkt1500 ~version:2));
+        Test.make ~name:"full copy 1500B"
+          (Staged.stage (fun () -> Nfp_packet.Packet.full_copy pkt1500));
+        Test.make ~name:"5-tuple hash" (Staged.stage (fun () -> Nfp_packet.Flow.hash flow));
+        Test.make ~name:"LPM lookup (1000 routes)"
+          (Staged.stage (fun () -> Nfp_algo.Lpm.lookup lpm 0x0a1702a9l));
+        Test.make ~name:"AES-128 block"
+          (Staged.stage (fun () -> Nfp_algo.Aes.encrypt_block aes block ~pos:0));
+        Test.make ~name:"DPI scan 1446B (100 sigs)"
+          (Staged.stage (fun () -> Nfp_algo.Aho_corasick.matches aho payload));
+        Test.make ~name:"merge op (modify sip)"
+          (Staged.stage (fun () ->
+               Nfp_core.Merge_op.apply
+                 (Nfp_core.Merge_op.Modify { dst = 1; src = 2; field = Nfp_packet.Field.Sip })
+                 ~get));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> note "  %-32s %10.1f ns/op" name ns
+      | _ -> note "  %-32s (no estimate)" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* partition: §7 cross-server NF parallelism                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_partition () =
+  section "§7  Cross-server partitioning (six firewalls + 300 cycles, 64B)";
+  note "(extension of the paper's scalability sketch: cuts only where one merged";
+  note " copy flows; each inter-server handoff pays the link plus both NICs)";
+  let names = List.init 6 (fun i -> Printf.sprintf "fw%d" i) in
+  let graph =
+    Graph.seq
+      [
+        Graph.nf "fw0";
+        Graph.par [ Graph.nf "fw1"; Graph.nf "fw2" ];
+        Graph.nf "fw3";
+        Graph.par [ Graph.nf "fw4"; Graph.nf "fw5" ];
+      ]
+  in
+  let profile_of _ = Nfp_nf.Registry.profile_of "Firewall" in
+  let nfs () =
+    let t = Hashtbl.create 8 in
+    List.iter
+      (fun n -> Hashtbl.replace t n (fst (Nfp_nf.Firewall.create ~name:n ~extra_cycles:300 ())))
+      names;
+    Hashtbl.find t
+  in
+  let gen = gen_of_size 64 in
+  let single engine ~output = Nfp_infra.System.make ~plan:(Result.get_ok (Tables.plan ~profile_of graph)) ~nfs:(nfs ()) engine ~output in
+  let m1 = measure ~gen single in
+  note "  single server (%d cores): %.1f us, %.2f Mpps" (Partition.cores_needed graph)
+    m1.latency_us m1.mpps;
+  List.iter
+    (fun cores ->
+      match Partition.partition ~cores_per_server:cores graph with
+      | Error e -> note "  %d cores/server: %s" cores e
+      | Ok assignments ->
+          let clustered engine ~output =
+            match
+              Nfp_infra.Cluster.of_partition ~assignments ~profile_of ~nfs:(nfs ()) engine
+                ~output
+            with
+            | Ok s -> s
+            | Error e -> failwith e
+          in
+          let m = measure ~gen clustered in
+          note "  %d servers x %d cores (%d link hops): %.1f us, %.2f Mpps"
+            (List.length assignments) cores
+            (Partition.inter_server_hops assignments)
+            m.latency_us m.mpps)
+    [ 6; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* loadsweep: latency vs offered load (methodology check)              *)
+(* ------------------------------------------------------------------ *)
+
+let run_loadsweep () =
+  section "Load sweep  Latency vs offered load (north-south chain, 64B)";
+  note "(methodology: the evaluation reports latency at 90%% of each setup's";
+  note " max lossless rate; this sweep shows where that sits on the knee)";
+  let kinds =
+    [ ("vpn", "VPN"); ("mon", "Monitor"); ("fw", "Firewall"); ("lb", "LoadBalancer") ]
+  in
+  let policy =
+    { Nfp_policy.Rule.bindings = kinds; rules = Nfp_policy.Rule.of_chain (List.map fst kinds) }
+  in
+  let out =
+    match Compiler.compile policy with Ok o -> o | Error es -> failwith (String.concat ";" es)
+  in
+  let plan = match Tables.of_output out with Ok p -> p | Error e -> failwith e in
+  let make engine ~output =
+    Nfp_infra.System.make ~plan ~nfs:(lookup_of kinds ()) engine ~output
+  in
+  let gen = gen_of_size 64 in
+  let mx =
+    Nfp_sim.Harness.max_lossless_mpps ~make ~gen ~packets:search_packets ~hi:14.88
+      ~iterations:8 ()
+  in
+  note "  max lossless rate: %.2f Mpps" mx;
+  note "  %-10s %-12s %-12s %-10s" "load" "mean (us)" "p99 (us)" "drops";
+  List.iter
+    (fun frac ->
+      let r =
+        Nfp_sim.Harness.run ~make ~gen
+          ~arrivals:(Nfp_sim.Harness.Burst (frac *. mx, 32))
+          ~packets:latency_packets ()
+      in
+      note "  %3.0f%%       %-12.1f %-12.1f %d" (100.0 *. frac)
+        (Nfp_algo.Stats.mean r.latency /. 1000.0)
+        (Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0)
+        r.ring_drops)
+    [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ]
+
+(* ------------------------------------------------------------------ *)
+(* scale: §7 NF scaling inside one server                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_scale () =
+  section "§7  Scaling a bottleneck NF inside one server (IDS, 64B)";
+  note "(paper: \"NFP can support NF scaling inside one server by allocating";
+  note " remaining CPU cores to new NF instances with new IDs and constructing";
+  note " service graphs containing these new instances\" -- realized here with";
+  note " classification-table entries splitting flows by source port)";
+  let gen = gen_of_size 64 in
+  let rate ways =
+    (* [ways] CT entries, each with its own IDS instance; flows are
+       split by source-port bands. The generator uses sports
+       10000..10255, so bands cover that range. *)
+    let band i =
+      let width = 256 / ways in
+      let lo = 10000 + (i * width) in
+      if i = ways - 1 then Nfp_packet.Flow_match.any
+      else Nfp_packet.Flow_match.make ~sport_range:(lo, lo + width - 1) ()
+    in
+    let graphs =
+      List.init ways (fun i ->
+          let name = Printf.sprintf "ids%d" i in
+          let profile_of _ = Nfp_nf.Registry.profile_of "IDS" in
+          let plan =
+            match Tables.plan ~profile_of (Graph.nf name) with
+            | Ok p -> p
+            | Error e -> failwith e
+          in
+          (band i, plan, fun _ -> fst (Nfp_nf.Ids.create ~name ())))
+    in
+    let make engine ~output = Nfp_infra.System.make_multi ~graphs engine ~output in
+    Nfp_sim.Harness.max_lossless_mpps ~make ~gen ~packets:search_packets ~hi:14.88
+      ~iterations:8 ()
+  in
+  List.iter
+    (fun ways -> note "  %d instance(s): %.2f Mpps" ways (rate ways))
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* vm: §7 containers vs virtual machines                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_vm () =
+  section "§7  Containers vs virtual machines (north-south chain, 64B)";
+  note "(paper: the prototype uses containers for light-weight rings; a VM port";
+  note " pays NetVM-style delivery costs on every hop)";
+  let kinds =
+    [ ("vpn", "VPN"); ("mon", "Monitor"); ("fw", "Firewall"); ("lb", "LoadBalancer") ]
+  in
+  let policy =
+    { Nfp_policy.Rule.bindings = kinds; rules = Nfp_policy.Rule.of_chain (List.map fst kinds) }
+  in
+  let out =
+    match Compiler.compile policy with Ok o -> o | Error es -> failwith (String.concat ";" es)
+  in
+  let plan = match Tables.of_output out with Ok p -> p | Error e -> failwith e in
+  let gen = gen_of_size 64 in
+  let run label cost =
+    let make engine ~output =
+      Nfp_infra.System.make
+        ~config:{ Nfp_infra.System.default_config with cost }
+        ~plan ~nfs:(lookup_of kinds ()) engine ~output
+    in
+    let m = measure ~gen make in
+    note "  %-12s %.1f us, %.2f Mpps" label m.latency_us m.mpps
+  in
+  run "containers" Nfp_sim.Cost.default;
+  run "VMs" Nfp_sim.Cost.vm
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("stats", run_stats);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("fig11", run_fig11);
+    ("fig12", run_fig12);
+    ("fig13", run_fig13);
+    ("table4", run_table4);
+    ("merger", run_merger);
+    ("overhead", run_overhead);
+    ("replay", run_replay);
+    ("fig15", run_fig15);
+    ("partition", run_partition);
+    ("loadsweep", run_loadsweep);
+    ("scale", run_scale);
+    ("vm", run_vm);
+    ("ablation", run_ablation);
+    ("micro", run_micro);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: ((_ :: _) as selected) ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s\n" name
+                (String.concat " " (List.map fst experiments));
+              exit 1)
+        selected
+  | _ -> List.iter (fun (_, f) -> f ()) experiments

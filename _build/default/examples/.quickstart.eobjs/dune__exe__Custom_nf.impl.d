@@ -1,0 +1,1 @@
+examples/custom_nf.ml: Action Field Firewall Flow Format Hashtbl Monitor Nf Nfp_core Nfp_infra Nfp_inspector Nfp_nf Nfp_packet Option Packet Registry String

@@ -1,0 +1,1 @@
+examples/datacenter_chains.ml: Compiler Format Graph Hashtbl List Nfp_algo Nfp_baseline Nfp_core Nfp_infra Nfp_nf Nfp_policy Nfp_sim Nfp_traffic Overhead String Tables

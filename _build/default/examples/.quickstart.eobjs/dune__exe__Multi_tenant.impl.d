@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Compiler Flow Flow_match Format Graph Int64 Nfp_core Nfp_infra Nfp_nf Nfp_packet Nfp_sim Option Packet String Tables

@@ -1,0 +1,1 @@
+examples/openbox_blocks.ml: Block Flow Format List Nfp_nf Nfp_openbox Nfp_packet Option Packet Pipeline String

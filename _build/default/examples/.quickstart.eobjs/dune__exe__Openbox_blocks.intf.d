@@ -1,0 +1,1 @@
+examples/openbox_blocks.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Format Graph Hashtbl List Nfp_algo Nfp_baseline Nfp_core Nfp_infra Nfp_nf Nfp_sim Nfp_traffic String Tables

@@ -1,0 +1,1 @@
+lib/algo/aes.ml: Array Bytes Char Int64 String

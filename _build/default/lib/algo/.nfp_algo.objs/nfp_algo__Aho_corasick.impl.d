@@ -1,0 +1,1 @@
+lib/algo/aho_corasick.ml: Array Char List Queue String

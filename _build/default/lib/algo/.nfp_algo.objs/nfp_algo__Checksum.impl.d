@@ -1,0 +1,1 @@
+lib/algo/checksum.ml: Bytes Char

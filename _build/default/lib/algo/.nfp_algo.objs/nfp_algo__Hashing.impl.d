@@ -1,0 +1,1 @@
+lib/algo/hashing.ml: Bytes Char Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/algo/heap.ml: Array

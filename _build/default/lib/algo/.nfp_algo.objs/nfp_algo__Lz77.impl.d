@@ -1,0 +1,1 @@
+lib/algo/lz77.ml: Array Buffer Char String

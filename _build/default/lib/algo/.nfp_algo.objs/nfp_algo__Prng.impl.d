@@ -1,0 +1,1 @@
+lib/algo/prng.ml: Hashing Int64

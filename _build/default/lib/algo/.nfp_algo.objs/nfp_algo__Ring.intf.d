@@ -1,0 +1,1 @@
+lib/algo/ring.mli:

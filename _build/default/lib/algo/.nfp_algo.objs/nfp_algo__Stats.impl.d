@@ -1,0 +1,1 @@
+lib/algo/stats.ml: Array

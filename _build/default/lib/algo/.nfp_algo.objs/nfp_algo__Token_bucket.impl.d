@@ -1,0 +1,1 @@
+lib/algo/token_bucket.ml: Float Int64

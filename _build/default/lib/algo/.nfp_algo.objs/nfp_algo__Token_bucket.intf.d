@@ -1,0 +1,1 @@
+lib/algo/token_bucket.mli:

@@ -1,0 +1,89 @@
+(* Classic Aho–Corasick: a goto trie over bytes, failure links computed by
+   BFS, and output lists merged along failure links. States are arrays
+   indexed densely; transitions are full 256-entry arrays for O(1) steps,
+   which is the same trade-off DPI engines make. *)
+
+type state = {
+  next : int array; (* goto function, -1 = undefined before completion *)
+  mutable fail : int;
+  mutable out : int list; (* indices of patterns ending here *)
+}
+
+type t = { states : state array; npatterns : int }
+
+let new_state () = { next = Array.make 256 (-1); fail = 0; out = [] }
+
+let build patterns =
+  let patterns = List.filter (fun p -> String.length p > 0) patterns in
+  let arr = ref (Array.make 16 (new_state ())) in
+  !arr.(0) <- new_state ();
+  let nstates = ref 1 in
+  let ensure i =
+    if i >= Array.length !arr then begin
+      let bigger = Array.make (2 * Array.length !arr) (new_state ()) in
+      Array.blit !arr 0 bigger 0 (Array.length !arr);
+      arr := bigger
+    end
+  in
+  List.iteri
+    (fun pat_idx pattern ->
+      let s = ref 0 in
+      String.iter
+        (fun c ->
+          let b = Char.code c in
+          if !arr.(!s).next.(b) = -1 then begin
+            ensure !nstates;
+            !arr.(!nstates) <- new_state ();
+            !arr.(!s).next.(b) <- !nstates;
+            incr nstates
+          end;
+          s := !arr.(!s).next.(b))
+        pattern;
+      !arr.(!s).out <- pat_idx :: !arr.(!s).out)
+    patterns;
+  (* Failure links by BFS; missing root transitions loop to the root. *)
+  let queue = Queue.create () in
+  for b = 0 to 255 do
+    let t = !arr.(0).next.(b) in
+    if t = -1 then !arr.(0).next.(b) <- 0
+    else begin
+      !arr.(t).fail <- 0;
+      Queue.add t queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    for b = 0 to 255 do
+      let t = !arr.(s).next.(b) in
+      if t <> -1 then begin
+        let f = !arr.(!arr.(s).fail).next.(b) in
+        !arr.(t).fail <- f;
+        !arr.(t).out <- !arr.(t).out @ !arr.(f).out;
+        Queue.add t queue
+      end
+      else !arr.(s).next.(b) <- !arr.(!arr.(s).fail).next.(b)
+    done
+  done;
+  { states = Array.sub !arr 0 !nstates; npatterns = List.length patterns }
+
+let pattern_count t = t.npatterns
+
+let scan t text =
+  let acc = ref [] in
+  let s = ref 0 in
+  String.iteri
+    (fun i c ->
+      s := t.states.(!s).next.(Char.code c);
+      List.iter (fun pat -> acc := (pat, i + 1) :: !acc) t.states.(!s).out)
+    text;
+  List.rev !acc
+
+let matches t text =
+  let n = String.length text in
+  let rec go s i =
+    if i >= n then false
+    else
+      let s = t.states.(s).next.(Char.code text.[i]) in
+      if t.states.(s).out <> [] then true else go s (i + 1)
+  in
+  go 0 0

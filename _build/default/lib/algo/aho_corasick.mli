@@ -1,0 +1,23 @@
+(** Aho–Corasick multi-pattern string matching.
+
+    The signature-matching substrate of the IDS NF (paper §6.1: "similar
+    to the core signature matching component of Snort with 100 signature
+    inspection rules"). Patterns are compiled once into an automaton;
+    scanning a payload is a single pass. *)
+
+type t
+
+val build : string list -> t
+(** [build patterns] compiles the automaton. Empty patterns are ignored.
+    Pattern indices in match results refer to positions in [patterns]. *)
+
+val pattern_count : t -> int
+
+val scan : t -> string -> (int * int) list
+(** [scan t text] is the list of matches [(pattern_index, end_position)]
+    in order of occurrence; [end_position] is the offset just past the
+    match. Overlapping and duplicate-pattern matches are all reported. *)
+
+val matches : t -> string -> bool
+(** [matches t text] is [true] iff any pattern occurs in [text]; stops at
+    the first hit. *)

@@ -1,0 +1,20 @@
+let ones_complement_sum buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Checksum: range overruns buffer";
+  let sum = ref 0 in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + (Char.code (Bytes.get buf !i) lsl 8) + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  (* Fold carries. *)
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  !sum
+
+let compute buf ~pos ~len = lnot (ones_complement_sum buf ~pos ~len) land 0xffff
+
+let verify buf ~pos ~len = ones_complement_sum buf ~pos ~len = 0xffff

@@ -1,0 +1,16 @@
+(** RFC 1071 Internet checksum.
+
+    Used by the IPv4 codec: NFs that rewrite addresses (NAT, load
+    balancer) must leave packets with a valid header checksum, and the
+    merger recomputes it after applying merge operations. *)
+
+val ones_complement_sum : bytes -> pos:int -> len:int -> int
+(** 16-bit one's-complement sum of the byte range (before final
+    complement). Odd trailing byte is padded with zero per RFC 1071. *)
+
+val compute : bytes -> pos:int -> len:int -> int
+(** Checksum of the range: complement of the sum, in [0, 0xffff]. *)
+
+val verify : bytes -> pos:int -> len:int -> bool
+(** [verify] is [true] when the range (checksum field included) sums to
+    0xffff, i.e. the embedded checksum is consistent. *)

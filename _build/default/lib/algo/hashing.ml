@@ -1,0 +1,42 @@
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+
+let fnv1a32 s =
+  let h = ref fnv_offset in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime land 0xffffffff) s;
+  !h
+
+let fnv1a32_bytes b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Hashing.fnv1a32_bytes: range overruns buffer";
+  let h = ref fnv_offset in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.get b i)) * fnv_prime land 0xffffffff
+  done;
+  !h
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let combine a b = ((a * 31) + b) land max_int
+
+let tuple5 sip dip sport dport proto =
+  let h = fnv_offset in
+  let step h v = (h lxor (v land 0xff)) * fnv_prime land 0xffffffff in
+  let word h v32 =
+    let v = Int32.to_int (Int32.logand v32 0xffffffffl) in
+    let h = step h v in
+    let h = step h (v lsr 8) in
+    let h = step h (v lsr 16) in
+    step h (v lsr 24)
+  in
+  let h = word h sip in
+  let h = word h dip in
+  let h = step h sport in
+  let h = step h (sport lsr 8) in
+  let h = step h dport in
+  let h = step h (dport lsr 8) in
+  let h = step h proto in
+  h land max_int

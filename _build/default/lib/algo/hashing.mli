@@ -1,0 +1,20 @@
+(** Non-cryptographic hashes used across the dataplane.
+
+    The merger agent hashes the immutable PID to pick a merger instance
+    (paper §5.3); the load balancer and monitor hash 5-tuples. *)
+
+val fnv1a32 : string -> int
+(** 32-bit FNV-1a over a string; result in [0, 2^32). *)
+
+val fnv1a32_bytes : bytes -> pos:int -> len:int -> int
+(** FNV-1a over a byte range. @raise Invalid_argument on overrun. *)
+
+val mix64 : int64 -> int64
+(** SplitMix64 finaliser: avalanching 64-bit mix, used for PID hashing. *)
+
+val combine : int -> int -> int
+(** Order-dependent combination of two hash values. *)
+
+val tuple5 : int32 -> int32 -> int -> int -> int -> int
+(** [tuple5 sip dip sport dport proto] hashes a 5-tuple to a
+    non-negative int, ECMP-style. *)

@@ -1,0 +1,69 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h x =
+  let capacity = Array.length h.data in
+  if h.size = capacity then begin
+    let capacity' = if capacity = 0 then 16 else capacity * 2 in
+    let data' = Array.make capacity' x in
+    Array.blit h.data 0 data' 0 h.size;
+    h.data <- data'
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && h.cmp h.data.(left) h.data.(!smallest) < 0 then
+    smallest := left;
+  if right < h.size && h.cmp h.data.(right) h.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

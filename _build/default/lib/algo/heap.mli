@@ -1,0 +1,23 @@
+(** Imperative binary min-heap keyed by a user-supplied comparison.
+
+    Used as the event queue of the discrete-event simulator; [pop] returns
+    the smallest element according to the ordering given at creation. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit

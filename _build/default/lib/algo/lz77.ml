@@ -1,0 +1,107 @@
+(* Token format:
+   0x00 l          -> literal run of (l+1) bytes following
+   0x01 d1 d0 len  -> back-reference: distance 1..65535 (big-endian),
+                      length (len+4) bytes (4..259)
+   Window 4096 bytes, greedy longest-match via a 3-byte hash chain. *)
+
+let window = 4096
+let min_match = 4
+let max_match = 259
+
+let hash3 s i =
+  (Char.code s.[i] lor (Char.code s.[i + 1] lsl 8) lor (Char.code s.[i + 2] lsl 16)) * 0x9e3779b1
+  lsr 8
+  land 0xffff
+
+let compress input =
+  let n = String.length input in
+  let out = Buffer.create (n / 2) in
+  let literals = Buffer.create 64 in
+  let flush_literals () =
+    let s = Buffer.contents literals in
+    Buffer.clear literals;
+    let len = String.length s in
+    let i = ref 0 in
+    while !i < len do
+      let chunk = min 256 (len - !i) in
+      Buffer.add_char out '\x00';
+      Buffer.add_char out (Char.chr (chunk - 1));
+      Buffer.add_substring out s !i chunk;
+      i := !i + chunk
+    done
+  in
+  let heads = Array.make 0x10000 (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n && !i + 2 < n then begin
+      let h = hash3 input !i in
+      let cand = ref heads.(h) in
+      let tries = ref 32 in
+      while !cand >= 0 && !i - !cand <= window && !tries > 0 do
+        let j = !cand in
+        let maxl = min max_match (n - !i) in
+        let l = ref 0 in
+        while !l < maxl && input.[j + !l] = input.[!i + !l] do
+          incr l
+        done;
+        if !l > !best_len then begin
+          best_len := !l;
+          best_dist := !i - j
+        end;
+        cand := prev.(j);
+        decr tries
+      done;
+      prev.(!i) <- heads.(h);
+      heads.(h) <- !i
+    end;
+    if !best_len >= min_match then begin
+      flush_literals ();
+      Buffer.add_char out '\x01';
+      Buffer.add_char out (Char.chr ((!best_dist lsr 8) land 0xff));
+      Buffer.add_char out (Char.chr (!best_dist land 0xff));
+      Buffer.add_char out (Char.chr (!best_len - min_match));
+      (* Index the skipped positions so later matches can reference them. *)
+      for k = !i + 1 to min (!i + !best_len - 1) (n - 3) do
+        let h = hash3 input k in
+        prev.(k) <- heads.(h);
+        heads.(h) <- k
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      Buffer.add_char literals input.[!i];
+      incr i
+    end
+  done;
+  flush_literals ();
+  Buffer.contents out
+
+let decompress input =
+  let n = String.length input in
+  let out = Buffer.create (n * 2) in
+  let malformed () = invalid_arg "Lz77.decompress: malformed stream" in
+  let i = ref 0 in
+  while !i < n do
+    match input.[!i] with
+    | '\x00' ->
+        if !i + 1 >= n then malformed ();
+        let len = Char.code input.[!i + 1] + 1 in
+        if !i + 2 + len > n then malformed ();
+        Buffer.add_substring out input (!i + 2) len;
+        i := !i + 2 + len
+    | '\x01' ->
+        if !i + 3 >= n then malformed ();
+        let dist = (Char.code input.[!i + 1] lsl 8) lor Char.code input.[!i + 2] in
+        let len = Char.code input.[!i + 3] + min_match in
+        let start = Buffer.length out - dist in
+        if dist = 0 || start < 0 then malformed ();
+        (* Byte-at-a-time so overlapping references self-extend. *)
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done;
+        i := !i + 4
+    | _ -> malformed ()
+  done;
+  Buffer.contents out

@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+let create ~seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  Hashing.mix64 t.state
+
+let float t =
+  (* Top 53 bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive";
+  let u = float t in
+  (* u = 0 would give infinity; nudge. *)
+  -.mean *. log (1.0 -. (u *. 0.9999999999))
+
+let split t = create ~seed:(next t)

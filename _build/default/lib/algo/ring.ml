@@ -1,0 +1,53 @@
+type 'a t = {
+  data : 'a option array;
+  mutable head : int; (* next slot to dequeue *)
+  mutable size : int;
+  mutable enqueued : int;
+  mutable rejected : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity None; head = 0; size = 0; enqueued = 0; rejected = 0 }
+
+let capacity t = Array.length t.data
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let is_full t = t.size = Array.length t.data
+
+let enqueue t x =
+  if is_full t then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+  else begin
+    let tail = (t.head + t.size) mod Array.length t.data in
+    t.data.(tail) <- Some x;
+    t.size <- t.size + 1;
+    t.enqueued <- t.enqueued + 1;
+    true
+  end
+
+let dequeue t =
+  if t.size = 0 then None
+  else begin
+    let x = t.data.(t.head) in
+    t.data.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.data;
+    t.size <- t.size - 1;
+    x
+  end
+
+let peek t = if t.size = 0 then None else t.data.(t.head)
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.size <- 0
+
+let enqueued_total t = t.enqueued
+
+let rejected_total t = t.rejected

@@ -1,0 +1,35 @@
+(** Bounded FIFO ring buffer.
+
+    Models the single-producer single-consumer receive/transmit rings that
+    NFP allocates in shared huge pages: fixed capacity, reference-passing
+    (no element copies), drop-on-full semantics decided by the caller. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty ring holding at most [capacity]
+    elements. @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> bool
+(** [enqueue t x] appends [x]; returns [false] (ring unchanged) when
+    full — the caller decides whether that is a drop or backpressure. *)
+
+val dequeue : 'a t -> 'a option
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val enqueued_total : 'a t -> int
+(** Lifetime count of successful enqueues (for occupancy statistics). *)
+
+val rejected_total : 'a t -> int
+(** Lifetime count of enqueues refused because the ring was full. *)

@@ -1,0 +1,32 @@
+(** Streaming measurement accumulators.
+
+    Collects per-packet latencies and rates during simulation runs and
+    reports the summary statistics the paper plots (mean and tail
+    latency, processing rate). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0. with fewer than 2 samples. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0,100], nearest-rank on sorted samples.
+    @raise Invalid_argument when empty or [p] out of range. *)
+
+val merge : t -> t -> t
+(** Combined accumulator over both sample sets. *)

@@ -1,0 +1,1 @@
+lib/baseline/bess.ml: Array Int64 List Nfp_algo Nfp_nf Nfp_packet Nfp_sim Packet Printf

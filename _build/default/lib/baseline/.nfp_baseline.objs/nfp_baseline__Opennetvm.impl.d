@@ -1,0 +1,1 @@
+lib/baseline/opennetvm.ml: Array List Nfp_algo Nfp_nf Nfp_packet Nfp_sim Packet

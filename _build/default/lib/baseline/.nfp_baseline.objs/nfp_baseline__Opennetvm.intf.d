@@ -1,0 +1,1 @@
+lib/baseline/opennetvm.mli: Nfp_nf Nfp_packet Nfp_sim Packet

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Dependency Format List Nfp_nf Parallelism

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Buffer Format Graph Ir List Micrograph Nfp_nf Nfp_policy Parallelism Parser Rule String Validate

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Graph Ir Micrograph Nfp_policy

@@ -1,0 +1,1 @@
+lib/core/dependency.ml: Action Format List Nfp_nf Nfp_packet

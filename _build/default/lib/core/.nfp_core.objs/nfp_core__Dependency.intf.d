@@ -1,0 +1,1 @@
+lib/core/dependency.mli: Format Nfp_nf

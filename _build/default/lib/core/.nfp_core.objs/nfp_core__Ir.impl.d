@@ -1,0 +1,1 @@
+lib/core/ir.ml: Action Dependency Format List Nfp_nf Nfp_policy Parallelism Printf Registry Rule

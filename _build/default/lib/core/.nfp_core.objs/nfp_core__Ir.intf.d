@@ -1,0 +1,1 @@
+lib/core/ir.mli: Action Format Nfp_nf Nfp_policy

@@ -1,0 +1,1 @@
+lib/core/merge_op.ml: Field Format Nfp_packet Packet

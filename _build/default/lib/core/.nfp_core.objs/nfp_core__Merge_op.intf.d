@@ -1,0 +1,1 @@
+lib/core/merge_op.mli: Field Format Nfp_packet Packet

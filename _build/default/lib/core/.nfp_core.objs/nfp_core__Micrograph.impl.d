@@ -1,0 +1,1 @@
+lib/core/micrograph.ml: Format Graph Hashtbl Ir List Nfp_policy Parallelism

@@ -1,0 +1,1 @@
+lib/core/micrograph.mli: Graph Ir Nfp_nf

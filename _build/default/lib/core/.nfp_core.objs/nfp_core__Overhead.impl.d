@@ -1,0 +1,1 @@
+lib/core/overhead.ml: List Tables

@@ -1,0 +1,1 @@
+lib/core/parallelism.ml: Dependency Format List Nfp_nf

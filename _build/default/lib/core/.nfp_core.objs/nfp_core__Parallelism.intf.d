@@ -1,0 +1,1 @@
+lib/core/parallelism.mli: Dependency Format Nfp_nf

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Format Graph List Printf

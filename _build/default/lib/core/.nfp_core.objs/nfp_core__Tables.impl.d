@@ -1,0 +1,1 @@
+lib/core/tables.ml: Action Compiler Field Format Graph Hashtbl Ir List Merge_op Nfp_nf Nfp_packet Printf String

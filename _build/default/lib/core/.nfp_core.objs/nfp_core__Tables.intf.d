@@ -1,0 +1,1 @@
+lib/core/tables.mli: Action Compiler Format Graph Merge_op Nfp_nf

@@ -1,0 +1,189 @@
+open Nfp_policy
+
+type output = {
+  graph : Graph.t;
+  ir : Ir.t;
+  micrographs : Micrograph.t list;
+  priority_pairs : (string * string) list;
+  warnings : string list;
+}
+
+let union_profile (ir : Ir.t) members =
+  Nfp_nf.Action.normalize (List.concat_map ir.profile_of members)
+
+let compile ?field_sensitive_write_read policy =
+  match Validate.check policy with
+  | _ :: _ as conflicts ->
+      Error
+        (List.map
+           (fun c ->
+             Format.asprintf "%a (hint: %s)" Validate.pp_conflict c (Validate.suggest c))
+           conflicts)
+  | [] -> (
+      match Ir.transform ?field_sensitive_write_read policy with
+      | Error e -> Error [ e ]
+      | Ok ir ->
+          let micrographs, mg_warnings = Micrograph.build ?field_sensitive_write_read ir in
+          let firsts =
+            List.filter_map
+              (fun (p : Ir.position) -> if p.place = Rule.First then Some p.nf else None)
+              ir.positions
+          in
+          let lasts =
+            List.filter_map
+              (fun (p : Ir.position) -> if p.place = Rule.Last then Some p.nf else None)
+              ir.positions
+          in
+          (* Middle items: micrographs plus free NFs wrapped as single-NF
+             micrographs, staged by pairwise dependency of their union
+             profiles (paper §4.4.3). *)
+          let middle_items : (string * Graph.t * Nfp_nf.Action.t list) list =
+            List.map
+              (fun (m : Micrograph.t) ->
+                (List.hd m.members, m.term, union_profile ir m.members))
+              micrographs
+            @ List.map (fun n -> (n, Graph.nf n, ir.profile_of n)) ir.free
+          in
+          let middle, merge_warnings =
+            match middle_items with
+            | [] -> ([], [])
+            | [ (_, term, _) ] -> ([ term ], [])
+            | items ->
+                let names = List.map (fun (n, _, _) -> n) items in
+                let profile_of n =
+                  match List.find_opt (fun (x, _, _) -> x = n) items with
+                  | Some (_, _, p) -> p
+                  | None -> raise Not_found
+                in
+                let staged =
+                  Micrograph.order_items ?field_sensitive_write_read ~items:names
+                    ~profile_of ~ordered:[] ~forced_parallel:[] ()
+                in
+                let term_of n =
+                  match List.find_opt (fun (x, _, _) -> x = n) items with
+                  | Some (_, t, _) -> t
+                  | None -> assert false
+                in
+                ( List.map
+                    (fun stage -> Graph.par (List.map term_of stage))
+                    staged.stages,
+                  staged.warnings )
+          in
+          let pieces = List.map Graph.nf firsts @ middle @ List.map Graph.nf lasts in
+          if pieces = [] then Error [ "policy describes no NFs" ]
+          else
+            let graph = Graph.seq pieces in
+            let priority_pairs =
+              List.filter_map
+                (fun (p : Ir.pair) ->
+                  if p.source = `Priority then Some (p.later, p.earlier) else None)
+                ir.pairs
+            in
+            let warnings =
+              mg_warnings
+              @ List.concat_map (fun (m : Micrograph.t) -> m.warnings) micrographs
+              @ merge_warnings
+            in
+            Ok { graph; ir; micrographs; priority_pairs; warnings })
+
+let explain (output : output) =
+  let buf = Buffer.create 512 in
+  let addf fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (p : Ir.position) ->
+      addf "%s is pinned %s by a Position rule.\n" p.nf
+        (match p.place with Nfp_policy.Rule.First -> "first" | Nfp_policy.Rule.Last -> "last"))
+    output.ir.positions;
+  List.iter
+    (fun (p : Ir.pair) ->
+      match p.source with
+      | `Priority ->
+          addf "%s and %s run in parallel by operator Priority (%s wins conflicts)%s.\n"
+            p.earlier p.later p.later
+            (if p.conflicting_actions = [] then ""
+             else
+               Format.asprintf "; copies needed for%a"
+                 (Format.pp_print_list (fun f (a, b) ->
+                      Format.fprintf f " %a/%a" Nfp_nf.Action.pp a Nfp_nf.Action.pp b))
+                 p.conflicting_actions)
+      | `Order ->
+          let r =
+            Parallelism.analyze (output.ir.profile_of p.earlier) (output.ir.profile_of p.later)
+          in
+          if not r.Parallelism.parallelizable then
+            match r.Parallelism.blocking with
+            | Some (a, b) ->
+                addf "%s stays before %s: %a of %s cannot reorder with %a of %s.\n" p.earlier
+                  p.later Nfp_nf.Action.pp a p.earlier Nfp_nf.Action.pp b p.later
+            | None -> addf "%s stays before %s (not parallelizable).\n" p.earlier p.later
+          else if r.Parallelism.conflicting_actions = [] then
+            addf "%s and %s parallelize without copies (no conflicting actions).\n" p.earlier
+              p.later
+          else
+            addf "%s and %s parallelize with a packet copy (conflicts:%s).\n" p.earlier p.later
+              (String.concat ","
+                 (List.map
+                    (fun (a, b) ->
+                      Format.asprintf " %a/%a" Nfp_nf.Action.pp a Nfp_nf.Action.pp b)
+                    r.Parallelism.conflicting_actions)))
+    output.ir.pairs;
+  List.iter
+    (fun n -> addf "%s is unconstrained and joins the parallel stage where possible.\n" n)
+    output.ir.free;
+  List.iter (fun w -> addf "warning: %s\n" w) output.warnings;
+  addf "final graph: %s (equivalent length %d of %d NFs)\n" (Graph.to_string output.graph)
+    (Graph.equivalent_length output.graph)
+    (Graph.nf_count output.graph);
+  Buffer.contents buf
+
+let compile_text ?field_sensitive_write_read text =
+  match Parser.parse text with
+  | Error e -> Error [ e ]
+  | Ok policy -> compile ?field_sensitive_write_read policy
+
+let sequential_graph policy =
+  match Ir.transform policy with
+  | Error e -> Error e
+  | Ok ir ->
+      let firsts =
+        List.filter_map
+          (fun (p : Ir.position) -> if p.place = Rule.First then Some p.nf else None)
+          ir.positions
+      in
+      let lasts =
+        List.filter_map
+          (fun (p : Ir.position) -> if p.place = Rule.Last then Some p.nf else None)
+          ir.positions
+      in
+      let edges =
+        List.map (fun (p : Ir.pair) -> (p.earlier, p.later)) ir.pairs
+      in
+      let mentioned = Rule.nfs_of_rules policy.rules in
+      let middle =
+        List.filter (fun n -> not (List.mem n firsts || List.mem n lasts)) mentioned
+        @ ir.free
+      in
+      (* Kahn's topological sort, stable on first appearance. *)
+      let rec topo acc remaining =
+        match remaining with
+        | [] -> Ok (List.rev acc)
+        | _ -> (
+            let ready =
+              List.filter
+                (fun n ->
+                  not
+                    (List.exists
+                       (fun (a, b) -> b = n && List.mem a remaining)
+                       edges))
+                remaining
+            in
+            match ready with
+            | [] -> Error "order rules are cyclic"
+            | n :: _ -> topo (n :: acc) (List.filter (fun x -> x <> n) remaining))
+      in
+      (match topo [] middle with
+      | Error e -> Error e
+      | Ok ordered ->
+          let names = firsts @ ordered @ lasts in
+          if names = [] then Error "policy describes no NFs"
+          else Ok (Graph.seq (List.map Graph.nf names)))

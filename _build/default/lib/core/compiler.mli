@@ -1,0 +1,39 @@
+(** Policy-to-service-graph compilation — paper §4.4.
+
+    The full pipeline: validate the policy, transform it into IRs, build
+    micrographs, and merge them into the final service graph with
+    [Position]-pinned NFs at the head/tail and independent micrographs
+    (and free NFs) in parallel. *)
+
+type output = {
+  graph : Graph.t;
+  ir : Ir.t;
+  micrographs : Micrograph.t list;
+  priority_pairs : (string * string) list;
+      (** (hi, lo) pairs from Priority rules — the dataplane resolves
+          drop conflicts in favour of hi *)
+  warnings : string list;
+}
+
+val compile :
+  ?field_sensitive_write_read:bool ->
+  Nfp_policy.Rule.policy ->
+  (output, string list) result
+(** [Error conflicts] when validation rejects the policy; conflict
+    strings come from {!Nfp_policy.Validate}. *)
+
+val compile_text :
+  ?field_sensitive_write_read:bool -> string -> (output, string list) result
+(** Parse then compile. *)
+
+val explain : output -> string
+(** A human-readable account of the compilation: the verdict and
+    reasoning for every rule pair (which action pair blocks
+    parallelism, which conflicts force copies), plus positions, free
+    NFs and the resulting graph. *)
+
+val sequential_graph : Nfp_policy.Rule.policy -> (Graph.t, string) result
+(** The unoptimized baseline: NFs chained in the policy's sequential
+    order (Position first, then Order-derived topological order, free
+    NFs last) — what a traditional orchestrator would deploy, used as
+    the comparison chain in the evaluation. *)

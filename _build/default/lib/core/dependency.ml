@@ -1,0 +1,76 @@
+open Nfp_nf
+
+type verdict = Parallel_no_copy | Parallel_with_copy | Not_parallelizable
+
+let verdict_to_string = function
+  | Parallel_no_copy -> "parallelizable, no copy"
+  | Parallel_with_copy -> "parallelizable, copy"
+  | Not_parallelizable -> "not parallelizable"
+
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_to_string v)
+
+(* Paper Table 3, NF1's action on rows, NF2's on columns. The
+   read-write and write-write cells are the green/orange mixed blocks;
+   this function reports their different-field (no copy) verdict and
+   action_pair refines same-field pairs to copies. *)
+let kind_pair a1 a2 =
+  let open Action in
+  match (a1, a2) with
+  | K_read, K_read -> Parallel_no_copy
+  | K_read, K_write -> Parallel_no_copy
+  | K_read, K_add_rm -> Parallel_with_copy
+  | K_read, K_drop -> Parallel_no_copy
+  | K_write, K_read -> Not_parallelizable
+  | K_write, K_write -> Parallel_no_copy
+  | K_write, K_add_rm -> Parallel_with_copy
+  | K_write, K_drop -> Parallel_no_copy
+  | K_add_rm, (K_read | K_write | K_add_rm) -> Not_parallelizable
+  | K_add_rm, K_drop -> Parallel_no_copy
+  | K_drop, (K_read | K_write | K_add_rm) -> Not_parallelizable
+  | K_drop, K_drop -> Parallel_no_copy
+
+let same_field a1 a2 =
+  match (Action.field a1, Action.field a2) with
+  | Some f1, Some f2 -> Nfp_packet.Field.equal f1 f2
+  | _ -> false
+
+let action_pair ?(field_sensitive_write_read = false) a1 a2 =
+  let open Action in
+  match (kind a1, kind a2) with
+  | K_read, K_write | K_write, K_write ->
+      if same_field a1 a2 then Parallel_with_copy else Parallel_no_copy
+  | K_write, K_read when field_sensitive_write_read ->
+      if same_field a1 a2 then Not_parallelizable else Parallel_no_copy
+  | k1, k2 -> kind_pair k1 k2
+
+let kinds = Action.[ K_read; K_write; K_add_rm; K_drop ]
+
+(* For printing, field-sensitive cells show the same-field (stricter)
+   verdict, matching the paper's orange shading of those blocks. *)
+let display_cell k1 k2 =
+  let open Action in
+  match (k1, k2) with
+  | K_read, K_write | K_write, K_write -> Parallel_with_copy
+  | _ -> kind_pair k1 k2
+
+let table_rows () = List.map (fun k1 -> (k1, List.map (fun k2 -> (k2, display_cell k1 k2)) kinds)) kinds
+
+let kind_name =
+  let open Action in
+  function K_read -> "Read" | K_write -> "Write" | K_add_rm -> "Add/Rm" | K_drop -> "Drop"
+
+let cell_mark = function
+  | Parallel_no_copy -> "par"
+  | Parallel_with_copy -> "copy"
+  | Not_parallelizable -> "-"
+
+let pp_table fmt () =
+  Format.fprintf fmt "%-8s" "NF1\\NF2";
+  List.iter (fun k -> Format.fprintf fmt "%-8s" (kind_name k)) kinds;
+  Format.pp_print_newline fmt ();
+  List.iter
+    (fun (k1, cells) ->
+      Format.fprintf fmt "%-8s" (kind_name k1);
+      List.iter (fun (_, v) -> Format.fprintf fmt "%-8s" (cell_mark v)) cells;
+      Format.pp_print_newline fmt ())
+    (table_rows ())

@@ -1,0 +1,35 @@
+open Nfp_packet
+
+type t =
+  | Modify of { dst : int; src : int; field : Field.t }
+  | Align_headers of { dst : int; src : int }
+
+let apply op ~get =
+  match op with
+  | Modify { dst; src; field } -> (
+      match (get dst, get src) with
+      | Some d, Some s -> Packet.set_field d field (Packet.get_field s field)
+      | _ -> ())
+  | Align_headers { dst; src } -> (
+      match (get dst, get src) with
+      | Some d, Some s -> (
+          match (Packet.has_ah s, Packet.has_ah d) with
+          | true, false ->
+              (* Transplant the AH header the source version gained. *)
+              let tmp = Packet.full_copy s in
+              let spi, seq, icv =
+                match Packet.remove_ah tmp with
+                | Some v -> v
+                | None -> assert false
+              in
+              Packet.add_ah d ~spi ~seq ~icv
+          | false, true -> ignore (Packet.remove_ah d)
+          | true, true | false, false -> ())
+      | _ -> ())
+
+let equal = ( = )
+
+let pp fmt = function
+  | Modify { dst; src; field } ->
+      Format.fprintf fmt "modify(v%d.%a, v%d.%a)" dst Field.pp field src Field.pp field
+  | Align_headers { dst; src } -> Format.fprintf fmt "align_headers(v%d, v%d)" dst src

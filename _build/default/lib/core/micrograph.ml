@@ -1,0 +1,209 @@
+type staged = { stages : string list list; warnings : string list }
+
+let pair_mem pairs a b = List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) pairs
+
+(* Transitive closure of the explicit order relation, restricted to items. *)
+let closure items ordered =
+  let reaches = Hashtbl.create 16 in
+  List.iter (fun (a, b) -> Hashtbl.replace reaches (a, b) true) ordered;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a <> b && not (Hashtbl.mem reaches (a, b)) then
+              if
+                List.exists
+                  (fun c -> Hashtbl.mem reaches (a, c) && Hashtbl.mem reaches (c, b))
+                  items
+              then begin
+                Hashtbl.replace reaches (a, b) true;
+                changed := true
+              end)
+          items)
+      items
+  done;
+  fun a b -> Hashtbl.mem reaches (a, b)
+
+let index_of items x =
+  let rec go i = function
+    | [] -> invalid_arg "order_items: unknown item"
+    | y :: _ when y = x -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 items
+
+let order_items ?field_sensitive_write_read ~items ~profile_of ~ordered ~forced_parallel () =
+  let warnings = ref [] in
+  let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
+  let reaches = closure items ordered in
+  let analyze a b =
+    Parallelism.analyze ?field_sensitive_write_read (profile_of a) (profile_of b)
+  in
+  let seq_edges = ref [] in
+  let add_edge a b = if not (List.mem (a, b) !seq_edges) then seq_edges := (a, b) :: !seq_edges in
+  (* Every ordered (transitive) pair that does not parallelize becomes a
+     sequential edge; forced-parallel pairs never do. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b && reaches a b && not (pair_mem forced_parallel a b) then
+            if not (analyze a b).Parallelism.parallelizable then add_edge a b)
+        items)
+    items;
+  (* Unordered pairs: parallel if either direction allows it, otherwise
+     impose appearance order and warn. *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j && (not (reaches a b)) && (not (reaches b a))
+             && not (pair_mem forced_parallel a b)
+          then
+            if
+              (not (analyze a b).Parallelism.parallelizable)
+              && not (analyze b a).Parallelism.parallelizable
+            then begin
+              add_edge a b;
+              warn
+                "%s and %s are unordered by the policy but cannot run in parallel; \
+                 sequenced as %s -> %s"
+                a b a b
+            end)
+        items)
+    items;
+  (* Longest-path depth over the sequential edges. The edge relation is
+     acyclic when the explicit order is (validated upstream); if a cycle
+     sneaks in via imposed edges, fall back to the appearance order. *)
+  let depth = Hashtbl.create 16 in
+  let rec depth_of seen x =
+    match Hashtbl.find_opt depth x with
+    | Some d -> d
+    | None ->
+        if List.mem x seen then raise Exit
+        else begin
+          let preds = List.filter_map (fun (a, b) -> if b = x then Some a else None) !seq_edges in
+          let d =
+            List.fold_left (fun acc p -> max acc (1 + depth_of (x :: seen) p)) 0 preds
+          in
+          Hashtbl.replace depth x d;
+          d
+        end
+  in
+  let stages =
+    match List.map (fun x -> (x, depth_of [] x)) items with
+    | exception Exit ->
+        warn "sequential constraints are cyclic; falling back to the policy order";
+        List.map (fun x -> [ x ]) items
+    | depths ->
+        let max_depth = List.fold_left (fun acc (_, d) -> max acc d) 0 depths in
+        List.init (max_depth + 1) (fun level ->
+            List.filter_map (fun (x, d) -> if d = level then Some x else None) depths)
+        |> List.filter (fun stage -> stage <> [])
+        |> List.map (fun stage -> List.sort (fun a b -> compare (index_of items a) (index_of items b)) stage)
+  in
+  { stages; warnings = List.rev !warnings }
+
+type t = { members : string list; term : Graph.t; warnings : string list }
+
+(* Union-find over NF names. *)
+let components pairs nfs =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some "" -> x
+    | Some p ->
+        let root = find p in
+        Hashtbl.replace parent x root;
+        root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun (a, b) -> union a b) pairs;
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let root = find n in
+      let existing = match Hashtbl.find_opt groups root with Some l -> l | None -> [] in
+      Hashtbl.replace groups root (n :: existing))
+    (List.rev nfs);
+  Hashtbl.fold (fun _ members acc -> members :: acc) groups []
+  (* Order components by first appearance of any member. *)
+  |> List.sort
+       (fun a b ->
+         let pos x = index_of nfs (List.hd x) in
+         compare (pos a) (pos b))
+
+let build ?field_sensitive_write_read (ir : Ir.t) =
+  let warnings = ref [] in
+  let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
+  let positioned = List.map (fun p -> p.Ir.nf) ir.positions in
+  let place_of n =
+    List.find_map (fun p -> if p.Ir.nf = n then Some p.Ir.place else None) ir.positions
+  in
+  (* Pairs touching positioned NFs are consumed by the placement: keep
+     them only when consistent with the pin, warn otherwise. *)
+  let usable_pairs =
+    List.filter
+      (fun (p : Ir.pair) ->
+        let pe = place_of p.earlier and pl = place_of p.later in
+        match (pe, pl) with
+        | None, None -> true
+        | Some Nfp_policy.Rule.First, _ | _, Some Nfp_policy.Rule.Last -> false
+        | Some Nfp_policy.Rule.Last, _ ->
+            warn "rule between %s and %s contradicts Position(%s, last); ignored" p.earlier
+              p.later p.earlier;
+            false
+        | _, Some Nfp_policy.Rule.First ->
+            warn "rule between %s and %s contradicts Position(%s, first); ignored" p.earlier
+              p.later p.later;
+            false)
+      ir.pairs
+  in
+  let pair_names = List.map (fun (p : Ir.pair) -> (p.earlier, p.later)) usable_pairs in
+  let member_names =
+    List.concat_map (fun (a, b) -> [ a; b ]) pair_names
+    |> List.fold_left
+         (fun acc n -> if List.mem n acc || List.mem n positioned then acc else acc @ [ n ])
+         []
+  in
+  let comps = components pair_names member_names in
+  let micrographs =
+    List.map
+      (fun members ->
+        let in_comp (a, b) = List.mem a members && List.mem b members in
+        let ordered =
+          List.filter_map
+            (fun (p : Ir.pair) ->
+              if p.source = `Order && in_comp (p.earlier, p.later) then
+                Some (p.earlier, p.later)
+              else None)
+            usable_pairs
+        in
+        let forced_parallel =
+          List.filter_map
+            (fun (p : Ir.pair) ->
+              if p.source = `Priority && in_comp (p.earlier, p.later) then
+                Some (p.earlier, p.later)
+              else None)
+            usable_pairs
+        in
+        let staged =
+          order_items ?field_sensitive_write_read ~items:members ~profile_of:ir.profile_of
+            ~ordered ~forced_parallel ()
+        in
+        let term =
+          Graph.seq
+            (List.map
+               (fun stage -> Graph.par (List.map Graph.nf stage))
+               staged.stages)
+        in
+        { members; term; warnings = staged.warnings })
+      comps
+  in
+  (micrographs, List.rev !warnings)

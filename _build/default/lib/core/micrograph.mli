@@ -1,0 +1,33 @@
+(** Micrograph construction — paper §4.4.2.
+
+    Intermediate representations with overlapping NFs are concatenated
+    into independent micrographs (Single NF, Tree, or Plain Parallelism
+    shapes). Within a micrograph, unparallelizable pairs impose
+    sequential edges; everything the dependency analysis allows runs in
+    parallel. Pairs left unordered by the policy are checked
+    exhaustively in both directions; if neither order parallelizes, a
+    deterministic order is imposed and a warning recorded (the paper
+    asks the operator to regulate priority in that case). *)
+
+type staged = { stages : string list list; warnings : string list }
+
+val order_items :
+  ?field_sensitive_write_read:bool ->
+  items:string list ->
+  profile_of:(string -> Nfp_nf.Action.t list) ->
+  ordered:(string * string) list ->
+  forced_parallel:(string * string) list ->
+  unit ->
+  staged
+(** Generic staging: [items] in appearance order, [ordered] the
+    explicit precedence pairs, [forced_parallel] pairs that must share
+    a stage (Priority rules). Returns parallel stages in execution
+    order. Used both within micrographs and to merge micrographs into
+    the final graph. *)
+
+type t = { members : string list; term : Graph.t; warnings : string list }
+
+val build : ?field_sensitive_write_read:bool -> Ir.t -> t list * string list
+(** Micrographs for the connected components of the IR pair relation
+    (positioned NFs excluded — they are placed by the final merge
+    step), plus global warnings (e.g. rules contradicting positions). *)

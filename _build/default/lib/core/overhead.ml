@@ -1,0 +1,28 @@
+let header_copy_bytes = 64
+
+let ratio ~packet_bytes ~degree =
+  if degree < 1 then invalid_arg "Overhead.ratio: degree must be at least 1";
+  if packet_bytes <= 0 then invalid_arg "Overhead.ratio: packet size must be positive";
+  float_of_int (header_copy_bytes * (degree - 1)) /. float_of_int packet_bytes
+
+(* Byte-weighted: total copied memory over total packet memory across
+   the traffic mix, i.e. 64 (d-1) / E[s] — the calculation behind the
+   paper's 0.088 (d-1). *)
+let ratio_distribution ~sizes ~degree =
+  if degree < 1 then invalid_arg "Overhead.ratio_distribution: degree must be at least 1";
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 sizes in
+  if total <= 0.0 then invalid_arg "Overhead.ratio_distribution: empty distribution";
+  let mean_bytes =
+    List.fold_left (fun acc (s, p) -> acc +. (float_of_int s *. p)) 0.0 sizes /. total
+  in
+  float_of_int (header_copy_bytes * (degree - 1)) /. mean_bytes
+
+let datacenter_ratio ~degree =
+  if degree < 1 then invalid_arg "Overhead.datacenter_ratio: degree must be at least 1";
+  0.088 *. float_of_int (degree - 1)
+
+let plan_overhead (plan : Tables.plan) ~packet_bytes =
+  let copied =
+    Tables.copies_bytes_per_packet plan ~packet_bytes ~header_bytes:header_copy_bytes
+  in
+  float_of_int copied /. float_of_int packet_bytes

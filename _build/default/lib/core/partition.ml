@@ -1,0 +1,50 @@
+type assignment = { server : int; segment : Graph.t; cores : int }
+
+let rec merger_count = function
+  | Graph.Nf _ -> 0
+  | Graph.Seq ts -> List.fold_left (fun acc t -> acc + merger_count t) 0 ts
+  | Graph.Par ts -> 1 + List.fold_left (fun acc t -> acc + merger_count t) 0 ts
+
+let cores_needed g = Graph.nf_count g + 1 + merger_count g
+
+let partition ~cores_per_server g =
+  if cores_per_server < 2 then Error "need at least two cores per server"
+  else
+    let elements = match g with Graph.Seq ts -> ts | t -> [ t ] in
+    let element_cost t = Graph.nf_count t + merger_count t in
+    let budget = cores_per_server - 1 (* classifier/ingress core *) in
+    let rec fill current current_cost acc = function
+      | [] ->
+          let acc = if current = [] then acc else List.rev current :: acc in
+          Ok (List.rev acc)
+      | t :: rest ->
+          let c = element_cost t in
+          if c > budget then
+            Error
+              (Printf.sprintf
+                 "element %s needs %d cores; it cannot be split across servers \
+                  without shipping multiple packet copies"
+                 (Graph.to_string t) (c + 1))
+          else if current <> [] && current_cost + c > budget then
+            fill [ t ] c (List.rev current :: acc) rest
+          else fill (t :: current) (current_cost + c) acc rest
+    in
+    match fill [] 0 [] elements with
+    | Error e -> Error e
+    | Ok segments ->
+        Ok
+          (List.mapi
+             (fun i seg ->
+               let segment = Graph.seq seg in
+               { server = i; segment; cores = cores_needed segment })
+             segments)
+
+let inter_server_hops assignments = max 0 (List.length assignments - 1)
+
+let pp fmt assignments =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "server %d (%d cores): %a@," a.server a.cores Graph.pp a.segment)
+    assignments;
+  Format.fprintf fmt "inter-server hops: %d@]" (inter_server_hops assignments)

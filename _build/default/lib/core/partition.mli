@@ -1,0 +1,32 @@
+(** Cross-server graph partitioning — the paper's §7 scalability
+    sketch, implemented.
+
+    When a service graph needs more cores than one server offers, NFP
+    proposes partitioning it such that "each server sends only one copy
+    of a packet to the next server" — i.e. cuts happen only at points
+    where a single (merged) packet version flows: between the top-level
+    sequential elements of the graph. A parallel block is never split
+    across servers, because that would ship multiple copies over the
+    network. *)
+
+type assignment = {
+  server : int;  (** 0-based server index *)
+  segment : Graph.t;  (** sub-graph deployed on this server *)
+  cores : int;  (** cores the segment needs (NFs + classifier + mergers) *)
+}
+
+val cores_needed : Graph.t -> int
+(** One core per NF, one classifier/ingress core, one merger core per
+    parallel block. *)
+
+val partition :
+  cores_per_server:int -> Graph.t -> (assignment list, string) result
+(** Greedy first-fit over the top-level sequence. Errors when an
+    unsplittable element (a parallel block and its merger) alone
+    exceeds the per-server budget. *)
+
+val inter_server_hops : assignment list -> int
+(** Number of server-to-server packet handoffs (each carries exactly
+    one packet copy). *)
+
+val pp : Format.formatter -> assignment list -> unit

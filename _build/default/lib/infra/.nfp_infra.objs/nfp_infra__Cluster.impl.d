@@ -1,0 +1,1 @@
+lib/infra/cluster.ml: List Nfp_core Nfp_sim System

@@ -1,0 +1,1 @@
+lib/infra/cluster.mli: Nfp_core Nfp_nf Nfp_packet Nfp_sim Packet System

@@ -1,0 +1,1 @@
+lib/infra/context.ml: Array Meta Nfp_packet Packet

@@ -1,0 +1,1 @@
+lib/infra/context.mli: Nfp_packet Packet

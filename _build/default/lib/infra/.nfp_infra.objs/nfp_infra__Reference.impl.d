@@ -1,0 +1,1 @@
+lib/infra/reference.ml: Nfp_nf Nfp_sim System

@@ -1,0 +1,1 @@
+lib/infra/reference.mli: Nfp_core Nfp_nf Nfp_packet Packet

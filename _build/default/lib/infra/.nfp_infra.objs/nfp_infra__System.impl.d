@@ -1,0 +1,1 @@
+lib/infra/system.ml: Array Context Flow_match Hashtbl Int64 List Logs Merge_op Nfp_algo Nfp_core Nfp_nf Nfp_packet Nfp_sim Packet Printexc Printf Tables

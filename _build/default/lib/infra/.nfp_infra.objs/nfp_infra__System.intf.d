@@ -1,0 +1,1 @@
+lib/infra/system.mli: Flow_match Nfp_core Nfp_nf Nfp_packet Nfp_sim Packet

@@ -1,0 +1,42 @@
+let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
+  if segments = [] then invalid_arg "Cluster.make: no segments";
+  let ring_drop_fns = ref [] and nf_drop_fns = ref [] in
+  (* Wire back to front: each server's output crosses the link into the
+     next server's NIC. *)
+  let rec build = function
+    | [] -> assert false
+    | [ (plan, nfs) ] ->
+        let system = System.make ?config ~plan ~nfs engine ~output in
+        ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
+        nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
+        system
+    | (plan, nfs) :: rest ->
+        let downstream = build rest in
+        let forward ~pid pkt =
+          Nfp_sim.Engine.schedule engine ~delay:link_latency_ns (fun () ->
+              downstream.Nfp_sim.Harness.inject ~pid pkt)
+        in
+        let system = System.make ?config ~plan ~nfs engine ~output:forward in
+        ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
+        nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
+        system
+  in
+  let first = build segments in
+  let sum fns () = List.fold_left (fun acc f -> acc + f ()) 0 !fns in
+  {
+    Nfp_sim.Harness.inject = first.Nfp_sim.Harness.inject;
+    ring_drops = sum ring_drop_fns;
+    nf_drops = sum nf_drop_fns;
+  }
+
+let of_partition ?config ?link_latency_ns ~assignments ~profile_of ~nfs engine ~output =
+  let rec plans acc = function
+    | [] -> Ok (List.rev acc)
+    | (a : Nfp_core.Partition.assignment) :: rest -> (
+        match Nfp_core.Tables.plan ~profile_of a.segment with
+        | Ok plan -> plans ((plan, nfs) :: acc) rest
+        | Error e -> Error e)
+  in
+  match plans [] assignments with
+  | Error e -> Error e
+  | Ok segments -> Ok (make ?config ?link_latency_ns ~segments engine ~output)

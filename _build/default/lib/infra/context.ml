@@ -1,0 +1,43 @@
+open Nfp_packet
+
+type t = { pid : int64; mid : int; slots : Packet.t option array }
+
+let max_versions = 16
+
+let create ~pid ~mid pkt =
+  let slots = Array.make (max_versions + 1) None in
+  Packet.set_meta pkt (Meta.make ~mid ~pid ~version:1);
+  slots.(1) <- Some pkt;
+  { pid; mid; slots }
+
+let pid t = t.pid
+
+let mid t = t.mid
+
+let get t v = if v < 1 || v > max_versions then None else t.slots.(v)
+
+let set t v pkt =
+  if v < 1 || v > max_versions then invalid_arg "Context.set: version out of range";
+  t.slots.(v) <- Some pkt
+
+let copy t ~src ~dst ~full =
+  match get t src with
+  | None -> invalid_arg "Context.copy: source version missing"
+  | Some pkt ->
+      let copy =
+        if full then begin
+          let c = Packet.full_copy pkt in
+          Packet.set_meta c (Meta.with_version (Packet.meta pkt) dst);
+          c
+        end
+        else Packet.header_only_copy pkt ~version:dst
+      in
+      set t dst copy;
+      Packet.wire_length copy
+
+let versions t =
+  let acc = ref [] in
+  for v = max_versions downto 1 do
+    match t.slots.(v) with Some p -> acc := (v, p) :: !acc | None -> ()
+  done;
+  !acc

@@ -1,0 +1,33 @@
+(** Per-packet shared-memory context.
+
+    Stands in for the huge-page shared memory region of the paper's
+    infrastructure (§5): all versions of one packet live here, and NFs,
+    runtimes and mergers pass references to this context through rings
+    rather than copying buffers. *)
+
+open Nfp_packet
+
+type t
+
+val create : pid:int64 -> mid:int -> Packet.t -> t
+(** Store the original packet as version 1 and stamp its metadata
+    (MID/PID, version 1) the way the classifier does. *)
+
+val pid : t -> int64
+
+val mid : t -> int
+(** The service graph (Match ID) this packet was classified into. *)
+
+val get : t -> int -> Packet.t option
+(** Version lookup (1-based). Out-of-range versions are [None]. *)
+
+val set : t -> int -> Packet.t -> unit
+(** @raise Invalid_argument outside [1, 16]. *)
+
+val copy : t -> src:int -> dst:int -> full:bool -> int
+(** Materialize version [dst] from [src] (header-only unless [full]),
+    tagging its metadata version; returns the number of bytes copied.
+    @raise Invalid_argument when [src] does not exist. *)
+
+val versions : t -> (int * Packet.t) list
+(** Extant versions in ascending order. *)

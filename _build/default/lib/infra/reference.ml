@@ -1,0 +1,20 @@
+let run_sequential ~nfs pkt =
+  let rec go = function
+    | [] -> Some pkt
+    | (nf : Nfp_nf.Nf.t) :: rest -> (
+        match nf.process pkt with
+        | Nfp_nf.Nf.Forward -> go rest
+        | Nfp_nf.Nf.Dropped -> None)
+  in
+  go nfs
+
+let run_plan ?(mergers = 1) ~plan ~nfs pkt =
+  let engine = Nfp_sim.Engine.create () in
+  let result = ref None in
+  let config = { System.default_config with mergers; jitter = 0.0 } in
+  let system =
+    System.make ~config ~plan ~nfs engine ~output:(fun ~pid:_ out -> result := Some out)
+  in
+  system.Nfp_sim.Harness.inject ~pid:1L pkt;
+  Nfp_sim.Engine.run engine;
+  !result

@@ -1,0 +1,391 @@
+open Nfp_packet
+open Nfp_core
+
+let log_src = Logs.Src.create "nfp.system" ~doc:"NFP dataplane"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  cost : Nfp_sim.Cost.t;
+  ring_capacity : int;
+  mergers : int;
+  jitter : float;
+  seed : int64;
+}
+
+let default_config =
+  { cost = Nfp_sim.Cost.default; ring_capacity = 128; mergers = 1; jitter = 0.05; seed = 7L }
+
+let core_count config (plan : Tables.plan) =
+  1
+  + List.length plan.Tables.nf_entries
+  + config.mergers
+  + if config.mergers > 1 then 1 else 0
+
+type delivery = {
+  ctx : Context.t;
+  merge_id : int;
+  deliverer : Tables.deliverer;
+  version : int;
+  nil : bool;
+}
+
+type at_entry = { mutable received : int; mutable nil_from : Tables.deliverer list }
+
+(* A retryable emission: a mutable worklist of sends; each call pushes
+   as many as fit downstream and reports whether everything left. *)
+let emitter sends =
+  let remaining = ref sends in
+  fun () ->
+    let rec go () =
+      match !remaining with
+      | [] -> true
+      | send :: rest ->
+          if send () then begin
+            remaining := rest;
+            go ()
+          end
+          else false
+    in
+    go ()
+
+type core_stats = {
+  core : string;
+  busy_ns : float;
+  stalled_ns : float;
+  processed : int;
+  queue : int;
+}
+
+let stats_of_server (type a) (s : a Nfp_sim.Server.t) =
+  {
+    core = Nfp_sim.Server.name s;
+    busy_ns = Nfp_sim.Server.busy_ns s;
+    stalled_ns = Nfp_sim.Server.stalled_ns s;
+    processed = Nfp_sim.Server.processed s;
+    queue = Nfp_sim.Server.queue_length s;
+  }
+
+let make_multi ?(config = default_config) ?stats ~graphs engine ~output =
+  if graphs = [] then invalid_arg "System.make_multi: no service graphs";
+  let cost = config.cost in
+  (* MIDs are 1-based positions in the classification table. *)
+  let table = Array.of_list graphs in
+  let plan_of_mid mid : Tables.plan =
+    let _, p, _ = table.(mid - 1) in
+    p
+  in
+  (* Resolve every plan's NF implementations up front. *)
+  let nf_impls =
+    List.concat
+      (List.mapi
+         (fun i (_, (plan : Tables.plan), nfs) ->
+           List.map
+             (fun (e : Tables.nf_entry) ->
+               match nfs e.nf with
+               | nf -> (i + 1, e, nf)
+               | exception _ ->
+                   invalid_arg (Printf.sprintf "System.make: no NF named %S" e.nf))
+             plan.nf_entries)
+         graphs)
+  in
+  let ring_drops = ref 0 and nf_drops = ref 0 in
+  let nf_cores : (int * string, Context.t Nfp_sim.Server.t) Hashtbl.t = Hashtbl.create 16 in
+  let merger_cores : delivery Nfp_sim.Server.t array ref = ref [||] in
+  let agent_core : delivery Nfp_sim.Server.t option ref = ref None in
+  let prng = Nfp_algo.Prng.create ~seed:config.seed in
+  let jitter_for () = (config.jitter, Nfp_algo.Prng.split prng) in
+  let packet_bytes ctx version =
+    match Context.get ctx version with Some p -> Packet.wire_length p | None -> 1500
+  in
+  let action_cost ctx actions =
+    List.fold_left
+      (fun acc -> function
+        | Tables.Copy { full; src_version; _ } ->
+            if full then
+              acc + cost.copy_base
+              + int_of_float (cost.copy_per_byte *. float_of_int (packet_bytes ctx src_version))
+            else acc + cost.header_copy
+        | Tables.Distribute { targets; _ } ->
+            acc + (cost.ring_enqueue * List.length targets))
+      0 actions
+  in
+  let wire_delay = cost.wire_ns /. 2.0 in
+  let deliver_out ~pid pkt =
+    Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () -> output ~pid pkt)
+  in
+  let merger_slot ctx =
+    Int64.to_int
+      (Int64.rem
+         (Int64.logand (Nfp_algo.Hashing.mix64 (Context.pid ctx)) Int64.max_int)
+         (Int64.of_int (max 1 (Array.length !merger_cores))))
+  in
+  (* A single send attempt; [false] = downstream full, retry later. *)
+  let send_to_merge (d : delivery) () =
+    match !agent_core with
+    | Some agent -> Nfp_sim.Server.offer agent d
+    | None -> Nfp_sim.Server.offer !merger_cores.(merger_slot d.ctx) d
+  in
+  let send_to_nf name ctx () =
+    match Hashtbl.find_opt nf_cores (Context.mid ctx, name) with
+    | Some core -> Nfp_sim.Server.offer core ctx
+    | None -> invalid_arg (Printf.sprintf "System: FT references unknown NF %S" name)
+  in
+  (* Execute an action list: copies happen now; distributes become a
+     retryable emission worklist. *)
+  let emission_of_actions ~self ctx actions =
+    let sends =
+      List.concat_map
+        (function
+          | Tables.Copy { src_version; dst_version; full } ->
+              ignore (Context.copy ctx ~src:src_version ~dst:dst_version ~full);
+              []
+          | Tables.Distribute { version; targets } ->
+              List.map
+                (fun target () ->
+                  match target with
+                  | Tables.To_nf n -> send_to_nf n ctx ()
+                  | Tables.To_merger id ->
+                      send_to_merge
+                        { ctx; merge_id = id; deliverer = self; version; nil = false }
+                        ()
+                  | Tables.Deliver ->
+                      (match Context.get ctx version with
+                      | Some pkt -> deliver_out ~pid:(Context.pid ctx) pkt
+                      | None -> ());
+                      true)
+                targets)
+        actions
+    in
+    emitter sends
+  in
+  (* One core per NF: the NF plus its runtime (paper §6: the runtime
+     shares the CPU core with the NF). *)
+  List.iter
+    (fun (mid, (entry : Tables.nf_entry), (nf : Nfp_nf.Nf.t)) ->
+      let service_ns ctx =
+        let nf_cycles =
+          match Context.get ctx entry.version with
+          | Some pkt -> nf.cost_cycles pkt
+          | None -> 0
+        in
+        Nfp_sim.Cost.ns_of_cycles cost
+          (cost.ring_dequeue + cost.nf_runtime + nf_cycles + action_cost ctx entry.actions)
+      in
+      let execute ctx =
+        match Context.get ctx entry.version with
+        | None -> fun () -> true
+        | Some pkt -> (
+            (* A crashing NF must not take the dataplane down: the
+               packet is treated as dropped (with a nil where a merger
+               expects this branch) and the fault is logged. *)
+            let verdict =
+              try nf.process pkt
+              with exn ->
+                Log.warn (fun m ->
+                    m "NF %s crashed on packet %Ld: %s" entry.nf (Context.pid ctx)
+                      (Printexc.to_string exn));
+                Nfp_nf.Nf.Dropped
+            in
+            match verdict with
+            | Nfp_nf.Nf.Forward ->
+                emission_of_actions ~self:(Tables.D_nf entry.nf) ctx entry.actions
+            | Nfp_nf.Nf.Dropped -> (
+                match entry.nil_target with
+                | Some id ->
+                    emitter
+                      [
+                        send_to_merge
+                          {
+                            ctx;
+                            merge_id = id;
+                            deliverer = Tables.D_nf entry.nf;
+                            version = entry.version;
+                            nil = true;
+                          };
+                      ]
+                | None ->
+                    incr nf_drops;
+                    fun () -> true))
+      in
+      let core =
+        Nfp_sim.Server.create ~engine
+          ~name:(Printf.sprintf "mid%d:%s" mid entry.nf)
+          ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+          ~service_ns ~execute ()
+      in
+      Hashtbl.replace nf_cores (mid, entry.nf) core)
+    nf_impls;
+  (* Merger instances: shared across service graphs (paper §5.3: "a
+     merger instance can merge any packet from any service graph"),
+     each with a private accumulating table keyed by MID and PID. *)
+  let make_merger index =
+    let at : (int * int * int64, at_entry) Hashtbl.t = Hashtbl.create 1024 in
+    let spec_of mid id =
+      match Tables.find_merge (plan_of_mid mid) id with
+      | Some s -> s
+      | None -> invalid_arg "System: delivery references unknown merge point"
+    in
+    let branch_of spec (deliverer : Tables.deliverer) =
+      List.find_opt
+        (fun (e : Tables.expect) ->
+          e.deliverer = deliverer
+          || match deliverer with Tables.D_nf n -> List.mem n e.members | _ -> false)
+        spec.Tables.expected
+    in
+    let service_ns (d : delivery) =
+      let spec = spec_of (Context.mid d.ctx) d.merge_id in
+      let branches = List.length spec.expected in
+      let completion =
+        (List.length spec.ops * cost.merge_op) + action_cost d.ctx spec.next
+      in
+      Nfp_sim.Cost.ns_of_cycles cost
+        (cost.ring_dequeue + cost.merge_delivery + (completion / max 1 branches))
+    in
+    let execute (d : delivery) =
+      let mid = Context.mid d.ctx in
+      let spec = spec_of mid d.merge_id in
+      let key = (mid, d.merge_id, Context.pid d.ctx) in
+      let entry =
+        match Hashtbl.find_opt at key with
+        | Some e -> e
+        | None ->
+            let e = { received = 0; nil_from = [] } in
+            Hashtbl.replace at key e;
+            e
+      in
+      entry.received <- entry.received + 1;
+      if d.nil then entry.nil_from <- d.deliverer :: entry.nil_from;
+      if entry.received < List.length spec.expected then fun () -> true
+      else begin
+        Hashtbl.remove at key;
+        let nil_branches =
+          List.filter_map (fun del -> branch_of spec del) entry.nil_from
+        in
+        let dropped =
+          match spec.drop_policy with
+          | `Any -> nil_branches <> []
+          | `Priority_to winner -> (
+              match branch_of spec winner with
+              | Some wb -> List.exists (fun (b : Tables.expect) -> b = wb) nil_branches
+              | None -> nil_branches <> [])
+        in
+        if dropped then begin
+          (* Propagate a nil upward when an enclosing merger expects this
+             branch; otherwise the packet dies here. *)
+          let nil_sends =
+            List.concat_map
+              (function
+                | Tables.Distribute { version; targets } ->
+                    List.filter_map
+                      (function
+                        | Tables.To_merger outer ->
+                            Some
+                              (send_to_merge
+                                 {
+                                   ctx = d.ctx;
+                                   merge_id = outer;
+                                   deliverer = Tables.D_merger d.merge_id;
+                                   version;
+                                   nil = true;
+                                 })
+                        | Tables.To_nf _ | Tables.Deliver -> None)
+                      targets
+                | Tables.Copy _ -> [])
+              spec.next
+          in
+          if nil_sends = [] then incr nf_drops;
+          emitter nil_sends
+        end
+        else begin
+          (* Versions from branches that dropped under a priority policy
+             are half-processed; their ops are skipped. *)
+          let nil_versions =
+            List.map (fun (b : Tables.expect) -> b.version) nil_branches
+          in
+          let get v =
+            if List.mem v nil_versions && v <> spec.result_version then None
+            else Context.get d.ctx v
+          in
+          List.iter (fun op -> Merge_op.apply op ~get) spec.ops;
+          emission_of_actions ~self:(Tables.D_merger d.merge_id) d.ctx spec.next
+        end
+      end
+    in
+    Nfp_sim.Server.create ~engine
+      ~name:(Printf.sprintf "merger#%d" index)
+      ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+      ~service_ns ~execute ()
+  in
+  merger_cores := Array.init (max 1 config.mergers) make_merger;
+  (* The merger agent: hash the immutable PID, steer to an instance. *)
+  if config.mergers > 1 then begin
+    let instances = !merger_cores in
+    let service_ns _ =
+      Nfp_sim.Cost.ns_of_cycles cost
+        (cost.ring_dequeue + cost.merger_agent + cost.ring_enqueue)
+    in
+    let execute (d : delivery) =
+      let i =
+        Int64.to_int
+          (Int64.rem
+             (Int64.logand (Nfp_algo.Hashing.mix64 (Context.pid d.ctx)) Int64.max_int)
+             (Int64.of_int (Array.length instances)))
+      in
+      emitter [ (fun () -> Nfp_sim.Server.offer instances.(i) d) ]
+    in
+    agent_core :=
+      Some
+        (Nfp_sim.Server.create ~engine ~name:"merger-agent"
+           ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+           ~service_ns ~execute ())
+  end;
+  (* Classifier core: CT match, metadata tagging, first-hop actions.
+     Unmatched packets are discarded (no service graph owns them). *)
+  let classify pkt =
+    let flow = Packet.flow pkt in
+    let rec go i =
+      if i >= Array.length table then None
+      else
+        let m, _, _ = table.(i) in
+        if Flow_match.matches m flow then Some (i + 1) else go (i + 1)
+    in
+    go 0
+  in
+  let classifier =
+    let service_ns (ctx : Context.t) =
+      let actions = (plan_of_mid (Context.mid ctx)).classifier_actions in
+      Nfp_sim.Cost.ns_of_cycles cost (cost.classifier + action_cost ctx actions)
+    in
+    let execute ctx =
+      emission_of_actions ~self:(Tables.D_nf "classifier") ctx
+        (plan_of_mid (Context.mid ctx)).classifier_actions
+    in
+    Nfp_sim.Server.create ~engine ~name:"classifier" ~ring_capacity:config.ring_capacity
+      ~batch:cost.batch ~jitter:(jitter_for ()) ~service_ns ~execute ()
+  in
+  (match stats with
+  | None -> ()
+  | Some cell ->
+      cell :=
+        fun () ->
+          stats_of_server classifier
+          :: (Hashtbl.fold (fun _ core acc -> stats_of_server core :: acc) nf_cores []
+             |> List.sort (fun a b -> compare a.core b.core))
+          @ Array.to_list (Array.map stats_of_server !merger_cores)
+          @ (match !agent_core with Some a -> [ stats_of_server a ] | None -> []));
+  {
+    Nfp_sim.Harness.inject =
+      (fun ~pid pkt ->
+        Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () ->
+            match classify pkt with
+            | None -> incr nf_drops
+            | Some mid ->
+                let ctx = Context.create ~pid ~mid pkt in
+                if not (Nfp_sim.Server.offer classifier ctx) then incr ring_drops));
+    ring_drops = (fun () -> !ring_drops);
+    nf_drops = (fun () -> !nf_drops);
+  }
+
+let make ?config ?stats ~plan ~nfs engine ~output =
+  make_multi ?config ?stats ~graphs:[ (Flow_match.any, plan, nfs) ] engine ~output

@@ -1,0 +1,60 @@
+(** The NFP dataplane (paper §5) on the simulator.
+
+    Deploys a compiled plan: one core for the classifier, one per NF
+    (the NF plus its runtime share the core, as in the paper), and one
+    per merger instance — plus a merger-agent core when more than one
+    merger instance is configured (§5.3). Packet references flow
+    through bounded rings; copies, merge operations and nil packets
+    follow the plan's tables. *)
+
+open Nfp_packet
+
+type config = {
+  cost : Nfp_sim.Cost.t;
+  ring_capacity : int;
+  mergers : int;  (** merger instances; > 1 adds the agent core *)
+  jitter : float;  (** ± fractional service jitter per core *)
+  seed : int64;
+}
+
+val default_config : config
+
+val core_count : config -> Nfp_core.Tables.plan -> int
+(** Cores the deployment uses: classifier + NFs + mergers (+ agent). *)
+
+type core_stats = {
+  core : string;  (** classifier, mid<k>:<nf>, merger#<i>, merger-agent *)
+  busy_ns : float;
+  stalled_ns : float;  (** time blocked on downstream backpressure *)
+  processed : int;
+  queue : int;  (** ring occupancy when sampled *)
+}
+
+val make :
+  ?config:config ->
+  ?stats:(unit -> core_stats list) ref ->
+  plan:Nfp_core.Tables.plan ->
+  nfs:(string -> Nfp_nf.Nf.t) ->
+  Nfp_sim.Engine.t ->
+  output:(pid:int64 -> Packet.t -> unit) ->
+  Nfp_sim.Harness.system
+(** A fresh single-graph deployment as a {!Nfp_sim.Harness.system};
+    [nfs] maps plan instance names to NF implementations.
+    @raise Invalid_argument when an NF name has no implementation. *)
+
+val make_multi :
+  ?config:config ->
+  ?stats:(unit -> core_stats list) ref ->
+  graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
+  Nfp_sim.Engine.t ->
+  output:(pid:int64 -> Packet.t -> unit) ->
+  Nfp_sim.Harness.system
+(** A deployment hosting several service graphs behind one classifier —
+    the paper's Classification Table (Fig. 4): each entry's flow match
+    steers packets into its graph (MID = 1-based table position, first
+    match wins). NF cores are per graph; merger instances are shared
+    ("a merger instance can merge any packet from any service graph",
+    §5.3). Unmatched packets are discarded and counted as NF drops.
+    When a [stats] ref is supplied it is filled with a sampler of
+    per-core utilization counters.
+    @raise Invalid_argument on an empty table or a missing NF. *)

@@ -1,0 +1,1 @@
+lib/inspector/inspector.ml: Action Array Bytes Char Field Flow Format Int32 Int64 List Nf Nfp_algo Nfp_nf Nfp_packet Packet Registry String

@@ -1,0 +1,1 @@
+lib/inspector/inspector.mli: Action Format Nf Nfp_nf

@@ -1,0 +1,1 @@
+lib/nf/action.ml: Field Format List Nfp_packet Stdlib

@@ -1,0 +1,1 @@
+lib/nf/action.mli: Field Format Nfp_packet

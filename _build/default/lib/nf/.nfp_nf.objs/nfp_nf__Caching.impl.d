@@ -1,0 +1,1 @@
+lib/nf/caching.ml: Action Field Hashtbl Int32 Nf Nfp_algo Nfp_packet Packet Queue

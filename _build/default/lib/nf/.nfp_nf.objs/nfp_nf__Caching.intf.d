@@ -1,0 +1,1 @@
+lib/nf/caching.mli: Nf

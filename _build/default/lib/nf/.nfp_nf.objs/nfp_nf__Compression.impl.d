@@ -1,0 +1,1 @@
+lib/nf/compression.ml: Action Field Nf Nfp_algo Nfp_packet Packet String

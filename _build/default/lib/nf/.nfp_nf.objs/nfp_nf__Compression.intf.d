@@ -1,0 +1,1 @@
+lib/nf/compression.mli: Nf

@@ -1,0 +1,1 @@
+lib/nf/firewall.ml: Action Field Int32 List Nf Nfp_algo Nfp_packet Packet

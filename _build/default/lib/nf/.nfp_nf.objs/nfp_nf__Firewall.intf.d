@@ -1,0 +1,1 @@
+lib/nf/firewall.mli: Nf Nfp_packet Packet

@@ -1,0 +1,1 @@
+lib/nf/gateway.mli: Nf

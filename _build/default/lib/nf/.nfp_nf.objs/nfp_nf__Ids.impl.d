@@ -1,0 +1,1 @@
+lib/nf/ids.ml: Action Char Field List Nf Nfp_algo Nfp_packet Packet String

@@ -1,0 +1,1 @@
+lib/nf/ids.mli: Nf

@@ -1,0 +1,1 @@
+lib/nf/l3_forwarder.ml: Action Field Int32 Nf Nfp_algo Nfp_packet Packet

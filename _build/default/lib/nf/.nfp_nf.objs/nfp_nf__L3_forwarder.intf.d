@@ -1,0 +1,1 @@
+lib/nf/l3_forwarder.mli: Nf

@@ -1,0 +1,1 @@
+lib/nf/load_balancer.ml: Action Array Field Flow Int32 Nf Nfp_algo Nfp_packet Packet

@@ -1,0 +1,1 @@
+lib/nf/load_balancer.mli: Nf

@@ -1,0 +1,1 @@
+lib/nf/monitor.ml: Action Field Flow Hashtbl Nf Nfp_algo Nfp_packet Packet

@@ -1,0 +1,1 @@
+lib/nf/monitor.mli: Nf Nfp_packet

@@ -1,0 +1,1 @@
+lib/nf/nat.ml: Action Field Flow Hashtbl Int32 Nf Nfp_algo Nfp_packet Packet

@@ -1,0 +1,1 @@
+lib/nf/nat.mli: Nf

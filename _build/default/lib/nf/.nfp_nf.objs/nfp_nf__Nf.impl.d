@@ -1,0 +1,1 @@
+lib/nf/nf.ml: Action Format Nfp_packet Packet

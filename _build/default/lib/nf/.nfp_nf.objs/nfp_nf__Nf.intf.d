@@ -1,0 +1,1 @@
+lib/nf/nf.mli: Action Format Nfp_packet Packet

@@ -1,0 +1,1 @@
+lib/nf/proxy.ml: Action Field Int32 Nf Nfp_packet Packet

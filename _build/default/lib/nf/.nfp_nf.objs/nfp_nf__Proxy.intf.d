@@ -1,0 +1,1 @@
+lib/nf/proxy.mli: Nf

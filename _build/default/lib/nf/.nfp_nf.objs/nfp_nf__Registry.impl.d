@@ -1,0 +1,1 @@
+lib/nf/registry.ml: Action Caching Compression Field Firewall Gateway Hashtbl Ids L3_forwarder List Load_balancer Monitor Nat Nfp_packet Proxy String Traffic_shaper Vpn

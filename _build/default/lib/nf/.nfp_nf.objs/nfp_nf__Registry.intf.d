@@ -1,0 +1,1 @@
+lib/nf/registry.mli: Action Nf

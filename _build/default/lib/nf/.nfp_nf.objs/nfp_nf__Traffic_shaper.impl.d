@@ -1,0 +1,1 @@
+lib/nf/traffic_shaper.ml: Action Field Nf Nfp_algo Nfp_packet Packet

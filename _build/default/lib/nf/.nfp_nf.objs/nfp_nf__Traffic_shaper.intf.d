@@ -1,0 +1,1 @@
+lib/nf/traffic_shaper.mli: Nf

@@ -1,0 +1,1 @@
+lib/nf/vpn.ml: Action Bytes Field Int32 Int64 Nf Nfp_algo Nfp_packet Packet String

@@ -1,0 +1,1 @@
+lib/nf/vpn.mli: Nf Nfp_packet

@@ -1,0 +1,38 @@
+open Nfp_packet
+
+type stats = { hits : unit -> int; misses : unit -> int; entries : unit -> int }
+
+let profile = Action.[ Read Field.Sip; Read Field.Dip; Read Field.Payload ]
+
+let create ?(name = "cache") ?(capacity = 4096) () =
+  let table : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let order = Queue.create () in
+  let hits = ref 0 and misses = ref 0 in
+  let process pkt =
+    let key =
+      Nfp_algo.Hashing.combine
+        (Int32.to_int (Packet.dip pkt))
+        (Nfp_algo.Hashing.fnv1a32 (Packet.payload pkt))
+    in
+    if Hashtbl.mem table key then incr hits
+    else begin
+      incr misses;
+      Hashtbl.add table key ();
+      Queue.add key order;
+      if Hashtbl.length table > capacity then
+        match Queue.take_opt order with
+        | Some old -> Hashtbl.remove table old
+        | None -> ()
+    end;
+    Nf.Forward
+  in
+  ( Nf.make ~name ~kind:"Caching" ~profile
+      ~cost_cycles:(fun _ -> 260)
+      ~state_digest:(fun () ->
+        Nfp_algo.Hashing.combine !hits (Nfp_algo.Hashing.combine !misses (Hashtbl.length table)))
+      process,
+    {
+      hits = (fun () -> !hits);
+      misses = (fun () -> !misses);
+      entries = (fun () -> Hashtbl.length table);
+    } )

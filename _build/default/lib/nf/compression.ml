@@ -1,0 +1,33 @@
+open Nfp_packet
+
+type stats = {
+  compressed : unit -> int;
+  skipped : unit -> int;
+  bytes_saved : unit -> int;
+}
+
+let profile = Action.[ Read Field.Payload; Write Field.Payload; Write Field.Len ]
+
+let create ?(name = "comp") () =
+  let compressed = ref 0 and skipped = ref 0 and saved = ref 0 in
+  let process pkt =
+    let payload = Packet.payload pkt in
+    let packed = Nfp_algo.Lz77.compress payload in
+    if String.length packed < String.length payload then begin
+      Packet.set_payload pkt packed;
+      incr compressed;
+      saved := !saved + String.length payload - String.length packed
+    end
+    else incr skipped;
+    Nf.Forward
+  in
+  let cost_cycles pkt = 1200 + (8 * String.length (Packet.payload pkt)) in
+  ( Nf.make ~name ~kind:"Compression" ~profile ~cost_cycles
+      ~state_digest:(fun () ->
+        Nfp_algo.Hashing.combine !compressed (Nfp_algo.Hashing.combine !skipped !saved))
+      process,
+    {
+      compressed = (fun () -> !compressed);
+      skipped = (fun () -> !skipped);
+      bytes_saved = (fun () -> !saved);
+    } )

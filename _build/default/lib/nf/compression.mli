@@ -1,0 +1,13 @@
+(** Payload compression (paper Table 2: Cisco IOS compression — R/W on
+    payload).
+
+    LZ77-compresses the payload in place. Payloads that do not shrink
+    are left unchanged (flagged in the stats), as WAN optimizers do. *)
+
+type stats = {
+  compressed : unit -> int;
+  skipped : unit -> int;
+  bytes_saved : unit -> int;
+}
+
+val create : ?name:string -> unit -> Nf.t * stats

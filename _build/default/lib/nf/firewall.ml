@@ -1,0 +1,74 @@
+open Nfp_packet
+
+type rule = {
+  sip_prefix : int32 * int;
+  dip_prefix : int32 * int;
+  sport_range : int * int;
+  dport_range : int * int;
+  proto : int option;
+  permit : bool;
+}
+
+let any_rule ~permit =
+  {
+    sip_prefix = (0l, 0);
+    dip_prefix = (0l, 0);
+    sport_range = (0, 0xffff);
+    dport_range = (0, 0xffff);
+    proto = None;
+    permit;
+  }
+
+let prefix_matches (prefix, len) addr =
+  len = 0
+  ||
+  let mask = Int32.shift_left (-1l) (32 - len) in
+  Int32.equal (Int32.logand addr mask) (Int32.logand prefix mask)
+
+let in_range (lo, hi) v = v >= lo && v <= hi
+
+let matches rule pkt =
+  prefix_matches rule.sip_prefix (Packet.sip pkt)
+  && prefix_matches rule.dip_prefix (Packet.dip pkt)
+  && in_range rule.sport_range (Packet.sport pkt)
+  && in_range rule.dport_range (Packet.dport pkt)
+  && match rule.proto with None -> true | Some p -> p = Packet.proto pkt
+
+let default_acl n =
+  (* Deny a spread of /24s and port bands; deterministic so tests and
+     benches see identical behaviour. *)
+  List.init n (fun i ->
+      let octet2 = (i * 7) mod 250 in
+      let octet3 = (i * 13) mod 250 in
+      {
+        sip_prefix = (Int32.of_int ((10 lsl 24) lor (octet2 lsl 16) lor (octet3 lsl 8)), 24);
+        dip_prefix = (0l, 0);
+        sport_range = (0, 0xffff);
+        dport_range = ((i * 101) mod 60000, ((i * 101) mod 60000) + 50);
+        proto = None;
+        permit = false;
+      })
+
+type stats = { passed : unit -> int; dropped : unit -> int }
+
+let profile =
+  Action.
+    [ Read Field.Sip; Read Field.Dip; Read Field.Sport; Read Field.Dport; Drop ]
+
+let create ?(name = "fw") ?(extra_cycles = 0) ?acl () =
+  let acl = match acl with Some a -> a | None -> default_acl 100 in
+  let passed = ref 0 and dropped = ref 0 in
+  let process pkt =
+    let verdict =
+      match List.find_opt (fun r -> matches r pkt) acl with
+      | Some r when not r.permit -> Nf.Dropped
+      | Some _ | None -> Nf.Forward
+    in
+    (match verdict with Nf.Forward -> incr passed | Nf.Dropped -> incr dropped);
+    verdict
+  in
+  let cost_cycles _ = 190 + extra_cycles in
+  ( Nf.make ~name ~kind:"Firewall" ~profile ~cost_cycles
+      ~state_digest:(fun () -> Nfp_algo.Hashing.combine !passed !dropped)
+      process,
+    { passed = (fun () -> !passed); dropped = (fun () -> !dropped) } )

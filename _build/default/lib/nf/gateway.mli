@@ -1,0 +1,9 @@
+(** Conference/voice/media gateway (paper Table 2: Cisco MGX — reads SIP
+    and DIP only).
+
+    Classifies packets into media sessions by address pair and counts
+    them; read-only, like the paper's gateway row. *)
+
+type stats = { sessions : unit -> int; packets : unit -> int }
+
+val create : ?name:string -> unit -> Nf.t * stats

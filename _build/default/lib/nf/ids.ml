@@ -1,0 +1,41 @@
+open Nfp_packet
+
+type mode = [ `Detect | `Prevent ]
+
+type stats = { alerts : unit -> int; scanned : unit -> int }
+
+let default_signatures n =
+  List.init n (fun i ->
+      (* Snort-style payload tokens; deterministic, length 6-14. *)
+      let len = 6 + (i mod 9) in
+      String.init len (fun j -> Char.chr (97 + ((i * 31) + (j * 7)) mod 26)))
+
+let base_profile =
+  Action.
+    [
+      Read Field.Sip;
+      Read Field.Dip;
+      Read Field.Sport;
+      Read Field.Dport;
+      Read Field.Payload;
+    ]
+
+let create ?(name = "ids") ?(mode = `Detect) ?signatures () =
+  let signatures = match signatures with Some s -> s | None -> default_signatures 100 in
+  let automaton = Nfp_algo.Aho_corasick.build signatures in
+  let alerts = ref 0 and scanned = ref 0 in
+  let process pkt =
+    incr scanned;
+    if Nfp_algo.Aho_corasick.matches automaton (Packet.payload pkt) then begin
+      incr alerts;
+      match mode with `Detect -> Nf.Forward | `Prevent -> Nf.Dropped
+    end
+    else Nf.Forward
+  in
+  let profile = match mode with `Detect -> base_profile | `Prevent -> Action.Drop :: base_profile in
+  let cost_cycles pkt = 2400 + (5 * String.length (Packet.payload pkt)) in
+  ( Nf.make ~name ~kind:(match mode with `Detect -> "IDS" | `Prevent -> "IPS") ~profile
+      ~cost_cycles
+      ~state_digest:(fun () -> Nfp_algo.Hashing.combine !alerts !scanned)
+      process,
+    { alerts = (fun () -> !alerts); scanned = (fun () -> !scanned) } )

@@ -1,0 +1,45 @@
+open Nfp_packet
+
+type stats = {
+  forwarded : unit -> int;
+  no_route : unit -> int;
+  last_next_hop : unit -> int option;
+}
+
+let build_table n =
+  let table : int Nfp_algo.Lpm.t = Nfp_algo.Lpm.create () in
+  for i = 0 to n - 1 do
+    (* Prefixes spread over 10.0.0.0/8 with lengths 16..28. *)
+    let len = 16 + (i mod 13) in
+    let prefix =
+      Int32.of_int ((10 lsl 24) lor ((i * 2654435761) land 0x00ffff00))
+    in
+    Nfp_algo.Lpm.add table ~prefix ~len (i mod 16)
+  done;
+  table
+
+let create ?(name = "fwd") ?(routes = 1000) () =
+  let table = build_table routes in
+  let forwarded = ref 0 and no_route = ref 0 in
+  let last : int option ref = ref None in
+  let process pkt =
+    (match Nfp_algo.Lpm.lookup table (Packet.dip pkt) with
+    | Some hop -> last := Some hop
+    | None ->
+        incr no_route;
+        last := Some 0);
+    incr forwarded;
+    Nf.Forward
+  in
+  ( Nf.make ~name ~kind:"Forwarder"
+      ~profile:[ Action.Read Field.Dip ]
+      ~cost_cycles:(fun _ -> 110)
+      ~state_digest:(fun () ->
+        Nfp_algo.Hashing.combine !forwarded
+          (Nfp_algo.Hashing.combine !no_route (match !last with Some h -> h + 1 | None -> 0)))
+      process,
+    {
+      forwarded = (fun () -> !forwarded);
+      no_route = (fun () -> !no_route);
+      last_next_hop = (fun () -> !last);
+    } )

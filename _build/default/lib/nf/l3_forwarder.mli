@@ -1,0 +1,15 @@
+(** L3 forwarder (paper §6.1: "obtains the matching entry from a longest
+    prefix matching table with 1000 entries to find out the next hop").
+
+    Profile: reads DIP only — the cheapest NF in the evaluation. *)
+
+type stats = {
+  forwarded : unit -> int;
+  no_route : unit -> int;
+  last_next_hop : unit -> int option;
+}
+
+val create : ?name:string -> ?routes:int -> unit -> Nf.t * stats
+(** [routes] (default 1000) synthetic prefixes are installed
+    deterministically. Packets with no matching route still forward on
+    a default next hop, mirroring the paper's always-forwarding NF. *)

@@ -1,0 +1,36 @@
+open Nfp_packet
+
+type stats = { per_backend : unit -> int array }
+
+let default_backends =
+  Array.init 8 (fun i -> Int32.of_int ((172 lsl 24) lor (16 lsl 16) lor (i + 1)))
+
+let default_vip = Int32.of_int ((192 lsl 24) lor (168 lsl 16) lor 1)
+
+let profile =
+  Action.
+    [
+      Read Field.Sip;
+      Write Field.Sip;
+      Read Field.Dip;
+      Write Field.Dip;
+      Read Field.Sport;
+      Read Field.Dport;
+    ]
+
+let create ?(name = "lb") ?(vip = default_vip) ?(backends = default_backends) () =
+  if Array.length backends = 0 then invalid_arg "Load_balancer.create: no backends";
+  let counts = Array.make (Array.length backends) 0 in
+  let process pkt =
+    let h = Flow.hash (Packet.flow pkt) in
+    let i = h mod Array.length backends in
+    counts.(i) <- counts.(i) + 1;
+    Packet.set_dip pkt backends.(i);
+    Packet.set_sip pkt vip;
+    Nf.Forward
+  in
+  ( Nf.make ~name ~kind:"LoadBalancer" ~profile
+      ~cost_cycles:(fun _ -> 200)
+      ~state_digest:(fun () -> Array.fold_left Nfp_algo.Hashing.combine 17 counts)
+      process,
+    { per_backend = (fun () -> Array.copy counts) } )

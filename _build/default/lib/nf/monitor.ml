@@ -1,0 +1,39 @@
+open Nfp_packet
+
+type counter = { packets : int; bytes : int }
+
+type stats = {
+  flows : unit -> int;
+  lookup : Flow.t -> counter option;
+  total_packets : unit -> int;
+}
+
+let profile =
+  Action.
+    [ Read Field.Sip; Read Field.Dip; Read Field.Sport; Read Field.Dport; Read Field.Len ]
+
+let create ?(name = "mon") () =
+  let table : (Flow.t, counter) Hashtbl.t = Hashtbl.create 1024 in
+  let total = ref 0 in
+  let process pkt =
+    let flow = Packet.flow pkt in
+    let prev = match Hashtbl.find_opt table flow with Some c -> c | None -> { packets = 0; bytes = 0 } in
+    Hashtbl.replace table flow
+      { packets = prev.packets + 1; bytes = prev.bytes + Packet.wire_length pkt };
+    incr total;
+    Nf.Forward
+  in
+  let state_digest () =
+    Hashtbl.fold
+      (fun flow c acc ->
+        Nfp_algo.Hashing.combine acc
+          (Nfp_algo.Hashing.combine (Flow.hash flow)
+             (Nfp_algo.Hashing.combine c.packets c.bytes)))
+      table 17
+  in
+  ( Nf.make ~name ~kind:"Monitor" ~profile ~cost_cycles:(fun _ -> 220) ~state_digest process,
+    {
+      flows = (fun () -> Hashtbl.length table);
+      lookup = (fun f -> Hashtbl.find_opt table f);
+      total_packets = (fun () -> !total);
+    } )

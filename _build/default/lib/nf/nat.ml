@@ -1,0 +1,58 @@
+open Nfp_packet
+
+type stats = { active_bindings : unit -> int; exhausted : unit -> int }
+
+let profile =
+  Action.
+    [
+      Read Field.Sip;
+      Write Field.Sip;
+      Read Field.Dip;
+      Write Field.Dip;
+      Read Field.Sport;
+      Write Field.Sport;
+      Read Field.Dport;
+      Write Field.Dport;
+      Drop;
+    ]
+
+let default_public = Int32.of_int ((203 lsl 24) lor (113 lsl 8) lor 7)
+
+let create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000)
+    ?(port_count = 10000) () =
+  let bindings : (Flow.t, int) Hashtbl.t = Hashtbl.create 1024 in
+  let next_port = ref 0 in
+  let exhausted = ref 0 in
+  let process pkt =
+    let flow = Packet.flow pkt in
+    let port =
+      match Hashtbl.find_opt bindings flow with
+      | Some p -> Some p
+      | None ->
+          if !next_port >= port_count then None
+          else begin
+            let p = port_base + !next_port in
+            incr next_port;
+            Hashtbl.add bindings flow p;
+            Some p
+          end
+    in
+    match port with
+    | None ->
+        incr exhausted;
+        Nf.Dropped
+    | Some p ->
+        Packet.set_sip pkt public_ip;
+        Packet.set_sport pkt p;
+        Nf.Forward
+  in
+  let state_digest () =
+    Hashtbl.fold
+      (fun flow port acc ->
+        Nfp_algo.Hashing.combine acc (Nfp_algo.Hashing.combine (Flow.hash flow) port))
+      bindings
+      (Nfp_algo.Hashing.combine !next_port !exhausted)
+  in
+  ( Nf.make ~name ~kind:"NAT" ~profile ~cost_cycles:(fun _ -> 240) ~state_digest process,
+    { active_bindings = (fun () -> Hashtbl.length bindings); exhausted = (fun () -> !exhausted) }
+  )

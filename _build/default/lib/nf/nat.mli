@@ -1,0 +1,13 @@
+(** Source NAT (paper Table 2: iptables NAT, R/W on all 5-tuple
+    fields).
+
+    Outbound packets get their source rewritten to the public address
+    and a port allocated from a pool; the translation table is kept so
+    the same flow keeps its binding and return traffic can be reversed
+    with {!translate_back}. *)
+
+type stats = { active_bindings : unit -> int; exhausted : unit -> int }
+
+val create :
+  ?name:string -> ?public_ip:int32 -> ?port_base:int -> ?port_count:int -> unit -> Nf.t * stats
+(** Packets are dropped when the port pool is exhausted. *)

@@ -1,0 +1,19 @@
+open Nfp_packet
+
+type verdict = Forward | Dropped
+
+type t = {
+  name : string;
+  kind : string;
+  profile : Action.t list;
+  cost_cycles : Packet.t -> int;
+  process : Packet.t -> verdict;
+  state_digest : unit -> int;
+}
+
+let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) process =
+  { name; kind; profile = Action.normalize profile; cost_cycles; process; state_digest }
+
+let rename t name = { t with name }
+
+let pp fmt t = Format.fprintf fmt "%s:%s %a" t.name t.kind Action.pp_profile t.profile

@@ -1,0 +1,41 @@
+(** The network-function abstraction.
+
+    An NF is a named packet processor with a declared action profile and
+    a cycle-cost model. Instances carry their own internal state
+    (counters, tables, crypto contexts); construct one instance per
+    deployed NF. The simulator charges [cost_cycles] per packet; the
+    semantics come from [process]. *)
+
+open Nfp_packet
+
+type verdict =
+  | Forward  (** packet (possibly modified in place) continues *)
+  | Dropped  (** NF decided to drop; the runtime emits a nil packet *)
+
+type t = {
+  name : string;  (** instance name, unique within a deployment *)
+  kind : string;  (** NF type, e.g. "Firewall" — keys into the registry *)
+  profile : Action.t list;  (** declared action profile (paper Table 2) *)
+  cost_cycles : Packet.t -> int;
+      (** per-packet processing cost charged by the simulator *)
+  process : Packet.t -> verdict;  (** the packet-processing semantics *)
+  state_digest : unit -> int;
+      (** hash of internal state; the action inspector uses it to detect
+          reads that have no packet-visible effect (e.g. counters) *)
+}
+
+val make :
+  name:string ->
+  kind:string ->
+  profile:Action.t list ->
+  cost_cycles:(Packet.t -> int) ->
+  ?state_digest:(unit -> int) ->
+  (Packet.t -> verdict) ->
+  t
+(** Profile is normalized. [state_digest] defaults to a constant. *)
+
+val rename : t -> string -> t
+(** Same NF type/state sharing the underlying closures under a new
+    instance name (used to deploy several instances of one NF). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+open Nfp_packet
+
+type stats = { redirected : unit -> int }
+
+let profile =
+  Action.
+    [
+      Read Field.Dip; Write Field.Dip; Read Field.Payload; Write Field.Payload;
+      Write Field.Len;
+    ]
+
+let default_origin = Int32.of_int ((198 lsl 24) lor (51 lsl 16) lor (100 lsl 8) lor 10)
+
+let create ?(name = "proxy") ?(origin = default_origin) ?(via = "Via:nfp-proxy ") () =
+  let redirected = ref 0 in
+  let process pkt =
+    Packet.set_dip pkt origin;
+    Packet.set_payload pkt (via ^ Packet.payload pkt);
+    incr redirected;
+    Nf.Forward
+  in
+  ( Nf.make ~name ~kind:"Proxy" ~profile
+      ~cost_cycles:(fun _ -> 380)
+      ~state_digest:(fun () -> !redirected)
+      process,
+    { redirected = (fun () -> !redirected) } )

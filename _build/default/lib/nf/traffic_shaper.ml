@@ -1,0 +1,25 @@
+open Nfp_packet
+
+type stats = { conformed : unit -> int; policed : unit -> int }
+
+let create ?(name = "shaper") ?(rate_bps = 1e9) ?(burst_bytes = 65536) () =
+  let bucket = Nfp_algo.Token_bucket.create ~rate_bps ~burst_bytes in
+  let now = ref 0L in
+  let conformed = ref 0 and policed = ref 0 in
+  let process pkt =
+    if Nfp_algo.Token_bucket.admit bucket ~now_ns:!now ~size:(Packet.wire_length pkt) then begin
+      incr conformed;
+      Nf.Forward
+    end
+    else begin
+      incr policed;
+      Nf.Dropped
+    end
+  in
+  ( Nf.make ~name ~kind:"TrafficShaper"
+      ~profile:[ Action.Read Field.Len; Action.Drop ]
+      ~cost_cycles:(fun _ -> 130)
+      ~state_digest:(fun () -> Nfp_algo.Hashing.combine !conformed !policed)
+      process,
+    { conformed = (fun () -> !conformed); policed = (fun () -> !policed) },
+    fun t -> now := t )

@@ -1,0 +1,1 @@
+lib/openbox/block.ml: Action Field Firewall Format Hashtbl List Nfp_algo Nfp_nf Nfp_packet Packet

@@ -1,0 +1,1 @@
+lib/openbox/block.mli: Action Firewall Format Nfp_nf Nfp_packet Packet

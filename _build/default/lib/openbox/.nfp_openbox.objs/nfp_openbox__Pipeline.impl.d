@@ -1,0 +1,1 @@
+lib/openbox/pipeline.ml: Block Format Hashtbl List Nfp_core Nfp_nf

@@ -1,0 +1,1 @@
+lib/openbox/pipeline.mli: Block Format Nfp_core Nfp_nf Nfp_packet

@@ -1,0 +1,1 @@
+lib/packet/flow.ml: Format Int32 Nfp_algo Printf Stdlib String

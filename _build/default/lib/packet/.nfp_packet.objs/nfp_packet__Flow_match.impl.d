@@ -1,0 +1,1 @@
+lib/packet/flow_match.ml: Flow Format Int32 Packet Printf

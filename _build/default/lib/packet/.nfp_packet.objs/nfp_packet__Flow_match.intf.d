@@ -1,0 +1,1 @@
+lib/packet/flow_match.mli: Flow Format Packet

@@ -1,0 +1,1 @@
+lib/packet/meta.mli: Format

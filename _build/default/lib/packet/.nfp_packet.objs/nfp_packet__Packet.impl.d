@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Bytes Char Field Flow Format Int32 Meta Nfp_algo String

@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Field Flow Format Meta

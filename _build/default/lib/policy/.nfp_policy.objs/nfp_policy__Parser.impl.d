@@ -1,0 +1,1 @@
+lib/policy/parser.ml: Format List Printf Result Rule String

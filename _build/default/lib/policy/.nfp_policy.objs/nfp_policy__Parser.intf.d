@@ -1,0 +1,1 @@
+lib/policy/parser.mli: Rule

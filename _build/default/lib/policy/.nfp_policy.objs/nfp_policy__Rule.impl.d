@@ -1,0 +1,1 @@
+lib/policy/rule.ml: Format Hashtbl List

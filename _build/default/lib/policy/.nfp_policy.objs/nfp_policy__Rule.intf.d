@@ -1,0 +1,1 @@
+lib/policy/rule.mli: Format

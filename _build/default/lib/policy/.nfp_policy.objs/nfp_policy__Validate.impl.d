@@ -1,0 +1,1 @@
+lib/policy/validate.ml: Format Hashtbl List Nfp_nf Printf Rule String

@@ -1,0 +1,116 @@
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '-'
+
+let is_ident s = s <> "" && String.for_all is_ident_char s
+
+(* Split "Keyword(arg, arg, ...)" into (keyword, args). *)
+let split_call line =
+  match String.index_opt line '(' with
+  | None -> Error "expected 'Keyword(...)'"
+  | Some lparen ->
+      let keyword = String.trim (String.sub line 0 lparen) in
+      let rest = String.sub line (lparen + 1) (String.length line - lparen - 1) in
+      let rest = String.trim rest in
+      if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
+        Error "missing closing parenthesis"
+      else
+        let inner = String.sub rest 0 (String.length rest - 1) in
+        let args = String.split_on_char ',' inner |> List.map String.trim in
+        Ok (String.lowercase_ascii keyword, args)
+
+let parse_priority_args args =
+  (* Priority takes "a > b" either as one argument or via commas. *)
+  match args with
+  | [ one ] -> (
+      match String.index_opt one '>' with
+      | Some i ->
+          let a = String.trim (String.sub one 0 i) in
+          let b = String.trim (String.sub one (i + 1) (String.length one - i - 1)) in
+          Ok (a, b)
+      | None -> Error "Priority expects 'Priority(a > b)'")
+  | [ a; b ] -> Ok (a, b)
+  | _ -> Error "Priority expects two NFs"
+
+let check_ident name =
+  if is_ident name then Ok name
+  else Error (Printf.sprintf "invalid NF name %S" name)
+
+let ( let* ) = Result.bind
+
+let parse_rule line =
+  let* keyword, args = split_call (String.trim line) in
+  let args =
+    match (keyword, args) with
+    | "order", [ a; kw; b ] when String.lowercase_ascii kw = "before" -> [ a; b ]
+    | _ -> args
+  in
+  match (keyword, args) with
+  | "order", [ a; b ] ->
+      let* a = check_ident a in
+      let* b = check_ident b in
+      Ok (Rule.Order (a, b))
+  | "order", _ -> Error "Order expects 'Order(a, before, b)'"
+  | "priority", args ->
+      let* a, b = parse_priority_args args in
+      let* a = check_ident a in
+      let* b = check_ident b in
+      Ok (Rule.Priority (a, b))
+  | "position", [ a; place ] -> (
+      let* a = check_ident a in
+      match String.lowercase_ascii place with
+      | "first" -> Ok (Rule.Position (a, Rule.First))
+      | "last" -> Ok (Rule.Position (a, Rule.Last))
+      | _ -> Error "Position expects 'first' or 'last'")
+  | "position", _ -> Error "Position expects 'Position(nf, first|last)'"
+  | kw, _ -> Error (Printf.sprintf "unknown rule %S" kw)
+
+type line_item =
+  | L_binding of string * string
+  | L_rules of Rule.t list
+
+let parse_line line =
+  let* keyword, args = split_call line in
+  match (keyword, args) with
+  | "nf", [ name; kind ] ->
+      let* name = check_ident name in
+      let* kind = check_ident kind in
+      Ok (L_binding (name, kind))
+  | "nf", _ -> Error "NF expects 'NF(name, Type)'"
+  | "chain", names ->
+      let* names =
+        List.fold_left
+          (fun acc n ->
+            let* acc = acc in
+            let* n = check_ident n in
+            Ok (n :: acc))
+          (Ok []) names
+      in
+      let names = List.rev names in
+      if List.length names < 2 then Error "Chain expects at least two NFs"
+      else Ok (L_rules (Rule.of_chain names))
+  | _ ->
+      let* rule = parse_rule line in
+      Ok (L_rules [ rule ])
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno bindings rules = function
+    | [] -> Ok { Rule.bindings = List.rev bindings; rules = List.rev rules }
+    | line :: rest -> (
+        let line = String.trim (strip_comment line) in
+        if line = "" then go (lineno + 1) bindings rules rest
+        else
+          match parse_line line with
+          | Ok (L_binding (name, kind)) -> go (lineno + 1) ((name, kind) :: bindings) rules rest
+          | Ok (L_rules rs) -> go (lineno + 1) bindings (List.rev_append rs rules) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 [] [] lines
+
+let to_string policy = Format.asprintf "%a" Rule.pp_policy policy

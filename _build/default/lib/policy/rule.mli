@@ -1,0 +1,39 @@
+(** NFP policy rules (paper §3).
+
+    A policy is a list of rules over NF instance names plus a binding of
+    each name to its NF type (whose action profile lives in the
+    registry). The three rule forms are exactly the paper's:
+
+    - [Order (a, b)] — "Order(a, before, b)": desired execution order;
+      the orchestrator may still parallelize the pair if the dependency
+      analysis allows (§4.1).
+    - [Priority (hi, lo)] — "Priority(hi > lo)": run in parallel,
+      resolving action conflicts in favour of [hi].
+    - [Position (nf, place)] — pin an NF to the head or tail of the
+      graph. *)
+
+type place = First | Last
+
+type t =
+  | Order of string * string
+  | Priority of string * string
+  | Position of string * place
+
+type policy = {
+  bindings : (string * string) list;  (** instance name → NF type *)
+  rules : t list;
+}
+
+val nfs_of_rules : t list -> string list
+(** Every NF name mentioned, in first-appearance order, deduplicated. *)
+
+val of_chain : string list -> t list
+(** Translate a traditional sequential chain [n1; n2; …] into Order
+    rules for neighbouring NFs (paper §3: sequential descriptions are
+    converted automatically, then parallelism is explored). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_policy : Format.formatter -> policy -> unit

@@ -1,0 +1,149 @@
+type conflict =
+  | Unknown_nf of string
+  | Unknown_kind of string * string
+  | Duplicate_binding of string
+  | Order_cycle of string list
+  | Priority_both_ways of string * string
+  | Position_conflict of string
+  | Position_order_conflict of string * string
+  | Self_rule of string
+
+let pp_conflict fmt = function
+  | Unknown_nf n -> Format.fprintf fmt "rule references unknown NF %S" n
+  | Unknown_kind (n, k) -> Format.fprintf fmt "NF %S has unregistered type %S" n k
+  | Duplicate_binding n -> Format.fprintf fmt "NF %S bound more than once" n
+  | Order_cycle ns ->
+      Format.fprintf fmt "precedence cycle: %s" (String.concat " -> " (ns @ [ List.hd ns ]))
+  | Priority_both_ways (a, b) ->
+      Format.fprintf fmt "conflicting priorities between %S and %S" a b
+  | Position_conflict n -> Format.fprintf fmt "NF %S pinned both first and last" n
+  | Position_order_conflict (n, other) ->
+      Format.fprintf fmt "order rule with %S contradicts the pinned position of %S" other n
+  | Self_rule n -> Format.fprintf fmt "rule relates NF %S to itself" n
+
+(* Tarjan's strongly-connected components over the precedence digraph. *)
+let sccs nodes edges =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let successors n = List.filter_map (fun (a, b) -> if a = n then Some b else None) edges in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec popped acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else popped (w :: acc)
+      in
+      result := popped [] :: !result
+    end
+  in
+  List.iter (fun n -> if not (Hashtbl.mem index n) then strongconnect n) nodes;
+  !result
+
+let check (policy : Rule.policy) =
+  let conflicts = ref [] in
+  let add c = conflicts := c :: !conflicts in
+  (* Bindings: duplicates and unknown registry types. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, kind) ->
+      if Hashtbl.mem seen name then add (Duplicate_binding name) else Hashtbl.add seen name ();
+      if Nfp_nf.Registry.find kind = None then add (Unknown_kind (name, kind)))
+    policy.bindings;
+  (* Name resolution: a name is known if bound, or if it is itself a
+     registered NF type (the paper writes Order(VPN, before, Monitor)
+     directly over type names). *)
+  let known name =
+    List.mem_assoc name policy.bindings || Nfp_nf.Registry.find name <> None
+  in
+  let names = Rule.nfs_of_rules policy.rules in
+  List.iter (fun n -> if not (known n) then add (Unknown_nf n)) names;
+  (* Self rules. *)
+  List.iter
+    (function
+      | Rule.Order (a, b) | Rule.Priority (a, b) -> if a = b then add (Self_rule a)
+      | Rule.Position _ -> ())
+    policy.rules;
+  (* Priority in both directions. *)
+  let prios =
+    List.filter_map (function Rule.Priority (a, b) -> Some (a, b) | _ -> None) policy.rules
+  in
+  List.iter
+    (fun (a, b) -> if a < b && List.mem (b, a) prios && List.mem (a, b) prios then add (Priority_both_ways (a, b)))
+    prios;
+  (* Position conflicts. *)
+  let positions =
+    List.filter_map (function Rule.Position (n, p) -> Some (n, p) | _ -> None) policy.rules
+  in
+  List.iter
+    (fun (n, p) ->
+      if p = Rule.First && List.mem (n, Rule.Last) positions then add (Position_conflict n))
+    positions;
+  (* Order rules contradicting pinned positions. *)
+  List.iter
+    (function
+      | Rule.Order (a, b) when a <> b ->
+          if List.mem (a, Rule.Last) positions then add (Position_order_conflict (a, b));
+          if List.mem (b, Rule.First) positions then add (Position_order_conflict (b, a))
+      | _ -> ())
+    policy.rules;
+  (* Precedence cycles: Order(a,b) is a->b; Priority(hi,lo) makes lo
+     logically earlier, lo->hi. *)
+  let edges =
+    List.filter_map
+      (function
+        | Rule.Order (a, b) when a <> b -> Some (a, b)
+        | Rule.Priority (hi, lo) when hi <> lo -> Some (lo, hi)
+        | _ -> None)
+      policy.rules
+  in
+  let self_loop n = List.mem (n, n) edges in
+  List.iter
+    (fun component ->
+      match component with
+      | [ n ] -> if self_loop n then add (Order_cycle [ n ])
+      | [] -> ()
+      | ns -> add (Order_cycle ns))
+    (sccs names edges);
+  List.rev !conflicts
+
+let is_valid policy = check policy = []
+
+let suggest = function
+  | Unknown_nf n ->
+      Printf.sprintf "bind %S with an NF(%s, <Type>) line or use a registered type name" n n
+  | Unknown_kind (_, k) ->
+      Printf.sprintf
+        "register %S first (Registry.register, optionally with an inspector-derived profile)" k
+  | Duplicate_binding n -> Printf.sprintf "remove one of the NF(%s, ...) lines" n
+  | Order_cycle ns ->
+      Printf.sprintf "drop one Order rule among %s to break the cycle"
+        (String.concat ", " ns)
+  | Priority_both_ways (a, b) ->
+      Printf.sprintf "keep a single Priority direction between %s and %s" a b
+  | Position_conflict n ->
+      Printf.sprintf "pin %s either first or last, not both" n
+  | Position_order_conflict (n, other) ->
+      Printf.sprintf
+        "either unpin %s or remove the Order rule relating it to %s" n other
+  | Self_rule n -> Printf.sprintf "remove the rule relating %s to itself" n

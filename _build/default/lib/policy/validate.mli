@@ -1,0 +1,34 @@
+(** Policy sanity checking and conflict detection.
+
+    The paper (§3) notes that hand-written rules may conflict — e.g.
+    opposite [Order] rules, or one NF assigned both [first] and [last]
+    — and leaves detection to future work. This module implements it:
+    structural validation against the NF registry plus detection of
+    contradictory rules. *)
+
+type conflict =
+  | Unknown_nf of string  (** rule references an unbound NF name *)
+  | Unknown_kind of string * string  (** binding uses an unregistered NF type *)
+  | Duplicate_binding of string
+  | Order_cycle of string list  (** NF names forming a precedence cycle *)
+  | Priority_both_ways of string * string
+  | Position_conflict of string  (** same NF pinned first and last *)
+  | Position_order_conflict of string * string
+      (** order rule contradicts first/last pinning, e.g.
+          [Position(a, last)] with [Order(a, before, b)] *)
+  | Self_rule of string  (** rule relates an NF to itself *)
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val check : Rule.policy -> conflict list
+(** All detected conflicts; the empty list means the policy is
+    compilable. Order cycles are reported once per strongly connected
+    component. Priority edges participate in cycle detection with
+    their [hi] NF treated as logically later (the paper converts a
+    parallelizable [Order(a, before, b)] into [Priority(b > a)]). *)
+
+val is_valid : Rule.policy -> bool
+
+val suggest : conflict -> string
+(** A remediation hint for the operator — the paper defers conflict
+    resolution to future work; this offers the obvious fixes. *)

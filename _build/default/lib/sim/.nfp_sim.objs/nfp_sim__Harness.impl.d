@@ -1,0 +1,1 @@
+lib/sim/harness.ml: Engine Hashtbl Int64 Nfp_algo Nfp_packet

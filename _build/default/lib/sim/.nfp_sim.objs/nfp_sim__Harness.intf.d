@@ -1,0 +1,1 @@
+lib/sim/harness.mli: Engine Nfp_algo Nfp_packet

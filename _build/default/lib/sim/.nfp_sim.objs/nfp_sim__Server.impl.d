@@ -1,0 +1,1 @@
+lib/sim/server.ml: Engine List Nfp_algo

@@ -1,0 +1,1 @@
+lib/sim/server.mli: Engine Nfp_algo

@@ -1,0 +1,58 @@
+type t = {
+  ghz : float;
+  ring_enqueue : int;
+  ring_dequeue : int;
+  classifier : int;
+  switch_forward : int;
+  switch_per_hop : int;
+  header_copy : int;
+  copy_base : int;
+  copy_per_byte : float;
+  merge_delivery : int;
+  merge_op : int;
+  merger_agent : int;
+  nf_runtime : int;
+  rtc_call : int;
+  wire_ns : float;
+  batch : int;
+}
+
+let default =
+  {
+    ghz = 3.0;
+    ring_enqueue = 24;
+    ring_dequeue = 24;
+    classifier = 170;
+    switch_forward = 300;
+    switch_per_hop = 12;
+    header_copy = 90;
+    copy_base = 40;
+    copy_per_byte = 0.15;
+    merge_delivery = 107;
+    merge_op = 45;
+    merger_agent = 12;
+    nf_runtime = 30;
+    rtc_call = 30;
+    wire_ns = 4000.0;
+    batch = 32;
+  }
+
+(* VM rings (virtio/vhost) pay vmexit-amortized synchronization that
+   container shared-memory rings avoid; the paper's §7 argues the same
+   design carries over with NetVM-style VM delivery at higher per-hop
+   cost. *)
+let vm =
+  {
+    default with
+    ring_enqueue = 90;
+    ring_dequeue = 90;
+    classifier = 260;
+    header_copy = 140;
+    copy_base = 80;
+    copy_per_byte = 0.25;
+    wire_ns = 6000.0;
+  }
+
+let ns_of_cycles t c = float_of_int c /. t.ghz
+
+let cycles_of_ns t ns = int_of_float (ns *. t.ghz)

@@ -1,0 +1,40 @@
+(** Dataplane cost model.
+
+    All per-packet work is charged in CPU cycles on a 3.0 GHz core (the
+    paper's Xeon E5-2690 v2). The constants are calibrated once against
+    the paper's published measurements (Fig. 7, Table 4) and recorded in
+    DESIGN.md; benches do not re-tune them. *)
+
+type t = {
+  ghz : float;  (** core clock, cycles per nanosecond *)
+  ring_enqueue : int;  (** write a packet reference into a ring *)
+  ring_dequeue : int;  (** read one out *)
+  classifier : int;  (** CT lookup + metadata tagging *)
+  switch_forward : int;
+      (** OpenNetVM-style centralized switch, per packet (its RX/TX
+          path is the bottleneck; per-hop relaying is pipelined) *)
+  switch_per_hop : int;  (** additional per relayed hop *)
+  header_copy : int;  (** 64-byte header-only copy *)
+  copy_base : int;  (** fixed cost of any copy *)
+  copy_per_byte : float;  (** full-copy cost per payload byte *)
+  merge_delivery : int;  (** merger bookkeeping per received copy *)
+  merge_op : int;  (** per merge operation applied *)
+  merger_agent : int;  (** load-balancing hash + forward *)
+  nf_runtime : int;  (** NF runtime overhead per packet (FT lookup) *)
+  rtc_call : int;  (** per-NF function-call overhead in the RTC model *)
+  wire_ns : float;  (** generator + NIC round trip, nanoseconds *)
+  batch : int;  (** poll-mode batch size (DPDK rx burst) *)
+}
+
+val default : t
+(** Containers on pinned cores with shared-memory rings (the paper's
+    prototype). *)
+
+val vm : t
+(** Virtual-machine deployment (paper §7 discussion): the same dataplane
+    behind virtio-style rings — ring operations, copies and NIC paths
+    cost several times more, everything else is unchanged. *)
+
+val ns_of_cycles : t -> int -> float
+
+val cycles_of_ns : t -> float -> int

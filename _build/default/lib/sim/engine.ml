@@ -1,0 +1,43 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  queue : event Nfp_algo.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let compare_events a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  { queue = Nfp_algo.Heap.create ~cmp:compare_events; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let schedule_at t time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  Nfp_algo.Heap.push t.queue { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (t.clock +. delay) action
+
+let run ?until ?(max_events = max_int) t =
+  let deadline = match until with Some u -> u | None -> infinity in
+  let rec go remaining =
+    if remaining > 0 then
+      match Nfp_algo.Heap.peek t.queue with
+      | None -> ()
+      | Some ev when ev.time > deadline -> t.clock <- deadline
+      | Some _ -> (
+          match Nfp_algo.Heap.pop t.queue with
+          | None -> ()
+          | Some ev ->
+              t.clock <- ev.time;
+              ev.action ();
+              go (remaining - 1))
+  in
+  go max_events
+
+let pending t = Nfp_algo.Heap.length t.queue

@@ -1,0 +1,81 @@
+type system = {
+  inject : pid:int64 -> Nfp_packet.Packet.t -> unit;
+  ring_drops : unit -> int;
+  nf_drops : unit -> int;
+}
+
+type arrivals = Uniform of float | Poisson of float | Burst of float * int
+
+type result = {
+  latency : Nfp_algo.Stats.t;
+  delivered : int;
+  offered : int;
+  ring_drops : int;
+  nf_drops : int;
+  duration_ns : float;
+  achieved_mpps : float;
+}
+
+let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) () =
+  let warmup = match warmup with Some w -> w | None -> packets / 10 in
+  let engine = Engine.create () in
+  let latency = Nfp_algo.Stats.create () in
+  let ingress : (int64, float) Hashtbl.t = Hashtbl.create (packets * 2) in
+  let delivered = ref 0 in
+  let output ~pid _pkt =
+    incr delivered;
+    match Hashtbl.find_opt ingress pid with
+    | Some t0 ->
+        if Int64.to_int pid >= warmup then
+          Nfp_algo.Stats.add latency (Engine.now engine -. t0);
+        Hashtbl.remove ingress pid
+    | None -> ()
+  in
+  let system = make engine ~output in
+  let prng = Nfp_algo.Prng.create ~seed in
+  let interval_ns i =
+    match arrivals with
+    | Uniform mpps ->
+        ignore i;
+        1000.0 /. mpps
+    | Poisson mpps -> Nfp_algo.Prng.exponential prng ~mean:(1000.0 /. mpps)
+    | Burst (mpps, k) ->
+        (* k packets back to back, then a gap keeping the mean rate. *)
+        if (i + 1) mod k = 0 then float_of_int k *. 1000.0 /. mpps else 0.0
+  in
+  let rec arrive i =
+    if i < packets then begin
+      let pid = Int64.of_int i in
+      Hashtbl.replace ingress pid (Engine.now engine);
+      system.inject ~pid (gen i);
+      Engine.schedule engine ~delay:(interval_ns i) (fun () -> arrive (i + 1))
+    end
+  in
+  Engine.schedule engine ~delay:0.0 (fun () -> arrive 0);
+  Engine.run engine;
+  let duration = Engine.now engine in
+  {
+    latency;
+    delivered = !delivered;
+    offered = packets;
+    ring_drops = system.ring_drops ();
+    nf_drops = system.nf_drops ();
+    duration_ns = duration;
+    achieved_mpps =
+      (if duration > 0.0 then float_of_int !delivered /. duration *. 1000.0 else 0.0);
+  }
+
+let max_lossless_mpps ~make ~gen ~packets ?(lo = 0.01) ~hi ?(iterations = 12) () =
+  let lossless rate =
+    let r = run ~make ~gen ~arrivals:(Uniform rate) ~packets ~warmup:0 () in
+    r.ring_drops = 0
+  in
+  if lossless hi then hi
+  else begin
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to iterations do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if lossless mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

@@ -1,0 +1,53 @@
+(** Measurement harness: drives a packet system the way the paper's
+    DPDK generator drives the testbed (§6: "sends and receives traffic
+    to measure the latency and the maximum throughput without packet
+    loss"). *)
+
+type system = {
+  inject : pid:int64 -> Nfp_packet.Packet.t -> unit;
+      (** deliver one packet to the system's NIC at the current time *)
+  ring_drops : unit -> int;  (** packets lost to full rings *)
+  nf_drops : unit -> int;  (** packets intentionally dropped by NFs *)
+}
+
+type arrivals =
+  | Uniform of float  (** constant spacing at this Mpps rate *)
+  | Poisson of float  (** exponential interarrivals at this mean Mpps *)
+  | Burst of float * int
+      (** DPDK-generator style: bursts of [k] back-to-back packets at
+          this mean Mpps — the shape a tx_burst loop emits *)
+
+type result = {
+  latency : Nfp_algo.Stats.t;  (** per-packet ns, after warmup *)
+  delivered : int;
+  offered : int;
+  ring_drops : int;
+  nf_drops : int;
+  duration_ns : float;
+  achieved_mpps : float;
+}
+
+val run :
+  make:(Engine.t -> output:(pid:int64 -> Nfp_packet.Packet.t -> unit) -> system) ->
+  gen:(int -> Nfp_packet.Packet.t) ->
+  arrivals:arrivals ->
+  packets:int ->
+  ?warmup:int ->
+  ?seed:int64 ->
+  unit ->
+  result
+(** Build a fresh system, inject [packets] packets ([gen i] makes the
+    i-th), run to completion. Latency samples exclude the first
+    [warmup] packets (default 10%). *)
+
+val max_lossless_mpps :
+  make:(Engine.t -> output:(pid:int64 -> Nfp_packet.Packet.t -> unit) -> system) ->
+  gen:(int -> Nfp_packet.Packet.t) ->
+  packets:int ->
+  ?lo:float ->
+  hi:float ->
+  ?iterations:int ->
+  unit ->
+  float
+(** Binary-search the highest uniform offered rate with zero ring
+    drops — the paper's "maximum throughput without packet loss". *)

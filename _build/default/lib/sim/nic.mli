@@ -1,0 +1,20 @@
+(** 10 GbE line-rate model.
+
+    Ethernet framing adds 20 bytes per packet on the wire (preamble,
+    start delimiter, inter-frame gap), so a 64-byte frame peaks at
+    14.88 Mpps on a 10 Gbit/s link — the line-speed curve of the
+    paper's Fig. 7(b). *)
+
+val line_rate_bps : float
+(** 10e9. *)
+
+val framing_overhead_bytes : int
+(** 20. *)
+
+val max_pps : frame_bytes:int -> float
+(** Packets per second at line rate for a given frame size. *)
+
+val max_mpps : frame_bytes:int -> float
+
+val ns_per_packet : frame_bytes:int -> float
+(** Wire time of one frame. *)

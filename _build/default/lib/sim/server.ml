@@ -1,0 +1,97 @@
+type 'job t = {
+  engine : Engine.t;
+  name : string;
+  ring : 'job Nfp_algo.Ring.t;
+  batch : int;
+  jitter : (float * Nfp_algo.Prng.t) option;
+  retry_ns : float;
+  service_ns : 'job -> float;
+  execute : 'job -> unit -> bool;
+  mutable busy : bool;
+  mutable processed : int;
+  mutable busy_ns : float;
+  mutable stalled_ns : float;
+}
+
+let create ~engine ~name ~ring_capacity ~batch ?jitter ?(retry_ns = 150.0) ~service_ns
+    ~execute () =
+  {
+    engine;
+    name;
+    ring = Nfp_algo.Ring.create ~capacity:ring_capacity;
+    batch = max 1 batch;
+    jitter;
+    retry_ns;
+    service_ns;
+    execute;
+    busy = false;
+    processed = 0;
+    busy_ns = 0.0;
+    stalled_ns = 0.0;
+  }
+
+let jittered t base =
+  match t.jitter with
+  | None -> base
+  | Some (frac, prng) ->
+      let f = 1.0 +. (frac *. ((2.0 *. Nfp_algo.Prng.float prng) -. 1.0)) in
+      base *. f
+
+(* Emit the batch's thunks in order; stall and retry on backpressure. *)
+let rec flush t = function
+  | [] ->
+      t.busy <- false;
+      run_batch t
+  | thunk :: rest ->
+      if thunk () then begin
+        t.processed <- t.processed + 1;
+        flush t rest
+      end
+      else begin
+        t.stalled_ns <- t.stalled_ns +. t.retry_ns;
+        Engine.schedule t.engine ~delay:t.retry_ns (fun () -> flush t (thunk :: rest))
+      end
+
+(* Pull up to [batch] jobs, work through them back to back, execute and
+   flush at batch completion — the rx_burst/tx_burst pattern of a DPDK
+   poll loop. *)
+and run_batch t =
+  if (not t.busy) && not (Nfp_algo.Ring.is_empty t.ring) then begin
+    t.busy <- true;
+    let rec take acc n =
+      if n = 0 then List.rev acc
+      else
+        match Nfp_algo.Ring.dequeue t.ring with
+        | None -> List.rev acc
+        | Some j -> take (j :: acc) (n - 1)
+    in
+    let jobs = take [] t.batch in
+    let finish =
+      List.fold_left (fun offset job -> offset +. jittered t (t.service_ns job)) 0.0 jobs
+    in
+    t.busy_ns <- t.busy_ns +. finish;
+    Engine.schedule t.engine ~delay:finish (fun () ->
+        let thunks = List.map t.execute jobs in
+        flush t thunks)
+  end
+
+let offer t job =
+  if Nfp_algo.Ring.enqueue t.ring job then begin
+    if not t.busy then run_batch t;
+    true
+  end
+  else false
+
+let has_room t = not (Nfp_algo.Ring.is_full t.ring)
+
+let name t = t.name
+
+let processed t = t.processed
+
+let rejected t = Nfp_algo.Ring.rejected_total t.ring
+
+let busy_ns t = t.busy_ns
+
+let stalled_ns t = t.stalled_ns
+
+let queue_length t = Nfp_algo.Ring.length t.ring

@@ -1,0 +1,49 @@
+(** A simulated CPU core running a poll-mode packet loop.
+
+    Jobs arrive into a bounded input ring; the core drains them in
+    batches of up to [batch] (DPDK rx-burst style). Each job is charged
+    its service time; at batch completion the core {e executes} each
+    job once (the side-effecting semantics: NF processing, table
+    bookkeeping) and then {e emits} its results. Emission is retryable:
+    when a downstream ring is full the emit thunk returns [false] and
+    the core stalls, retrying until space frees — shared-memory NFV's
+    backpressure. A stalled core's own ring fills, propagating the
+    stall upstream until the system's entry point starts refusing
+    packets; that is where loss happens, as on the paper's testbed. *)
+
+type 'job t
+
+val create :
+  engine:Engine.t ->
+  name:string ->
+  ring_capacity:int ->
+  batch:int ->
+  ?jitter:float * Nfp_algo.Prng.t ->
+  ?retry_ns:float ->
+  service_ns:('job -> float) ->
+  execute:('job -> unit -> bool) ->
+  unit ->
+  'job t
+(** [execute job] performs the job's semantics once and returns its
+    emit thunk; the thunk is called until it returns [true] (it must
+    remember any targets it already delivered to). [retry_ns] is the
+    stall-poll interval (default 150 ns). *)
+
+val offer : 'job t -> 'job -> bool
+(** [false] when the input ring is full (caller decides: entry points
+    drop, upstream cores stall). *)
+
+val has_room : 'job t -> bool
+
+val name : 'job t -> string
+
+val processed : 'job t -> int
+
+val rejected : 'job t -> int
+
+val busy_ns : 'job t -> float
+
+val stalled_ns : 'job t -> float
+(** Time spent blocked on downstream backpressure. *)
+
+val queue_length : 'job t -> int

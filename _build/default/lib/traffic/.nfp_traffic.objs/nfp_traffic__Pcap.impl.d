@@ -1,0 +1,1 @@
+lib/traffic/pcap.ml: Buffer Bytes Char Fun List Nfp_packet Nfp_sim Packet Printf String

@@ -1,0 +1,1 @@
+lib/traffic/pcap.mli: Nfp_packet Nfp_sim Packet

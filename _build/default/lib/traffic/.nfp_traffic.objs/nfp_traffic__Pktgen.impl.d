@@ -1,0 +1,1 @@
+lib/traffic/pktgen.ml: Char Flow Int32 Int64 Nfp_algo Nfp_packet Packet Printf Size_dist String

@@ -1,0 +1,1 @@
+lib/traffic/pktgen.mli: Flow Nfp_packet Packet Size_dist

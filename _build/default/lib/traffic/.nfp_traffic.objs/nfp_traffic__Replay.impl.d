@@ -1,0 +1,1 @@
+lib/traffic/replay.ml: List Nfp_infra Nfp_packet

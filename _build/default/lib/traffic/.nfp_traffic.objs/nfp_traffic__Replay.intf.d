@@ -1,0 +1,1 @@
+lib/traffic/replay.mli: Nfp_core Nfp_nf Nfp_packet

@@ -1,0 +1,1 @@
+lib/traffic/size_dist.ml: List Nfp_algo

@@ -1,0 +1,1 @@
+lib/traffic/size_dist.mli: Nfp_algo

@@ -1,0 +1,88 @@
+open Nfp_packet
+
+type record = { ts_ns : float; pkt : Packet.t }
+
+let magic = 0xa1b2c3d4
+
+(* Little-endian writers. *)
+let w32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let w16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let write_file path records =
+  let buf = Buffer.create 4096 in
+  w32 buf magic;
+  w16 buf 2;
+  w16 buf 4;
+  w32 buf 0 (* thiszone *);
+  w32 buf 0 (* sigfigs *);
+  w32 buf 65535 (* snaplen *);
+  w32 buf 1 (* LINKTYPE_ETHERNET *);
+  List.iter
+    (fun { ts_ns; pkt } ->
+      let bytes = Packet.to_bytes pkt in
+      let us = int_of_float (ts_ns /. 1000.0) in
+      w32 buf (us / 1_000_000);
+      w32 buf (us mod 1_000_000);
+      w32 buf (Bytes.length bytes);
+      w32 buf (Bytes.length bytes);
+      Buffer.add_bytes buf bytes)
+    records;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let read_file path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r32 off =
+    Char.code contents.[off]
+    lor (Char.code contents.[off + 1] lsl 8)
+    lor (Char.code contents.[off + 2] lsl 16)
+    lor (Char.code contents.[off + 3] lsl 24)
+  in
+  let len = String.length contents in
+  if len < 24 then Error "truncated pcap header"
+  else if r32 0 <> magic then Error "not a little-endian classic pcap"
+  else if r32 20 <> 1 then Error "not an Ethernet capture"
+  else begin
+    let rec go off acc =
+      if off = len then Ok (List.rev acc)
+      else if off + 16 > len then Error "truncated record header"
+      else begin
+        let sec = r32 off and usec = r32 (off + 4) and incl = r32 (off + 8) in
+        if off + 16 + incl > len then Error "truncated record body"
+        else
+          match
+            Packet.of_bytes (Bytes.of_string (String.sub contents (off + 16) incl))
+          with
+          | Ok pkt ->
+              let ts_ns = (float_of_int sec *. 1e9) +. (float_of_int usec *. 1e3) in
+              go (off + 16 + incl) ({ ts_ns; pkt } :: acc)
+          | Error e -> Error (Printf.sprintf "record at offset %d: %s" off e)
+      end
+    in
+    go 24 []
+  end
+
+let capture () =
+  let records = ref [] in
+  let engine = ref None in
+  let tap ~pid:_ pkt =
+    let ts_ns = match !engine with Some e -> Nfp_sim.Engine.now e | None -> 0.0 in
+    records := { ts_ns; pkt = Packet.full_copy pkt } :: !records
+  in
+  let bind e = engine := Some e in
+  let dump () = List.rev !records in
+  (tap, bind, dump)

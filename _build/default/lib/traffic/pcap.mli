@@ -1,0 +1,25 @@
+(** Minimal pcap (libpcap classic format) writer and reader.
+
+    Lets simulated traffic — generator output, packets captured at any
+    point of a deployment — be dumped to disk and opened in standard
+    tools, and replayed back into the simulator. Timestamps are the
+    simulator's nanosecond clock (stored with microsecond resolution,
+    the classic format's limit). *)
+
+open Nfp_packet
+
+type record = { ts_ns : float; pkt : Packet.t }
+
+val write_file : string -> record list -> unit
+(** Write an Ethernet-linktype capture. Overwrites the file. *)
+
+val read_file : string -> (record list, string) result
+(** Read a classic little-endian pcap file; packets that fail to parse
+    as Ethernet/IPv4 are an error (this reader is for files this module
+    wrote). *)
+
+val capture :
+  unit -> (pid:int64 -> Packet.t -> unit) * (Nfp_sim.Engine.t -> unit) * (unit -> record list)
+(** [capture ()] is [(tap, bind, dump)]: pass [tap] anywhere a
+    [~output] callback is expected after [bind engine] (for
+    timestamps); [dump ()] returns what flowed through, in order. *)

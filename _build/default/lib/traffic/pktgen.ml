@@ -1,0 +1,70 @@
+open Nfp_packet
+
+type payload_style = Random_bytes | Ascii | Tagged
+
+type config = {
+  flows : int;
+  sizes : Size_dist.t;
+  proto : int;
+  payload_style : payload_style;
+  seed : int64;
+}
+
+let default =
+  { flows = 64; sizes = Size_dist.fixed 64; proto = 6; payload_style = Ascii; seed = 1L }
+
+type t = config
+
+let create config =
+  if config.flows <= 0 then invalid_arg "Pktgen.create: need at least one flow";
+  config
+
+let header_bytes = 54
+
+let prng_of t i =
+  Nfp_algo.Prng.create ~seed:(Int64.add t.seed (Int64.mul 0x100000001L (Int64.of_int i)))
+
+let flow_of_index t i =
+  let f = i mod t.flows in
+  (* Client side 10.0.0.0/16, server side 10.8.0.0/16; destination
+     ports above 61000 stay clear of the synthetic ACL's deny bands. *)
+  let sip = Int32.of_int ((10 lsl 24) lor ((f mod 200) lsl 8) lor ((f / 200) + 1)) in
+  let dip = Int32.of_int ((10 lsl 24) lor (8 lsl 16) lor ((f mod 250) lsl 8) lor 10) in
+  Flow.make ~sip ~dip ~sport:(10000 + (f mod 40000)) ~dport:(61000 + (f mod 4000))
+    ~proto:t.proto
+
+(* Mixed-case alphanumerics: IDS signatures are lowercase-only strings of
+   length >= 6, so this alphabet cannot produce six consecutive
+   lowercase letters that match. *)
+let ascii_alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789abcdefghijklm"
+
+let payload t prng i len =
+  match t.payload_style with
+  | Random_bytes -> String.init len (fun _ -> Char.chr (Nfp_algo.Prng.int prng ~bound:256))
+  | Ascii ->
+      String.init len (fun j ->
+          let c = ascii_alphabet.[Nfp_algo.Prng.int prng ~bound:String.(length ascii_alphabet)] in
+          (* Never two adjacent lowercase letters. *)
+          if j mod 2 = 0 then c else Char.uppercase_ascii c)
+  | Tagged ->
+      let tag = Printf.sprintf "#%d;" i in
+      if len <= String.length tag then String.sub tag 0 len
+      else
+        tag
+        ^ String.init
+            (len - String.length tag)
+            (fun j ->
+              let c =
+                ascii_alphabet.[Nfp_algo.Prng.int prng ~bound:(String.length ascii_alphabet)]
+              in
+              if j mod 2 = 0 then c else Char.uppercase_ascii c)
+
+let frame_bytes t i =
+  let prng = prng_of t i in
+  Size_dist.sample prng t.sizes
+
+let packet t i =
+  let prng = prng_of t i in
+  let size = Size_dist.sample prng t.sizes in
+  let payload_len = max 0 (size - header_bytes) in
+  Packet.create ~flow:(flow_of_index t i) ~payload:(payload t prng i payload_len) ()

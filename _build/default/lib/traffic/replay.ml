@@ -1,0 +1,24 @@
+type outcome = { total : int; agreements : int; disagreements : int list }
+
+let run ~chain ~deployment ~gen ~packets =
+  let nfs_seq = chain () in
+  let plan, nfs_par = deployment () in
+  let disagreements = ref [] in
+  for i = 0 to packets - 1 do
+    let reference = Nfp_infra.Reference.run_sequential ~nfs:nfs_seq (gen i) in
+    let parallel = Nfp_infra.Reference.run_plan ~plan ~nfs:nfs_par (gen i) in
+    let same =
+      match (reference, parallel) with
+      | None, None -> true
+      | Some a, Some b -> Nfp_packet.Packet.equal_wire a b
+      | None, Some _ | Some _, None -> false
+    in
+    if not same then disagreements := i :: !disagreements
+  done;
+  {
+    total = packets;
+    agreements = packets - List.length !disagreements;
+    disagreements = List.rev !disagreements;
+  }
+
+let agrees o = o.disagreements = []

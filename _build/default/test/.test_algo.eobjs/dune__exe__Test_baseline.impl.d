@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Flow List Nfp_algo Nfp_baseline Nfp_core Nfp_infra Nfp_nf Nfp_packet Nfp_sim Option Packet Printf

@@ -1,0 +1,1 @@
+test/test_inspector.ml: Action Alcotest Field Format List Nf Nfp_inspector Nfp_nf Nfp_packet Option Packet Registry

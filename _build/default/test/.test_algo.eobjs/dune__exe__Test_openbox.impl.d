@@ -1,0 +1,1 @@
+test/test_openbox.ml: Alcotest Block Flow Format List Nfp_core Nfp_infra Nfp_nf Nfp_openbox Nfp_packet Option Packet Pipeline String

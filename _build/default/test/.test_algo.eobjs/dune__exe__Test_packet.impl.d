@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char Field Flow Flow_match Gen Int32 Int64 List Meta Nfp_packet Option Packet QCheck QCheck_alcotest String

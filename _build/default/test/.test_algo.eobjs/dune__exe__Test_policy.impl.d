@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Format List Nfp_core Nfp_policy Parser Rule String Validate

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cost Engine Harness List Nfp_algo Nfp_packet Nfp_sim Nic Option Server

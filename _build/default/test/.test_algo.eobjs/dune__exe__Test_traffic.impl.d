@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Filename Fun Hashtbl Int64 List Nfp_algo Nfp_core Nfp_infra Nfp_nf Nfp_packet Nfp_sim Nfp_traffic Option Pcap Pktgen QCheck QCheck_alcotest Replay Size_dist String Sys

@@ -1,0 +1,572 @@
+(* Unit and property tests for the nfp_algo substrate. *)
+
+open Nfp_algo
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let heap_tests =
+  [
+    Alcotest.test_case "empty heap" `Quick (fun () ->
+        let h = Heap.create ~cmp:compare in
+        check Alcotest.bool "is_empty" true (Heap.is_empty h);
+        check Alcotest.(option int) "peek" None (Heap.peek h);
+        check Alcotest.(option int) "pop" None (Heap.pop h));
+    Alcotest.test_case "pop returns minimum" `Quick (fun () ->
+        let h = Heap.create ~cmp:compare in
+        List.iter (Heap.push h) [ 5; 1; 4; 2; 3 ];
+        check Alcotest.(option int) "min" (Some 1) (Heap.pop h);
+        check Alcotest.(option int) "next" (Some 2) (Heap.pop h);
+        check Alcotest.int "length" 3 (Heap.length h));
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let h = Heap.create ~cmp:compare in
+        Heap.push h 7;
+        check Alcotest.(option int) "peek" (Some 7) (Heap.peek h);
+        check Alcotest.int "length still 1" 1 (Heap.length h));
+    Alcotest.test_case "custom comparison (max-heap)" `Quick (fun () ->
+        let h = Heap.create ~cmp:(fun a b -> compare b a) in
+        List.iter (Heap.push h) [ 2; 9; 4 ];
+        check Alcotest.(option int) "max first" (Some 9) (Heap.pop h));
+    Alcotest.test_case "clear empties" `Quick (fun () ->
+        let h = Heap.create ~cmp:compare in
+        List.iter (Heap.push h) [ 1; 2; 3 ];
+        Heap.clear h;
+        check Alcotest.bool "empty" true (Heap.is_empty h));
+    Alcotest.test_case "duplicate keys all come out" `Quick (fun () ->
+        let h = Heap.create ~cmp:compare in
+        List.iter (Heap.push h) [ 3; 3; 3 ];
+        check Alcotest.int "len" 3 (Heap.length h);
+        ignore (Heap.pop h);
+        ignore (Heap.pop h);
+        check Alcotest.(option int) "last" (Some 3) (Heap.pop h));
+    qtest "heap drains in sorted order"
+      QCheck.(list int)
+      (fun xs ->
+        let h = Heap.create ~cmp:compare in
+        List.iter (Heap.push h) xs;
+        let rec drain acc =
+          match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        drain [] = List.sort compare xs);
+    qtest "heap length tracks pushes and pops"
+      QCheck.(pair (list small_int) small_int)
+      (fun (xs, pops) ->
+        let h = Heap.create ~cmp:compare in
+        List.iter (Heap.push h) xs;
+        let pops = min pops (List.length xs) in
+        for _ = 1 to pops do
+          ignore (Heap.pop h)
+        done;
+        Heap.length h = List.length xs - pops);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ring_tests =
+  [
+    Alcotest.test_case "rejects zero capacity" `Quick (fun () ->
+        Alcotest.check_raises "invalid" (Invalid_argument "Ring.create: capacity must be positive")
+          (fun () -> ignore (Ring.create ~capacity:0)));
+    Alcotest.test_case "fifo order" `Quick (fun () ->
+        let r = Ring.create ~capacity:4 in
+        List.iter (fun x -> ignore (Ring.enqueue r x)) [ 1; 2; 3 ];
+        check Alcotest.(option int) "first" (Some 1) (Ring.dequeue r);
+        check Alcotest.(option int) "second" (Some 2) (Ring.dequeue r));
+    Alcotest.test_case "enqueue fails when full" `Quick (fun () ->
+        let r = Ring.create ~capacity:2 in
+        check Alcotest.bool "1" true (Ring.enqueue r 1);
+        check Alcotest.bool "2" true (Ring.enqueue r 2);
+        check Alcotest.bool "3 refused" false (Ring.enqueue r 3);
+        check Alcotest.int "rejected" 1 (Ring.rejected_total r);
+        check Alcotest.int "enqueued" 2 (Ring.enqueued_total r));
+    Alcotest.test_case "wrap-around preserves order" `Quick (fun () ->
+        let r = Ring.create ~capacity:3 in
+        ignore (Ring.enqueue r 1);
+        ignore (Ring.enqueue r 2);
+        ignore (Ring.dequeue r);
+        ignore (Ring.enqueue r 3);
+        ignore (Ring.enqueue r 4);
+        check
+          Alcotest.(list int)
+          "drain order" [ 2; 3; 4 ]
+          (List.filter_map (fun () -> Ring.dequeue r) [ (); (); () ]));
+    Alcotest.test_case "peek leaves element" `Quick (fun () ->
+        let r = Ring.create ~capacity:2 in
+        ignore (Ring.enqueue r 9);
+        check Alcotest.(option int) "peek" (Some 9) (Ring.peek r);
+        check Alcotest.int "length" 1 (Ring.length r));
+    Alcotest.test_case "clear resets contents but not stats" `Quick (fun () ->
+        let r = Ring.create ~capacity:2 in
+        ignore (Ring.enqueue r 1);
+        Ring.clear r;
+        check Alcotest.bool "empty" true (Ring.is_empty r);
+        check Alcotest.int "enqueued stat kept" 1 (Ring.enqueued_total r));
+    qtest "ring behaves like a bounded queue"
+      QCheck.(pair (int_range 1 8) (list (option small_int)))
+      (fun (capacity, ops) ->
+        (* Some x = enqueue x, None = dequeue; compare with a model. *)
+        let r = Ring.create ~capacity in
+        let model = Queue.create () in
+        List.for_all
+          (function
+            | Some x ->
+                let accepted = Ring.enqueue r x in
+                let model_accepts = Queue.length model < capacity in
+                if model_accepts then Queue.add x model;
+                accepted = model_accepts
+            | None ->
+                let got = Ring.dequeue r in
+                let expected = Queue.take_opt model in
+                got = expected)
+          ops);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lpm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ip a b c d =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d))
+
+let lpm_tests =
+  [
+    Alcotest.test_case "empty table finds nothing" `Quick (fun () ->
+        let t : int Lpm.t = Lpm.create () in
+        check Alcotest.(option int) "none" None (Lpm.lookup t (ip 10 0 0 1)));
+    Alcotest.test_case "longest prefix wins" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:(ip 10 0 0 0) ~len:8 1;
+        Lpm.add t ~prefix:(ip 10 1 0 0) ~len:16 2;
+        Lpm.add t ~prefix:(ip 10 1 2 0) ~len:24 3;
+        check Alcotest.(option int) "/24" (Some 3) (Lpm.lookup t (ip 10 1 2 9));
+        check Alcotest.(option int) "/16" (Some 2) (Lpm.lookup t (ip 10 1 9 9));
+        check Alcotest.(option int) "/8" (Some 1) (Lpm.lookup t (ip 10 9 9 9)));
+    Alcotest.test_case "default route /0 matches everything" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:0l ~len:0 42;
+        check Alcotest.(option int) "any" (Some 42) (Lpm.lookup t (ip 192 168 1 1)));
+    Alcotest.test_case "/32 exact host route" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:(ip 10 0 0 5) ~len:32 7;
+        check Alcotest.(option int) "host" (Some 7) (Lpm.lookup t (ip 10 0 0 5));
+        check Alcotest.(option int) "neighbour" None (Lpm.lookup t (ip 10 0 0 6)));
+    Alcotest.test_case "overwrite same prefix" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:(ip 10 0 0 0) ~len:8 1;
+        Lpm.add t ~prefix:(ip 10 0 0 0) ~len:8 2;
+        check Alcotest.(option int) "new value" (Some 2) (Lpm.lookup t (ip 10 3 0 0));
+        check Alcotest.int "entries" 1 (Lpm.entries t));
+    Alcotest.test_case "remove restores shorter match" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:(ip 10 0 0 0) ~len:8 1;
+        Lpm.add t ~prefix:(ip 10 1 0 0) ~len:16 2;
+        Lpm.remove t ~prefix:(ip 10 1 0 0) ~len:16;
+        check Alcotest.(option int) "/8 again" (Some 1) (Lpm.lookup t (ip 10 1 0 1));
+        check Alcotest.int "entries" 1 (Lpm.entries t));
+    Alcotest.test_case "remove of a missing prefix is a no-op" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:(ip 10 0 0 0) ~len:8 1;
+        Lpm.remove t ~prefix:(ip 11 0 0 0) ~len:8;
+        Lpm.remove t ~prefix:(ip 10 0 0 0) ~len:16;
+        check Alcotest.int "entries" 1 (Lpm.entries t);
+        check Alcotest.(option int) "still routes" (Some 1) (Lpm.lookup t (ip 10 1 1 1)));
+    Alcotest.test_case "invalid prefix length" `Quick (fun () ->
+        let t : unit Lpm.t = Lpm.create () in
+        Alcotest.check_raises "too long"
+          (Invalid_argument "Lpm: prefix length must be in [0, 32]") (fun () ->
+            Lpm.add t ~prefix:0l ~len:33 ()));
+    qtest ~count:100 "lookup agrees with naive longest-prefix scan"
+      QCheck.(pair (list (pair (int_range 0 0xffffff) (int_range 0 24))) (int_range 0 0xffffff))
+      (fun (entries, addr_low) ->
+        let t = Lpm.create () in
+        let entries =
+          List.mapi (fun i (p, len) -> (Int32.of_int (p lsl 8), len, i)) entries
+        in
+        List.iter (fun (prefix, len, v) -> Lpm.add t ~prefix ~len v) entries;
+        let addr = Int32.of_int (addr_low lsl 8) in
+        let mask len = if len = 0 then 0l else Int32.shift_left (-1l) (32 - len) in
+        let matches (prefix, len, _) =
+          Int32.equal (Int32.logand addr (mask len)) (Int32.logand prefix (mask len))
+        in
+        (* Last insertion wins among equal prefixes; pick longest, latest. *)
+        let best =
+          List.fold_left
+            (fun acc ((_, len, _) as e) ->
+              if matches e then
+                match acc with
+                | Some (_, blen, _) when blen > len -> acc
+                | _ -> Some e
+              else acc)
+            None entries
+        in
+        Lpm.lookup t addr = Option.map (fun (_, _, v) -> v) best);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Aho-Corasick                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let naive_matches patterns text =
+  List.exists
+    (fun p ->
+      p <> ""
+      &&
+      let n = String.length text and m = String.length p in
+      let rec go i = i + m <= n && (String.sub text i m = p || go (i + 1)) in
+      go 0)
+    patterns
+
+let aho_tests =
+  [
+    Alcotest.test_case "finds single pattern" `Quick (fun () ->
+        let t = Aho_corasick.build [ "needle" ] in
+        check Alcotest.bool "hit" true (Aho_corasick.matches t "hay needle stack");
+        check Alcotest.bool "miss" false (Aho_corasick.matches t "haystack"));
+    Alcotest.test_case "reports end positions" `Quick (fun () ->
+        let t = Aho_corasick.build [ "ab"; "bc" ] in
+        check
+          Alcotest.(list (pair int int))
+          "matches" [ (0, 2); (1, 3) ] (Aho_corasick.scan t "abc"));
+    Alcotest.test_case "overlapping patterns all found" `Quick (fun () ->
+        let t = Aho_corasick.build [ "aa" ] in
+        check Alcotest.int "three overlaps" 3 (List.length (Aho_corasick.scan t "aaaa")));
+    Alcotest.test_case "pattern that is a suffix of another" `Quick (fun () ->
+        let t = Aho_corasick.build [ "she"; "he" ] in
+        let hits = Aho_corasick.scan t "she" in
+        check Alcotest.int "both fire" 2 (List.length hits));
+    Alcotest.test_case "empty patterns ignored" `Quick (fun () ->
+        let t = Aho_corasick.build [ ""; "x" ] in
+        check Alcotest.int "count" 1 (Aho_corasick.pattern_count t);
+        check Alcotest.bool "no empty match" false (Aho_corasick.matches t "abc"));
+    Alcotest.test_case "empty text" `Quick (fun () ->
+        let t = Aho_corasick.build [ "x" ] in
+        check Alcotest.bool "no match" false (Aho_corasick.matches t ""));
+    Alcotest.test_case "binary bytes" `Quick (fun () ->
+        let t = Aho_corasick.build [ "\x00\xff" ] in
+        check Alcotest.bool "hit" true (Aho_corasick.matches t "a\x00\xffb"));
+    qtest ~count:150 "matches agrees with naive search"
+      QCheck.(pair (list (string_of_size (Gen.int_range 1 4))) (string_of_size (Gen.int_range 0 40)))
+      (fun (patterns, text) ->
+        let t = Aho_corasick.build patterns in
+        Aho_corasick.matches t text = naive_matches patterns text);
+    qtest ~count:100 "scan is consistent with matches"
+      QCheck.(pair (list (string_of_size (Gen.int_range 1 3))) (string_of_size (Gen.int_range 0 30)))
+      (fun (patterns, text) ->
+        let t = Aho_corasick.build patterns in
+        Aho_corasick.matches t text = (Aho_corasick.scan t text <> []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* AES                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let aes_tests =
+  [
+    Alcotest.test_case "FIPS-197 known answer" `Quick (fun () ->
+        check Alcotest.bool "selftest" true (Aes.selftest ()));
+    Alcotest.test_case "NIST SP 800-38A ECB vectors" `Quick (fun () ->
+        (* Key 2b7e151628aed2a6abf7158809cf4f3c over the four standard
+           plaintext blocks. *)
+        let hex s =
+          String.init (String.length s / 2) (fun i ->
+              Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+        in
+        let k = Aes.expand_key (hex "2b7e151628aed2a6abf7158809cf4f3c") in
+        List.iter
+          (fun (plain, cipher) ->
+            let buf = Bytes.of_string (hex plain) in
+            Aes.encrypt_block k buf ~pos:0;
+            check Alcotest.string plain (hex cipher) (Bytes.to_string buf))
+          [
+            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97");
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf");
+            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688");
+            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4");
+          ]);
+    Alcotest.test_case "key must be 16 bytes" `Quick (fun () ->
+        Alcotest.check_raises "short key"
+          (Invalid_argument "Aes.expand_key: key must be 16 bytes") (fun () ->
+            ignore (Aes.expand_key "short")));
+    Alcotest.test_case "block bounds checked" `Quick (fun () ->
+        let k = Aes.expand_key (String.make 16 'k') in
+        Alcotest.check_raises "overrun" (Invalid_argument "Aes: block overruns buffer")
+          (fun () -> Aes.encrypt_block k (Bytes.create 10) ~pos:0));
+    Alcotest.test_case "ctr twice restores plaintext" `Quick (fun () ->
+        let k = Aes.expand_key "0123456789abcdef" in
+        let original = "the quick brown fox jumps over" in
+        let buf = Bytes.of_string original in
+        Aes.ctr_transform k ~nonce:7L buf ~pos:0 ~len:(Bytes.length buf);
+        check Alcotest.bool "changed" false (Bytes.to_string buf = original);
+        Aes.ctr_transform k ~nonce:7L buf ~pos:0 ~len:(Bytes.length buf);
+        check Alcotest.string "restored" original (Bytes.to_string buf));
+    Alcotest.test_case "different nonces give different streams" `Quick (fun () ->
+        let k = Aes.expand_key "0123456789abcdef" in
+        let a = Bytes.make 16 'x' and b = Bytes.make 16 'x' in
+        Aes.ctr_transform k ~nonce:1L a ~pos:0 ~len:16;
+        Aes.ctr_transform k ~nonce:2L b ~pos:0 ~len:16;
+        check Alcotest.bool "differ" false (Bytes.equal a b));
+    Alcotest.test_case "ctr over a sub-range leaves the rest" `Quick (fun () ->
+        let k = Aes.expand_key "0123456789abcdef" in
+        let buf = Bytes.of_string "AAAABBBBCCCCDDDD" in
+        Aes.ctr_transform k ~nonce:1L buf ~pos:4 ~len:4;
+        check Alcotest.string "prefix intact" "AAAA" (Bytes.sub_string buf 0 4);
+        check Alcotest.string "suffix intact" "CCCCDDDD" (Bytes.sub_string buf 8 8));
+    qtest ~count:100 "encrypt/decrypt block roundtrip"
+      QCheck.(pair (string_of_size (Gen.return 16)) (string_of_size (Gen.return 16)))
+      (fun (key, block) ->
+        let k = Aes.expand_key key in
+        let buf = Bytes.of_string block in
+        Aes.encrypt_block k buf ~pos:0;
+        Aes.decrypt_block k buf ~pos:0;
+        Bytes.to_string buf = block);
+    qtest ~count:100 "ctr roundtrip at any length"
+      QCheck.(string_of_size (Gen.int_range 0 100))
+      (fun s ->
+        let k = Aes.expand_key "keykeykeykeykey!" in
+        let buf = Bytes.of_string s in
+        Aes.ctr_transform k ~nonce:99L buf ~pos:0 ~len:(Bytes.length buf);
+        Aes.ctr_transform k ~nonce:99L buf ~pos:0 ~len:(Bytes.length buf);
+        Bytes.to_string buf = s);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Hashing / Checksum                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let hashing_tests =
+  [
+    Alcotest.test_case "fnv1a32 of empty string is the offset basis" `Quick (fun () ->
+        check Alcotest.int "offset" 0x811c9dc5 (Hashing.fnv1a32 ""));
+    Alcotest.test_case "fnv1a32 known value" `Quick (fun () ->
+        (* FNV-1a("a") = 0xe40c292c *)
+        check Alcotest.int "a" 0xe40c292c (Hashing.fnv1a32 "a"));
+    Alcotest.test_case "bytes range equals string slice" `Quick (fun () ->
+        let s = "hello world" in
+        check Alcotest.int "slice"
+          (Hashing.fnv1a32 "world")
+          (Hashing.fnv1a32_bytes (Bytes.of_string s) ~pos:6 ~len:5));
+    Alcotest.test_case "bytes range bounds checked" `Quick (fun () ->
+        Alcotest.check_raises "overrun"
+          (Invalid_argument "Hashing.fnv1a32_bytes: range overruns buffer") (fun () ->
+            ignore (Hashing.fnv1a32_bytes (Bytes.create 4) ~pos:2 ~len:4)));
+    Alcotest.test_case "tuple5 deterministic and non-negative" `Quick (fun () ->
+        let h1 = Hashing.tuple5 1l 2l 3 4 6 in
+        let h2 = Hashing.tuple5 1l 2l 3 4 6 in
+        check Alcotest.int "same" h1 h2;
+        check Alcotest.bool "non-negative" true (h1 >= 0));
+    Alcotest.test_case "tuple5 sensitive to each component" `Quick (fun () ->
+        let base = Hashing.tuple5 1l 2l 3 4 6 in
+        check Alcotest.bool "sip" true (base <> Hashing.tuple5 9l 2l 3 4 6);
+        check Alcotest.bool "dip" true (base <> Hashing.tuple5 1l 9l 3 4 6);
+        check Alcotest.bool "sport" true (base <> Hashing.tuple5 1l 2l 9 4 6);
+        check Alcotest.bool "dport" true (base <> Hashing.tuple5 1l 2l 3 9 6);
+        check Alcotest.bool "proto" true (base <> Hashing.tuple5 1l 2l 3 4 17));
+    qtest "mix64 is injective-ish on sequential inputs"
+      QCheck.(int_range 0 100000)
+      (fun i ->
+        Hashing.mix64 (Int64.of_int i) <> Hashing.mix64 (Int64.of_int (i + 1)));
+  ]
+
+let checksum_tests =
+  [
+    Alcotest.test_case "classic RFC 1071 example" `Quick (fun () ->
+        (* 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d *)
+        let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+        check Alcotest.int "sum" 0x220d (Checksum.compute b ~pos:0 ~len:8));
+    Alcotest.test_case "verify accepts embedded checksum" `Quick (fun () ->
+        let b = Bytes.of_string "\x45\x00\x00\x1c\x00\x00\x40\x00\x40\x06\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02" in
+        let c = Checksum.compute b ~pos:0 ~len:20 in
+        Bytes.set b 10 (Char.chr (c lsr 8));
+        Bytes.set b 11 (Char.chr (c land 0xff));
+        check Alcotest.bool "valid" true (Checksum.verify b ~pos:0 ~len:20));
+    Alcotest.test_case "odd length pads with zero" `Quick (fun () ->
+        let b = Bytes.of_string "\xab" in
+        check Alcotest.int "one byte" (lnot 0xab00 land 0xffff) (Checksum.compute b ~pos:0 ~len:1));
+    Alcotest.test_case "corruption detected" `Quick (fun () ->
+        let b = Bytes.make 20 '\x11' in
+        let c = Checksum.compute b ~pos:0 ~len:20 in
+        Bytes.set b 10 (Char.chr (c lsr 8));
+        Bytes.set b 11 (Char.chr (c land 0xff));
+        Bytes.set b 0 '\x22';
+        check Alcotest.bool "invalid" false (Checksum.verify b ~pos:0 ~len:20));
+    qtest ~count:100 "compute-then-verify always holds"
+      QCheck.(string_of_size (Gen.int_range 2 64))
+      (fun s ->
+        let b = Bytes.of_string (s ^ "\x00\x00") in
+        let len = Bytes.length b in
+        let c = Checksum.compute b ~pos:0 ~len in
+        Bytes.set b (len - 2) (Char.chr (c lsr 8));
+        Bytes.set b (len - 1) (Char.chr (c land 0xff));
+        (* Only even lengths keep the trailing checksum aligned. *)
+        len mod 2 <> 0 || Checksum.verify b ~pos:0 ~len);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket / LZ77 / Stats / Prng                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_tests =
+  [
+    Alcotest.test_case "starts full" `Quick (fun () ->
+        let b = Token_bucket.create ~rate_bps:8e9 ~burst_bytes:1000 in
+        check Alcotest.bool "admit burst" true (Token_bucket.admit b ~now_ns:0L ~size:1000));
+    Alcotest.test_case "rejects above burst" `Quick (fun () ->
+        let b = Token_bucket.create ~rate_bps:8e9 ~burst_bytes:100 in
+        check Alcotest.bool "too big" false (Token_bucket.admit b ~now_ns:0L ~size:101));
+    Alcotest.test_case "refills over time" `Quick (fun () ->
+        (* 8 Gbit/s = 1 byte/ns. *)
+        let b = Token_bucket.create ~rate_bps:8e9 ~burst_bytes:100 in
+        check Alcotest.bool "drain" true (Token_bucket.admit b ~now_ns:0L ~size:100);
+        check Alcotest.bool "immediately empty" false (Token_bucket.admit b ~now_ns:0L ~size:50);
+        check Alcotest.bool "after 50ns" true (Token_bucket.admit b ~now_ns:50L ~size:50));
+    Alcotest.test_case "refill capped at burst" `Quick (fun () ->
+        let b = Token_bucket.create ~rate_bps:8e9 ~burst_bytes:100 in
+        check Alcotest.(float 0.01) "capped" 100.0 (Token_bucket.available b ~now_ns:1_000_000L));
+    Alcotest.test_case "rejection does not consume" `Quick (fun () ->
+        let b = Token_bucket.create ~rate_bps:8e9 ~burst_bytes:100 in
+        ignore (Token_bucket.admit b ~now_ns:0L ~size:60);
+        check Alcotest.bool "reject" false (Token_bucket.admit b ~now_ns:0L ~size:60);
+        check Alcotest.bool "remaining 40 ok" true (Token_bucket.admit b ~now_ns:0L ~size:40));
+    Alcotest.test_case "invalid arguments" `Quick (fun () ->
+        Alcotest.check_raises "rate" (Invalid_argument "Token_bucket: rate must be positive")
+          (fun () -> ignore (Token_bucket.create ~rate_bps:0.0 ~burst_bytes:1)));
+  ]
+
+let lz77_tests =
+  [
+    Alcotest.test_case "roundtrip simple text" `Quick (fun () ->
+        let s = "abcabcabcabc hello hello hello" in
+        check Alcotest.string "roundtrip" s (Lz77.decompress (Lz77.compress s)));
+    Alcotest.test_case "empty string" `Quick (fun () ->
+        check Alcotest.string "empty" "" (Lz77.decompress (Lz77.compress "")));
+    Alcotest.test_case "repetitive input shrinks" `Quick (fun () ->
+        let s = String.concat "" (List.init 50 (fun _ -> "0123456789")) in
+        check Alcotest.bool "smaller" true (String.length (Lz77.compress s) < String.length s));
+    Alcotest.test_case "overlapping back-reference (run-length)" `Quick (fun () ->
+        let s = String.make 300 'z' in
+        check Alcotest.string "roundtrip" s (Lz77.decompress (Lz77.compress s)));
+    Alcotest.test_case "compress is deterministic" `Quick (fun () ->
+        let s = String.concat "" (List.init 40 (fun i -> Printf.sprintf "%d-ab " i)) in
+        check Alcotest.string "same" (Lz77.compress s) (Lz77.compress s));
+    Alcotest.test_case "incompressible stream grows only by framing" `Quick (fun () ->
+        (* Random-ish bytes: literal runs add 2 bytes per 256. *)
+        let s = String.init 600 (fun i -> Char.chr ((i * 79 + 31) land 0xff)) in
+        let c = Lz77.compress s in
+        check Alcotest.bool "bounded expansion" true
+          (String.length c <= String.length s + (2 * ((String.length s / 256) + 1)));
+        check Alcotest.string "roundtrip" s (Lz77.decompress c));
+    Alcotest.test_case "malformed stream rejected" `Quick (fun () ->
+        Alcotest.check_raises "bad opcode" (Invalid_argument "Lz77.decompress: malformed stream")
+          (fun () -> ignore (Lz77.decompress "\x07hello")));
+    Alcotest.test_case "truncated literal rejected" `Quick (fun () ->
+        Alcotest.check_raises "truncated" (Invalid_argument "Lz77.decompress: malformed stream")
+          (fun () -> ignore (Lz77.decompress "\x00\x09ab")));
+    qtest ~count:150 "compression roundtrips arbitrary bytes"
+      QCheck.(string_of_size (Gen.int_range 0 500))
+      (fun s -> Lz77.decompress (Lz77.compress s) = s);
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "mean of known values" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+        check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+        check Alcotest.int "count" 4 (Stats.count s));
+    Alcotest.test_case "min and max" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 3.0; 1.0; 2.0 ];
+        check (Alcotest.float 1e-9) "min" 1.0 (Stats.min_value s);
+        check (Alcotest.float 1e-9) "max" 3.0 (Stats.max_value s));
+    Alcotest.test_case "stddev of constant is zero" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 5.0; 5.0; 5.0 ];
+        check (Alcotest.float 1e-9) "zero" 0.0 (Stats.stddev s));
+    Alcotest.test_case "percentile nearest rank" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) (List.init 100 (fun i -> float_of_int (i + 1)));
+        check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile s 50.0);
+        check (Alcotest.float 1e-9) "p99" 99.0 (Stats.percentile s 99.0);
+        check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile s 100.0));
+    Alcotest.test_case "empty accumulator raises" `Quick (fun () ->
+        let s = Stats.create () in
+        check (Alcotest.float 1e-9) "mean 0" 0.0 (Stats.mean s);
+        Alcotest.check_raises "percentile" (Invalid_argument "Stats.percentile: empty")
+          (fun () -> ignore (Stats.percentile s 50.0)));
+    Alcotest.test_case "merge combines samples" `Quick (fun () ->
+        let a = Stats.create () and b = Stats.create () in
+        Stats.add a 1.0;
+        Stats.add b 3.0;
+        let m = Stats.merge a b in
+        check Alcotest.int "count" 2 (Stats.count m);
+        check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean m));
+    Alcotest.test_case "adding after sorting still works" `Quick (fun () ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) [ 2.0; 1.0 ];
+        ignore (Stats.min_value s);
+        Stats.add s 0.5;
+        check (Alcotest.float 1e-9) "new min" 0.5 (Stats.min_value s));
+  ]
+
+let prng_tests =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Prng.create ~seed:1L and b = Prng.create ~seed:1L in
+        for _ = 1 to 10 do
+          check Alcotest.int64 "step" (Prng.next a) (Prng.next b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+        check Alcotest.bool "differ" true (Prng.next a <> Prng.next b));
+    Alcotest.test_case "float stays in [0,1)" `Quick (fun () ->
+        let p = Prng.create ~seed:3L in
+        for _ = 1 to 1000 do
+          let f = Prng.float p in
+          if f < 0.0 || f >= 1.0 then Alcotest.fail "out of range"
+        done);
+    Alcotest.test_case "int respects bound" `Quick (fun () ->
+        let p = Prng.create ~seed:4L in
+        for _ = 1 to 1000 do
+          let v = Prng.int p ~bound:7 in
+          if v < 0 || v >= 7 then Alcotest.fail "out of bound"
+        done);
+    Alcotest.test_case "exponential has roughly the right mean" `Quick (fun () ->
+        let p = Prng.create ~seed:5L in
+        let n = 20000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          sum := !sum +. Prng.exponential p ~mean:10.0
+        done;
+        let mean = !sum /. float_of_int n in
+        if mean < 9.0 || mean > 11.0 then
+          Alcotest.failf "mean %.2f outside [9,11]" mean);
+    Alcotest.test_case "split produces an independent stream" `Quick (fun () ->
+        let a = Prng.create ~seed:6L in
+        let b = Prng.split a in
+        check Alcotest.bool "differ" true (Prng.next a <> Prng.next b));
+  ]
+
+let () =
+  Alcotest.run "nfp_algo"
+    [
+      ("heap", heap_tests);
+      ("ring", ring_tests);
+      ("lpm", lpm_tests);
+      ("aho_corasick", aho_tests);
+      ("aes", aes_tests);
+      ("hashing", hashing_tests);
+      ("checksum", checksum_tests);
+      ("token_bucket", bucket_tests);
+      ("lz77", lz77_tests);
+      ("stats", stats_tests);
+      ("prng", prng_tests);
+    ]

@@ -1,0 +1,813 @@
+(* Tests for nfp_infra: the per-packet context, the deployed dataplane,
+   and result-correctness against the sequential reference (§6.4). *)
+
+open Nfp_packet
+open Nfp_core
+
+let check = Alcotest.check
+
+let ip s = Option.get (Flow.ip_of_string s)
+
+let flow ?(sip = "10.0.1.1") ?(dip = "10.8.2.10") ?(sport = 12000) ?(dport = 61080)
+    ?(proto = 6) () =
+  Flow.make ~sip:(ip sip) ~dip:(ip dip) ~sport ~dport ~proto
+
+let pkt ?(payload = "PAYLOAD-0123") ?flow:(f = flow ()) () =
+  Packet.create ~flow:f ~payload ()
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let context_tests =
+  [
+    Alcotest.test_case "create stores version 1 with metadata" `Quick (fun () ->
+        let p = pkt () in
+        let ctx = Nfp_infra.Context.create ~pid:42L ~mid:3 p in
+        check Alcotest.int64 "pid" 42L (Nfp_infra.Context.pid ctx);
+        match Nfp_infra.Context.get ctx 1 with
+        | Some q ->
+            check Alcotest.int "version" 1 (Packet.meta q).Meta.version;
+            check Alcotest.int "mid" 3 (Packet.meta q).Meta.mid
+        | None -> Alcotest.fail "version 1 missing");
+    Alcotest.test_case "missing versions are None" `Quick (fun () ->
+        let ctx = Nfp_infra.Context.create ~pid:1L ~mid:1 (pkt ()) in
+        check Alcotest.bool "v2" true (Nfp_infra.Context.get ctx 2 = None);
+        check Alcotest.bool "v0" true (Nfp_infra.Context.get ctx 0 = None);
+        check Alcotest.bool "v99" true (Nfp_infra.Context.get ctx 99 = None));
+    Alcotest.test_case "header-only copy materializes a trimmed version" `Quick (fun () ->
+        let ctx =
+          Nfp_infra.Context.create ~pid:1L ~mid:1 (pkt ~payload:(String.make 500 'x') ())
+        in
+        let bytes = Nfp_infra.Context.copy ctx ~src:1 ~dst:2 ~full:false in
+        check Alcotest.int "54 bytes" 54 bytes;
+        match Nfp_infra.Context.get ctx 2 with
+        | Some c ->
+            check Alcotest.int "trimmed" 54 (Packet.wire_length c);
+            check Alcotest.int "tagged" 2 (Packet.meta c).Meta.version
+        | None -> Alcotest.fail "copy missing");
+    Alcotest.test_case "full copy keeps the payload" `Quick (fun () ->
+        let ctx = Nfp_infra.Context.create ~pid:1L ~mid:1 (pkt ~payload:"full copy" ()) in
+        ignore (Nfp_infra.Context.copy ctx ~src:1 ~dst:3 ~full:true);
+        match Nfp_infra.Context.get ctx 3 with
+        | Some c -> check Alcotest.string "payload" "full copy" (Packet.payload c)
+        | None -> Alcotest.fail "copy missing");
+    Alcotest.test_case "copies are independent buffers" `Quick (fun () ->
+        let ctx = Nfp_infra.Context.create ~pid:1L ~mid:1 (pkt ()) in
+        ignore (Nfp_infra.Context.copy ctx ~src:1 ~dst:2 ~full:true);
+        let v2 = Option.get (Nfp_infra.Context.get ctx 2) in
+        Packet.set_sip v2 77l;
+        let v1 = Option.get (Nfp_infra.Context.get ctx 1) in
+        check Alcotest.bool "v1 intact" true (Packet.sip v1 <> 77l));
+    Alcotest.test_case "versions listing is sorted" `Quick (fun () ->
+        let ctx = Nfp_infra.Context.create ~pid:1L ~mid:1 (pkt ()) in
+        ignore (Nfp_infra.Context.copy ctx ~src:1 ~dst:3 ~full:false);
+        ignore (Nfp_infra.Context.copy ctx ~src:1 ~dst:2 ~full:false);
+        check Alcotest.(list int) "sorted" [ 1; 2; 3 ]
+          (List.map fst (Nfp_infra.Context.versions ctx)));
+    Alcotest.test_case "copy from a missing source fails" `Quick (fun () ->
+        let ctx = Nfp_infra.Context.create ~pid:1L ~mid:1 (pkt ()) in
+        Alcotest.check_raises "missing"
+          (Invalid_argument "Context.copy: source version missing") (fun () ->
+            ignore (Nfp_infra.Context.copy ctx ~src:9 ~dst:2 ~full:false)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Deployment helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let compile_ok text =
+  match Compiler.compile_text text with
+  | Ok o -> o
+  | Error es -> Alcotest.failf "compile failed: %s" (String.concat "; " es)
+
+let plan_of_output o =
+  match Tables.of_output o with Ok p -> p | Error e -> Alcotest.failf "plan: %s" e
+
+let instances bindings =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (name, kind) ->
+      match Nfp_nf.Registry.instantiate kind ~name with
+      | Some nf -> Hashtbl.replace table name nf
+      | None -> Alcotest.failf "no implementation for %s" kind)
+    bindings;
+  fun name -> Hashtbl.find table name
+
+let run_both ~text ~bindings ~chain_order packets_list =
+  (* Run each packet through a fresh sequential chain and a fresh
+     deployment of the compiled plan; compare outcomes pairwise. *)
+  let o = compile_ok text in
+  let plan = plan_of_output o in
+  let seq_lookup = instances bindings in
+  let par_lookup = instances bindings in
+  List.map
+    (fun p ->
+      let seq =
+        Nfp_infra.Reference.run_sequential ~nfs:(List.map seq_lookup chain_order)
+          (Packet.full_copy p)
+      in
+      let par = Nfp_infra.Reference.run_plan ~plan ~nfs:par_lookup (Packet.full_copy p) in
+      (seq, par))
+    packets_list
+
+let outcomes_agree (seq, par) =
+  match (seq, par) with
+  | None, None -> true
+  | Some a, Some b -> Packet.equal_wire a b
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Reference execution / result correctness                            *)
+(* ------------------------------------------------------------------ *)
+
+let ns_text =
+  "NF(vpn, VPN)\nNF(mon, Monitor)\nNF(fw, Firewall)\nNF(lb, LoadBalancer)\n\
+   Chain(vpn, mon, fw, lb)"
+
+let ns_bindings =
+  [ ("vpn", "VPN"); ("mon", "Monitor"); ("fw", "Firewall"); ("lb", "LoadBalancer") ]
+
+let we_text = "NF(ids, IPS)\nNF(mon, Monitor)\nNF(lb, LoadBalancer)\nChain(ids, mon, lb)"
+
+let we_bindings = [ ("ids", "IPS"); ("mon", "Monitor"); ("lb", "LoadBalancer") ]
+
+let reference_tests =
+  [
+    Alcotest.test_case "run_sequential stops at a drop" `Quick (fun () ->
+        let deny = Nfp_nf.Firewall.any_rule ~permit:false in
+        let fw, _ = Nfp_nf.Firewall.create ~acl:[ deny ] () in
+        let mon, stats = Nfp_nf.Monitor.create () in
+        check Alcotest.bool "dropped" true
+          (Nfp_infra.Reference.run_sequential ~nfs:[ fw; mon ] (pkt ()) = None);
+        check Alcotest.int "monitor never saw it" 0 (stats.total_packets ()));
+    Alcotest.test_case "north-south graph matches sequential execution" `Quick (fun () ->
+        let packets = List.init 30 (fun i -> pkt ~flow:(flow ~sport:(10000 + i) ()) ()) in
+        let results = run_both ~text:ns_text ~bindings:ns_bindings
+            ~chain_order:[ "vpn"; "mon"; "fw"; "lb" ] packets
+        in
+        check Alcotest.bool "all agree" true (List.for_all outcomes_agree results);
+        check Alcotest.bool "some delivered" true
+          (List.exists (fun (s, _) -> s <> None) results));
+    Alcotest.test_case "west-east graph matches despite the copy" `Quick (fun () ->
+        let packets = List.init 30 (fun i -> pkt ~flow:(flow ~dport:(61000 + i) ()) ()) in
+        let results = run_both ~text:we_text ~bindings:we_bindings
+            ~chain_order:[ "ids"; "mon"; "lb" ] packets
+        in
+        check Alcotest.bool "all agree" true (List.for_all outcomes_agree results));
+    Alcotest.test_case "ACL-dropped packets drop in both executions" `Quick (fun () ->
+        (* dports below 1000 hit the synthetic ACL's deny bands for
+           some rules; craft one that definitely matches rule 0. *)
+        let denied =
+          pkt ~flow:(flow ~sip:"10.0.0.5" ~dport:25 ()) ()
+        in
+        let results = run_both ~text:ns_text ~bindings:ns_bindings
+            ~chain_order:[ "vpn"; "mon"; "fw"; "lb" ] [ denied ]
+        in
+        List.iter
+          (fun (s, p) ->
+            check Alcotest.bool "agree" true (outcomes_agree (s, p));
+            check Alcotest.bool "dropped" true (s = None))
+          results);
+    Alcotest.test_case "internal NF state matches after parallel execution" `Quick
+      (fun () ->
+        (* The result-correctness principle covers NF state too: run the
+           same traffic through both and compare monitor digests. *)
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        let seq_lookup = instances ns_bindings in
+        let par_lookup = instances ns_bindings in
+        let packets = List.init 20 (fun i -> pkt ~flow:(flow ~sport:(15000 + i) ()) ()) in
+        List.iter
+          (fun p ->
+            ignore
+              (Nfp_infra.Reference.run_sequential
+                 ~nfs:(List.map seq_lookup [ "vpn"; "mon"; "fw"; "lb" ])
+                 (Packet.full_copy p));
+            ignore
+              (Nfp_infra.Reference.run_plan ~plan ~nfs:par_lookup (Packet.full_copy p)))
+          packets;
+        check Alcotest.int "monitor state digest"
+          ((seq_lookup "mon").Nfp_nf.Nf.state_digest ())
+          ((par_lookup "mon").Nfp_nf.Nf.state_digest ()));
+    Alcotest.test_case "priority resolves drop conflicts toward the winner" `Quick
+      (fun () ->
+        (* Firewall denies everything; IPS forwards clean payloads. Under
+           Priority(ips > fw) the paper adopts the IPS result. *)
+        let o = compile_ok "NF(ips, IPS)\nNF(fw, Firewall)\nPriority(ips > fw)" in
+        let plan = plan_of_output o in
+        let table = Hashtbl.create 4 in
+        Hashtbl.replace table "ips" (fst (Nfp_nf.Ids.create ~name:"ips" ~mode:`Prevent ()));
+        Hashtbl.replace table "fw"
+          (fst (Nfp_nf.Firewall.create ~name:"fw" ~acl:[ Nfp_nf.Firewall.any_rule ~permit:false ] ()));
+        let clean = pkt ~payload:"CLEAN-DATA-42" () in
+        (match Nfp_infra.Reference.run_plan ~plan ~nfs:(Hashtbl.find table) clean with
+        | Some _ -> ()
+        | None -> Alcotest.fail "IPS verdict should have won");
+        (* A signature hit makes the IPS itself drop: packet dies. *)
+        let bad = pkt ~payload:(List.hd (Nfp_nf.Ids.default_signatures 1)) () in
+        match Nfp_infra.Reference.run_plan ~plan ~nfs:(Hashtbl.find table) bad with
+        | None -> ()
+        | Some _ -> Alcotest.fail "IPS drop should have dropped the packet");
+    Alcotest.test_case "any-drop policy drops when either branch drops" `Quick (fun () ->
+        (* mon || fw via Order: fw drops everything. *)
+        let o = compile_ok "NF(mon, Monitor)\nNF(fw, Firewall)\nOrder(mon, before, fw)" in
+        let plan = plan_of_output o in
+        let table = Hashtbl.create 4 in
+        Hashtbl.replace table "mon" (fst (Nfp_nf.Monitor.create ~name:"mon" ()));
+        Hashtbl.replace table "fw"
+          (fst (Nfp_nf.Firewall.create ~name:"fw" ~acl:[ Nfp_nf.Firewall.any_rule ~permit:false ] ()));
+        match Nfp_infra.Reference.run_plan ~plan ~nfs:(Hashtbl.find table) (pkt ()) with
+        | None -> ()
+        | Some _ -> Alcotest.fail "drop should win");
+    Alcotest.test_case "nested parallelism executes correctly" `Quick (fun () ->
+        (* Hand-built graph: (mon1 -> (mon2 | gw)) | cache, all readers. *)
+        let graph =
+          Graph.par
+            [
+              Graph.seq [ Graph.nf "mon1"; Graph.par [ Graph.nf "mon2"; Graph.nf "gw" ] ];
+              Graph.nf "cache";
+            ]
+        in
+        let profile_of n =
+          Nfp_nf.Registry.profile_of
+            (match n with
+            | "mon1" | "mon2" -> "Monitor"
+            | "gw" -> "Gateway"
+            | _ -> "Caching")
+        in
+        let plan =
+          match Tables.plan ~profile_of graph with Ok p -> p | Error e -> Alcotest.fail e
+        in
+        let table = Hashtbl.create 4 in
+        Hashtbl.replace table "mon1" (fst (Nfp_nf.Monitor.create ~name:"mon1" ()));
+        Hashtbl.replace table "mon2" (fst (Nfp_nf.Monitor.create ~name:"mon2" ()));
+        Hashtbl.replace table "gw" (fst (Nfp_nf.Gateway.create ~name:"gw" ()));
+        Hashtbl.replace table "cache" (fst (Nfp_nf.Caching.create ~name:"cache" ()));
+        let input = pkt () in
+        match Nfp_infra.Reference.run_plan ~plan ~nfs:(Hashtbl.find table) (Packet.full_copy input) with
+        | Some out -> check Alcotest.bool "unchanged" true (Packet.equal_wire out input)
+        | None -> Alcotest.fail "packet lost");
+    Alcotest.test_case "flow affinity survives parallel execution" `Quick (fun () ->
+        (* The west-east LB works on a header-only copy; the same flow
+           must still hash to the same backend after merging. *)
+        let o = compile_ok we_text in
+        let plan = plan_of_output o in
+        let lookup = instances we_bindings in
+        let backend_of p =
+          match Nfp_infra.Reference.run_plan ~plan ~nfs:lookup (Packet.full_copy p) with
+          | Some out -> Packet.dip out
+          | None -> Alcotest.fail "dropped"
+        in
+        let p = pkt () in
+        let first = backend_of p in
+        for _ = 1 to 5 do
+          check Alcotest.int32 "sticky" first (backend_of p)
+        done);
+    Alcotest.test_case "multiple merger instances give the same results" `Quick (fun () ->
+        let o = compile_ok we_text in
+        let plan = plan_of_output o in
+        let lookup1 = instances we_bindings and lookup2 = instances we_bindings in
+        let p = pkt () in
+        let r1 = Nfp_infra.Reference.run_plan ~mergers:1 ~plan ~nfs:lookup1 (Packet.full_copy p) in
+        let r2 = Nfp_infra.Reference.run_plan ~mergers:3 ~plan ~nfs:lookup2 (Packet.full_copy p) in
+        match (r1, r2) with
+        | Some a, Some b -> check Alcotest.bool "equal" true (Packet.equal_wire a b)
+        | _ -> Alcotest.fail "delivery mismatch");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* System-level measurement sanity                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_pkt i = pkt ~flow:(flow ~sport:(10000 + (i mod 500)) ()) ()
+
+let system_tests =
+  [
+    Alcotest.test_case "deployment delivers all packets below capacity" `Quick (fun () ->
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        let make engine ~output =
+          Nfp_infra.System.make ~plan ~nfs:(instances ns_bindings) engine ~output
+        in
+        let r =
+          Nfp_sim.Harness.run ~make ~gen:gen_pkt ~arrivals:(Nfp_sim.Harness.Uniform 0.2)
+            ~packets:500 ()
+        in
+        check Alcotest.int "conserved" 500 (r.delivered + r.ring_drops + r.nf_drops);
+        check Alcotest.int "no ring drops" 0 r.ring_drops;
+        check Alcotest.int "delivered" 500 r.delivered);
+    Alcotest.test_case "parallel graph is faster than sequential at load" `Quick
+      (fun () ->
+        (* Two heavyweight IDS instances: parallel halves the latency. *)
+        let graph_seq = Graph.seq [ Graph.nf "a"; Graph.nf "b" ] in
+        let graph_par = Graph.par [ Graph.nf "a"; Graph.nf "b" ] in
+        let profile_of _ = Nfp_nf.Registry.profile_of "IDS" in
+        let nfs () =
+          let t = Hashtbl.create 2 in
+          Hashtbl.replace t "a" (fst (Nfp_nf.Ids.create ~name:"a" ()));
+          Hashtbl.replace t "b" (fst (Nfp_nf.Ids.create ~name:"b" ()));
+          Hashtbl.find t
+        in
+        let latency graph =
+          let plan =
+            match Tables.plan ~profile_of graph with Ok p -> p | Error e -> Alcotest.fail e
+          in
+          let make engine ~output = Nfp_infra.System.make ~plan ~nfs:(nfs ()) engine ~output in
+          let r =
+            Nfp_sim.Harness.run ~make ~gen:gen_pkt
+              ~arrivals:(Nfp_sim.Harness.Burst (0.8, 32))
+              ~packets:4000 ()
+          in
+          Nfp_algo.Stats.mean r.latency
+        in
+        let l_seq = latency graph_seq and l_par = latency graph_par in
+        if l_par >= l_seq then
+          Alcotest.failf "parallel %.0f not faster than sequential %.0f" l_par l_seq);
+    Alcotest.test_case "overload never deadlocks or leaks packets" `Quick (fun () ->
+        (* Offer 20 Mpps into a chain that handles ~1.4: backpressure
+           cascades, the entry drops, and every packet is accounted. *)
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        let make engine ~output =
+          Nfp_infra.System.make ~plan ~nfs:(instances ns_bindings) engine ~output
+        in
+        let r =
+          Nfp_sim.Harness.run ~make ~gen:gen_pkt ~arrivals:(Nfp_sim.Harness.Uniform 20.0)
+            ~packets:3000 ()
+        in
+        check Alcotest.int "conservation" 3000 (r.delivered + r.ring_drops + r.nf_drops);
+        check Alcotest.bool "drops happened" true (r.ring_drops > 0);
+        check Alcotest.bool "progress made" true (r.delivered > 0));
+    Alcotest.test_case "parallel overload with copies is also safe" `Quick (fun () ->
+        let graph = Graph.par [ Graph.nf "a"; Graph.nf "b"; Graph.nf "c" ] in
+        let profile_of _ = Nfp_nf.Registry.profile_of "Firewall" in
+        let plan =
+          match Tables.plan ~copy_mode:`Copy_all ~profile_of graph with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let nfs =
+          let t = Hashtbl.create 4 in
+          List.iter
+            (fun n -> Hashtbl.replace t n (fst (Nfp_nf.Firewall.create ~name:n ())))
+            [ "a"; "b"; "c" ];
+          Hashtbl.find t
+        in
+        let make engine ~output = Nfp_infra.System.make ~plan ~nfs engine ~output in
+        let r =
+          Nfp_sim.Harness.run ~make ~gen:gen_pkt ~arrivals:(Nfp_sim.Harness.Uniform 30.0)
+            ~packets:3000 ()
+        in
+        check Alcotest.int "conservation" 3000 (r.delivered + r.ring_drops + r.nf_drops));
+    Alcotest.test_case "a crashing NF is contained as a drop" `Quick (fun () ->
+        (* mon || bomb in parallel: the bomb's exception must become a
+           nil, the merger must still resolve, and the packet drops. *)
+        let o = compile_ok "NF(mon, Monitor)\nNF(fw, Firewall)\nOrder(mon, before, fw)" in
+        let plan = plan_of_output o in
+        let bomb =
+          Nfp_nf.Nf.make ~name:"fw" ~kind:"Bomb"
+            ~profile:(Nfp_nf.Registry.profile_of "Firewall")
+            ~cost_cycles:(fun _ -> 100)
+            (fun _ -> failwith "segfault")
+        in
+        let mon, mon_stats = Nfp_nf.Monitor.create ~name:"mon" () in
+        let lookup = function "mon" -> mon | _ -> bomb in
+        let engine = Nfp_sim.Engine.create () in
+        let delivered = ref 0 in
+        let system =
+          Nfp_infra.System.make ~plan ~nfs:lookup engine
+            ~output:(fun ~pid:_ _ -> incr delivered)
+        in
+        system.Nfp_sim.Harness.inject ~pid:1L (pkt ());
+        Nfp_sim.Engine.run engine;
+        check Alcotest.int "nothing delivered" 0 !delivered;
+        check Alcotest.int "monitor still processed it" 1 (mon_stats.total_packets ());
+        check Alcotest.int "counted as an NF drop" 1 (system.nf_drops ()));
+    Alcotest.test_case "a crashing solo NF is contained too" `Quick (fun () ->
+        let profile_of _ = Nfp_nf.Registry.profile_of "Monitor" in
+        let plan =
+          match Tables.plan ~profile_of (Graph.nf "bomb") with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let bomb =
+          Nfp_nf.Nf.make ~name:"bomb" ~kind:"Bomb"
+            ~profile:(Nfp_nf.Registry.profile_of "Monitor")
+            ~cost_cycles:(fun _ -> 100)
+            (fun _ -> raise Exit)
+        in
+        let engine = Nfp_sim.Engine.create () in
+        let system =
+          Nfp_infra.System.make ~plan ~nfs:(fun _ -> bomb) engine
+            ~output:(fun ~pid:_ _ -> Alcotest.fail "should not deliver")
+        in
+        system.Nfp_sim.Harness.inject ~pid:1L (pkt ());
+        Nfp_sim.Engine.run engine;
+        check Alcotest.int "dropped" 1 (system.nf_drops ()));
+    Alcotest.test_case "core stats sampler reports every core" `Quick (fun () ->
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        let cell = ref (fun () -> []) in
+        let engine = Nfp_sim.Engine.create () in
+        let system =
+          Nfp_infra.System.make ~stats:cell ~plan ~nfs:(instances ns_bindings) engine
+            ~output:(fun ~pid:_ _ -> ())
+        in
+        for i = 0 to 9 do
+          Nfp_sim.Engine.schedule engine
+            ~delay:(float_of_int i *. 2000.0)
+            (fun () -> system.Nfp_sim.Harness.inject ~pid:(Int64.of_int i) (pkt ()))
+        done;
+        Nfp_sim.Engine.run engine;
+        let cores = !cell () in
+        (* classifier + 4 NFs + 1 merger. *)
+        check Alcotest.int "six cores" 6 (List.length cores);
+        let find name = List.find (fun c -> c.Nfp_infra.System.core = name) cores in
+        check Alcotest.int "classifier saw all" 10 (find "classifier").processed;
+        check Alcotest.int "merger saw two deliveries each" 20 (find "merger#0").processed;
+        check Alcotest.bool "vpn busiest" true
+          ((find "mid1:vpn").busy_ns > (find "mid1:mon").busy_ns));
+    Alcotest.test_case "core_count matches the paper's accounting" `Quick (fun () ->
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        (* 4 NFs + classifier + 1 merger. *)
+        check Alcotest.int "six cores" 6
+          (Nfp_infra.System.core_count Nfp_infra.System.default_config plan);
+        let config = { Nfp_infra.System.default_config with mergers = 2 } in
+        (* + extra merger + agent. *)
+        check Alcotest.int "eight cores" 8 (Nfp_infra.System.core_count config plan));
+    Alcotest.test_case "unknown NF name rejected at deployment" `Quick (fun () ->
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        let engine = Nfp_sim.Engine.create () in
+        try
+          ignore
+            (Nfp_infra.System.make ~plan ~nfs:(fun _ -> raise Not_found) engine
+               ~output:(fun ~pid:_ _ -> ()));
+          Alcotest.fail "accepted missing NFs"
+        with Invalid_argument _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Randomized end-to-end correctness: arbitrary policies, arbitrary    *)
+(* traffic — the compiled graph must match sequential execution        *)
+(* ------------------------------------------------------------------ *)
+
+(* NF types whose behaviour is deterministic per instance; enough to
+   cover reads, header/payload writes, header addition and drops. *)
+let kind_pool =
+  [| "Monitor"; "Gateway"; "Caching"; "Firewall"; "IDS"; "IPS"; "LoadBalancer";
+     "VPN"; "NAT"; "Proxy"; "Compression"; "Forwarder" |]
+
+let random_policy_gen =
+  (* A policy = 2-5 NFs with random types and a random acyclic subset
+     of forward Order edges over their listing. *)
+  QCheck.Gen.(
+    let* n = int_range 2 5 in
+    let* kinds = array_size (return n) (int_range 0 (Array.length kind_pool - 1)) in
+    let* edge_bits = array_size (return (n * n)) bool in
+    return (kinds, edge_bits))
+
+let random_policy_arbitrary =
+  QCheck.make
+    ~print:(fun (kinds, _) ->
+      String.concat ","
+        (Array.to_list (Array.map (fun i -> kind_pool.(i)) kinds)))
+    random_policy_gen
+
+let build_policy (kinds, edge_bits) =
+  let n = Array.length kinds in
+  let name i = Printf.sprintf "n%d" i in
+  let bindings = List.init n (fun i -> (name i, kind_pool.(kinds.(i)))) in
+  let rules =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               if j > i && edge_bits.((i * n) + j) then
+                 Some (Nfp_policy.Rule.Order (name i, name j))
+               else None)
+             (List.init n Fun.id)))
+  in
+  (* Keep every NF mentioned so the sequential order is well defined. *)
+  let rules =
+    if rules = [] then Nfp_policy.Rule.of_chain (List.init n name) else rules
+  in
+  { Nfp_policy.Rule.bindings; rules }
+
+(* Mixed traffic: benign flows, ACL-deny hitters, signature hitters. *)
+let traffic_packet i =
+  let sig0 = List.hd (Nfp_nf.Ids.default_signatures 1) in
+  match i mod 4 with
+  | 0 -> pkt ~flow:(flow ~sport:(10000 + i) ()) ()
+  | 1 -> pkt ~flow:(flow ~sip:"10.0.0.9" ~dport:(i mod 50) ()) () (* ACL deny band *)
+  | 2 -> pkt ~payload:("xx" ^ sig0) ~flow:(flow ~sport:(20000 + i) ()) ()
+  | _ -> pkt ~payload:(String.make (10 + (i mod 400)) 'Q') ~flow:(flow ~dport:(61000 + i) ()) ()
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60
+         ~name:"compiled graphs match sequential execution on any policy"
+         random_policy_arbitrary
+         (fun spec ->
+           let policy = build_policy spec in
+           match Compiler.compile policy with
+           | Error _ -> QCheck.assume_fail () (* rejected policies are vacuous *)
+           | Ok out -> (
+               match Tables.of_output out with
+               | Ok plan ->
+                   let seq_lookup = instances policy.bindings in
+                   let par_lookup = instances policy.bindings in
+                   let order = plan.Tables.serial_order in
+                   List.for_all
+                     (fun i ->
+                       let p = traffic_packet i in
+                       let a =
+                         Nfp_infra.Reference.run_sequential
+                           ~nfs:(List.map seq_lookup order) (Packet.full_copy p)
+                       in
+                       let b =
+                         Nfp_infra.Reference.run_plan ~plan ~nfs:par_lookup
+                           (Packet.full_copy p)
+                       in
+                       match (a, b) with
+                       | None, None -> true
+                       | Some x, Some y ->
+                           Packet.equal_wire x y
+                           && Packet.ip_checksum_valid y
+                           && Packet.l4_checksum_valid y
+                       | _ -> false)
+                     (List.init 12 Fun.id)
+               | Error _ -> false)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:40
+         ~name:"compiled graphs preserve every NF's internal state"
+         random_policy_arbitrary
+         (fun spec ->
+           let policy = build_policy spec in
+           match Compiler.compile policy with
+           | Error _ -> QCheck.assume_fail ()
+           | Ok out -> (
+               match Tables.of_output out with
+               | Ok plan ->
+                   let seq_lookup = instances policy.bindings in
+                   let par_lookup = instances policy.bindings in
+                   let order = plan.Tables.serial_order in
+                   List.iter
+                     (fun i ->
+                       let p = traffic_packet i in
+                       ignore
+                         (Nfp_infra.Reference.run_sequential
+                            ~nfs:(List.map seq_lookup order) (Packet.full_copy p));
+                       ignore
+                         (Nfp_infra.Reference.run_plan ~plan ~nfs:par_lookup
+                            (Packet.full_copy p)))
+                     (List.init 10 Fun.id);
+                   List.for_all
+                     (fun name ->
+                       (seq_lookup name).Nfp_nf.Nf.state_digest ()
+                       = (par_lookup name).Nfp_nf.Nf.state_digest ())
+                     order
+               | Error _ -> false)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-graph deployments (classification table, Fig. 4)              *)
+(* ------------------------------------------------------------------ *)
+
+let multi_tests =
+  [
+    Alcotest.test_case "flows are steered into their own service graphs" `Quick (fun () ->
+        (* Graph 1 (web traffic, dport 61080): monitor only.
+           Graph 2 (everything else): firewall that denies everything. *)
+        let plan_of text =
+          match Compiler.compile_text text with
+          | Error es -> Alcotest.failf "compile: %s" (String.concat ";" es)
+          | Ok o -> plan_of_output o
+        in
+        let mon_plan = plan_of "NF(mon, Monitor)\nPosition(mon, first)" in
+        let fw_plan = plan_of "NF(fw, Firewall)\nPosition(fw, first)" in
+        let mon, mon_stats = Nfp_nf.Monitor.create ~name:"mon" () in
+        let fw, fw_stats =
+          Nfp_nf.Firewall.create ~name:"fw" ~acl:[ Nfp_nf.Firewall.any_rule ~permit:false ] ()
+        in
+        let graphs =
+          [
+            ( Flow_match.make ~dport_range:(61080, 61080) (),
+              mon_plan,
+              fun _ -> mon );
+            (Flow_match.any, fw_plan, fun _ -> fw);
+          ]
+        in
+        let engine = Nfp_sim.Engine.create () in
+        let delivered = ref 0 in
+        let system =
+          Nfp_infra.System.make_multi ~graphs engine ~output:(fun ~pid:_ _ -> incr delivered)
+        in
+        (* 10 web packets, 5 other packets. *)
+        for i = 0 to 9 do
+          system.Nfp_sim.Harness.inject ~pid:(Int64.of_int i)
+            (pkt ~flow:(flow ~sport:(30000 + i) ~dport:61080 ()) ())
+        done;
+        for i = 10 to 14 do
+          system.Nfp_sim.Harness.inject ~pid:(Int64.of_int i)
+            (pkt ~flow:(flow ~dport:9999 ()) ())
+        done;
+        Nfp_sim.Engine.run engine;
+        check Alcotest.int "web packets delivered" 10 !delivered;
+        check Alcotest.int "monitor saw only web traffic" 10 (mon_stats.total_packets ());
+        check Alcotest.int "firewall dropped the rest" 5 (fw_stats.dropped ());
+        check Alcotest.int "counted as nf drops" 5 (system.nf_drops ()));
+    Alcotest.test_case "first matching CT entry wins" `Quick (fun () ->
+        let plan_of text =
+          match Compiler.compile_text text with
+          | Error es -> Alcotest.failf "compile: %s" (String.concat ";" es)
+          | Ok o -> plan_of_output o
+        in
+        let p1 = plan_of "NF(m1, Monitor)\nPosition(m1, first)" in
+        let p2 = plan_of "NF(m2, Monitor)\nPosition(m2, first)" in
+        let m1, s1 = Nfp_nf.Monitor.create ~name:"m1" () in
+        let m2, s2 = Nfp_nf.Monitor.create ~name:"m2" () in
+        let graphs =
+          [ (Flow_match.any, p1, fun _ -> m1); (Flow_match.any, p2, fun _ -> m2) ]
+        in
+        let engine = Nfp_sim.Engine.create () in
+        let system =
+          Nfp_infra.System.make_multi ~graphs engine ~output:(fun ~pid:_ _ -> ())
+        in
+        system.Nfp_sim.Harness.inject ~pid:1L (pkt ());
+        Nfp_sim.Engine.run engine;
+        check Alcotest.int "first graph" 1 (s1.total_packets ());
+        check Alcotest.int "second graph untouched" 0 (s2.total_packets ()));
+    Alcotest.test_case "unmatched packets are discarded" `Quick (fun () ->
+        let plan_of text =
+          match Compiler.compile_text text with
+          | Error es -> Alcotest.failf "compile: %s" (String.concat ";" es)
+          | Ok o -> plan_of_output o
+        in
+        let p = plan_of "NF(m, Monitor)\nPosition(m, first)" in
+        let m, _ = Nfp_nf.Monitor.create ~name:"m" () in
+        let engine = Nfp_sim.Engine.create () in
+        let system =
+          Nfp_infra.System.make_multi
+            ~graphs:[ (Flow_match.make ~proto:17 (), p, fun _ -> m) ]
+            engine
+            ~output:(fun ~pid:_ _ -> ())
+        in
+        system.Nfp_sim.Harness.inject ~pid:1L (pkt ()) (* TCP: no match *);
+        Nfp_sim.Engine.run engine;
+        check Alcotest.int "discarded" 1 (system.nf_drops ()));
+    Alcotest.test_case "empty classification table rejected" `Quick (fun () ->
+        let engine = Nfp_sim.Engine.create () in
+        Alcotest.check_raises "empty" (Invalid_argument "System.make_multi: no service graphs")
+          (fun () ->
+            ignore
+              (Nfp_infra.System.make_multi ~graphs:[] engine ~output:(fun ~pid:_ _ -> ()))));
+    Alcotest.test_case "parallel graphs coexist behind shared mergers" `Quick (fun () ->
+        (* Two west-east-style graphs with copies, one merger instance. *)
+        let plan_of text =
+          match Compiler.compile_text text with
+          | Error es -> Alcotest.failf "compile: %s" (String.concat ";" es)
+          | Ok o -> plan_of_output o
+        in
+        let text name =
+          Printf.sprintf "NF(mon%s, Monitor)\nNF(lb%s, LoadBalancer)\nChain(mon%s, lb%s)"
+            name name name name
+        in
+        let mk name =
+          let plan = plan_of (text name) in
+          let lookup = instances [ ("mon" ^ name, "Monitor"); ("lb" ^ name, "LoadBalancer") ] in
+          (plan, lookup)
+        in
+        let p1, l1 = mk "A" and p2, l2 = mk "B" in
+        let graphs =
+          [
+            (Flow_match.make ~dport_range:(61080, 61080) (), p1, l1);
+            (Flow_match.any, p2, l2);
+          ]
+        in
+        let engine = Nfp_sim.Engine.create () in
+        let delivered = ref 0 in
+        let system =
+          Nfp_infra.System.make_multi ~graphs engine ~output:(fun ~pid:_ _ -> incr delivered)
+        in
+        for i = 0 to 19 do
+          let dport = if i mod 2 = 0 then 61080 else 7777 in
+          system.Nfp_sim.Harness.inject ~pid:(Int64.of_int i)
+            (pkt ~flow:(flow ~sport:(40000 + i) ~dport ()) ())
+        done;
+        Nfp_sim.Engine.run engine;
+        check Alcotest.int "all merged and delivered" 20 !delivered);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-server clusters (paper §7)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_tests =
+  [
+    Alcotest.test_case "partitioned chain produces the same packets" `Quick (fun () ->
+        let names = List.init 6 (fun i -> Printf.sprintf "m%d" i) in
+        let graph = Graph.seq (List.map Graph.nf names) in
+        let profile_of _ = Nfp_nf.Registry.profile_of "Monitor" in
+        let nfs () =
+          let t = Hashtbl.create 8 in
+          List.iter
+            (fun n -> Hashtbl.replace t n (fst (Nfp_nf.Monitor.create ~name:n ())))
+            names;
+          Hashtbl.find t
+        in
+        let assignments =
+          match Partition.partition ~cores_per_server:4 graph with
+          | Ok a -> a
+          | Error e -> Alcotest.fail e
+        in
+        check Alcotest.bool "actually split" true (List.length assignments >= 2);
+        let engine = Nfp_sim.Engine.create () in
+        let out = ref None in
+        let system =
+          match
+            Nfp_infra.Cluster.of_partition ~assignments ~profile_of ~nfs:(nfs ()) engine
+              ~output:(fun ~pid:_ p -> out := Some p)
+          with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        let input = pkt () in
+        system.Nfp_sim.Harness.inject ~pid:1L (Packet.full_copy input);
+        Nfp_sim.Engine.run engine;
+        match !out with
+        | Some p -> check Alcotest.bool "read-only chain is identity" true (Packet.equal_wire p input)
+        | None -> Alcotest.fail "packet lost in the cluster");
+    Alcotest.test_case "inter-server links add latency" `Quick (fun () ->
+        let plan_for name =
+          let graph = Graph.nf name in
+          let profile_of _ = Nfp_nf.Registry.profile_of "Monitor" in
+          match Tables.plan ~profile_of graph with Ok p -> p | Error e -> Alcotest.fail e
+        in
+        let nfs name _ = fst (Nfp_nf.Monitor.create ~name ()) in
+        let run segments =
+          let engine = Nfp_sim.Engine.create () in
+          let finish = ref 0.0 in
+          let system =
+            Nfp_infra.Cluster.make ~link_latency_ns:5000.0 ~segments engine
+              ~output:(fun ~pid:_ _ -> finish := Nfp_sim.Engine.now engine)
+          in
+          system.Nfp_sim.Harness.inject ~pid:1L (pkt ());
+          Nfp_sim.Engine.run engine;
+          !finish
+        in
+        let one = run [ (plan_for "a", nfs "a") ] in
+        let two = run [ (plan_for "a", nfs "a"); (plan_for "b", nfs "b") ] in
+        (* A second server costs at least the link plus another NIC trip. *)
+        check Alcotest.bool "link paid" true (two -. one >= 5000.0));
+    Alcotest.test_case "drops aggregate across servers" `Quick (fun () ->
+        let profile_of _ = Nfp_nf.Registry.profile_of "Firewall" in
+        let deny_plan =
+          match Tables.plan ~profile_of (Graph.nf "fw") with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let pass_plan =
+          let profile_of _ = Nfp_nf.Registry.profile_of "Monitor" in
+          match Tables.plan ~profile_of (Graph.nf "m") with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let engine = Nfp_sim.Engine.create () in
+        let system =
+          Nfp_infra.Cluster.make
+            ~segments:
+              [
+                (pass_plan, fun _ -> fst (Nfp_nf.Monitor.create ~name:"m" ()));
+                ( deny_plan,
+                  fun _ ->
+                    fst
+                      (Nfp_nf.Firewall.create ~name:"fw"
+                         ~acl:[ Nfp_nf.Firewall.any_rule ~permit:false ] ()) );
+              ]
+            engine
+            ~output:(fun ~pid:_ _ -> Alcotest.fail "nothing should get through")
+        in
+        system.Nfp_sim.Harness.inject ~pid:1L (pkt ());
+        Nfp_sim.Engine.run engine;
+        check Alcotest.int "second server's drop counted" 1 (system.nf_drops ()));
+    Alcotest.test_case "empty cluster rejected" `Quick (fun () ->
+        let engine = Nfp_sim.Engine.create () in
+        Alcotest.check_raises "empty" (Invalid_argument "Cluster.make: no segments")
+          (fun () ->
+            ignore (Nfp_infra.Cluster.make ~segments:[] engine ~output:(fun ~pid:_ _ -> ()))));
+  ]
+
+let () =
+  Alcotest.run "nfp_infra"
+    [
+      ("context", context_tests);
+      ("reference", reference_tests);
+      ("system", system_tests);
+      ("multi", multi_tests);
+      ("cluster", cluster_tests);
+      ("property", property_tests);
+    ]

@@ -1,0 +1,524 @@
+(* Tests for nfp_nf: each NF implementation and the registry (Table 2). *)
+
+open Nfp_packet
+open Nfp_nf
+
+let check = Alcotest.check
+
+let ip s = Option.get (Flow.ip_of_string s)
+
+let flow ?(sip = "10.0.1.1") ?(dip = "10.8.2.10") ?(sport = 12000) ?(dport = 61080)
+    ?(proto = 6) () =
+  Flow.make ~sip:(ip sip) ~dip:(ip dip) ~sport ~dport ~proto
+
+let pkt ?(payload = "PAYLOAD-0123") ?flow:(f = flow ()) () =
+  Packet.create ~flow:f ~payload ()
+
+let is_forward = function Nf.Forward -> true | Nf.Dropped -> false
+
+(* ------------------------------------------------------------------ *)
+(* Firewall                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let firewall_tests =
+  [
+    Alcotest.test_case "permits traffic missing the ACL" `Quick (fun () ->
+        let fw, stats = Firewall.create () in
+        check Alcotest.bool "forward" true (is_forward (fw.process (pkt ())));
+        check Alcotest.int "passed" 1 (stats.passed ());
+        check Alcotest.int "dropped" 0 (stats.dropped ()));
+    Alcotest.test_case "denies a matching rule" `Quick (fun () ->
+        let deny =
+          { (Firewall.any_rule ~permit:false) with Firewall.dport_range = (80, 80) }
+        in
+        let fw, stats = Firewall.create ~acl:[ deny ] () in
+        let p = pkt ~flow:(flow ~dport:80 ()) () in
+        check Alcotest.bool "dropped" false (is_forward (fw.process p));
+        check Alcotest.int "dropped count" 1 (stats.dropped ()));
+    Alcotest.test_case "first matching rule wins" `Quick (fun () ->
+        let permit =
+          { (Firewall.any_rule ~permit:true) with Firewall.dport_range = (80, 80) }
+        in
+        let deny = Firewall.any_rule ~permit:false in
+        let fw, _ = Firewall.create ~acl:[ permit; deny ] () in
+        check Alcotest.bool "permit wins" true
+          (is_forward (fw.process (pkt ~flow:(flow ~dport:80 ()) ())));
+        check Alcotest.bool "deny catches rest" false
+          (is_forward (fw.process (pkt ~flow:(flow ~dport:81 ()) ()))));
+    Alcotest.test_case "prefix matching on source" `Quick (fun () ->
+        let deny =
+          {
+            (Firewall.any_rule ~permit:false) with
+            Firewall.sip_prefix = (ip "10.7.0.0", 16);
+          }
+        in
+        let fw, _ = Firewall.create ~acl:[ deny ] () in
+        check Alcotest.bool "inside prefix" false
+          (is_forward (fw.process (pkt ~flow:(flow ~sip:"10.7.3.4" ()) ())));
+        check Alcotest.bool "outside prefix" true
+          (is_forward (fw.process (pkt ~flow:(flow ~sip:"10.8.3.4" ()) ()))));
+    Alcotest.test_case "proto-specific rule" `Quick (fun () ->
+        let deny = { (Firewall.any_rule ~permit:false) with Firewall.proto = Some 17 } in
+        let fw, _ = Firewall.create ~acl:[ deny ] () in
+        check Alcotest.bool "udp denied" false
+          (is_forward (fw.process (pkt ~flow:(flow ~proto:17 ()) ())));
+        check Alcotest.bool "tcp passes" true (is_forward (fw.process (pkt ()))));
+    Alcotest.test_case "default ACL has the requested size" `Quick (fun () ->
+        check Alcotest.int "100 rules" 100 (List.length (Firewall.default_acl 100)));
+    Alcotest.test_case "extra cycles raise the cost" `Quick (fun () ->
+        let fw0, _ = Firewall.create () in
+        let fw1, _ = Firewall.create ~extra_cycles:500 () in
+        let p = pkt () in
+        check Alcotest.int "cost delta" 500 (fw1.cost_cycles p - fw0.cost_cycles p));
+    Alcotest.test_case "profile matches Table 2" `Quick (fun () ->
+        let fw, _ = Firewall.create () in
+        check Alcotest.bool "drop" true (Action.may_drop fw.profile);
+        check Alcotest.bool "no writes" true (Action.writes fw.profile = []);
+        check Alcotest.int "4 reads" 4 (List.length (Action.reads fw.profile)));
+    Alcotest.test_case "does not modify the packet" `Quick (fun () ->
+        let fw, _ = Firewall.create () in
+        let p = pkt () in
+        let before = Packet.to_bytes p in
+        ignore (fw.process p);
+        check Alcotest.bool "unmodified" true (Bytes.equal before (Packet.to_bytes p)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* L3 forwarder / Load balancer                                        *)
+(* ------------------------------------------------------------------ *)
+
+let forwarder_tests =
+  [
+    Alcotest.test_case "forwards everything" `Quick (fun () ->
+        let fwd, stats = L3_forwarder.create () in
+        for i = 0 to 9 do
+          let f = flow ~dport:(61000 + i) () in
+          check Alcotest.bool "forward" true (is_forward (fwd.process (pkt ~flow:f ())))
+        done;
+        check Alcotest.int "count" 10 (stats.forwarded ()));
+    Alcotest.test_case "same destination, same next hop" `Quick (fun () ->
+        let fwd, stats = L3_forwarder.create () in
+        ignore (fwd.process (pkt ()));
+        let first = stats.last_next_hop () in
+        ignore (fwd.process (pkt ()));
+        check Alcotest.(option int) "stable" first (stats.last_next_hop ()));
+    Alcotest.test_case "reads only dip" `Quick (fun () ->
+        let fwd, _ = L3_forwarder.create () in
+        check Alcotest.bool "profile" true (fwd.profile = [ Action.Read Field.Dip ]));
+  ]
+
+let lb_tests =
+  [
+    Alcotest.test_case "rewrites dip to a backend and sip to the vip" `Quick (fun () ->
+        let backends = [| ip "172.16.0.1"; ip "172.16.0.2" |] in
+        let vip = ip "192.168.0.1" in
+        let lb, _ = Load_balancer.create ~vip ~backends () in
+        let p = pkt () in
+        ignore (lb.process p);
+        check Alcotest.int32 "sip = vip" vip (Packet.sip p);
+        check Alcotest.bool "dip is a backend" true
+          (Array.exists (fun b -> Int32.equal b (Packet.dip p)) backends));
+    Alcotest.test_case "flow stickiness" `Quick (fun () ->
+        let lb, _ = Load_balancer.create () in
+        let p1 = pkt () and p2 = pkt () in
+        ignore (lb.process p1);
+        ignore (lb.process p2);
+        check Alcotest.int32 "same backend" (Packet.dip p1) (Packet.dip p2));
+    Alcotest.test_case "spreads distinct flows" `Quick (fun () ->
+        let lb, stats = Load_balancer.create () in
+        for i = 0 to 63 do
+          ignore (lb.process (pkt ~flow:(flow ~sport:(10000 + i) ()) ()))
+        done;
+        let used = Array.to_list (stats.per_backend ()) |> List.filter (fun c -> c > 0) in
+        check Alcotest.bool "several backends used" true (List.length used > 2);
+        check Alcotest.int "totals" 64 (List.fold_left ( + ) 0 used));
+    Alcotest.test_case "keeps both checksums valid" `Quick (fun () ->
+        let lb, _ = Load_balancer.create () in
+        let p = pkt () in
+        ignore (lb.process p);
+        check Alcotest.bool "ip checksum" true (Packet.ip_checksum_valid p);
+        check Alcotest.bool "tcp checksum" true (Packet.l4_checksum_valid p));
+    Alcotest.test_case "single backend gets all flows" `Quick (fun () ->
+        let only = ip "172.16.9.9" in
+        let lb, stats = Load_balancer.create ~backends:[| only |] () in
+        for i = 0 to 9 do
+          let p = pkt ~flow:(flow ~sport:(30000 + i) ()) () in
+          ignore (lb.process p);
+          check Alcotest.int32 "backend" only (Packet.dip p)
+        done;
+        check Alcotest.int "count" 10 (stats.per_backend ()).(0));
+    Alcotest.test_case "no backends rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Load_balancer.create: no backends") (fun () ->
+            ignore (Load_balancer.create ~backends:[||] ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* IDS / VPN                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ids_tests =
+  [
+    Alcotest.test_case "detect mode alerts without dropping" `Quick (fun () ->
+        let signature = List.hd (Ids.default_signatures 1) in
+        let ids, stats = Ids.create ~mode:`Detect () in
+        let p = pkt ~payload:("xx" ^ signature) () in
+        check Alcotest.bool "forwarded" true (is_forward (ids.process p));
+        check Alcotest.int "alert" 1 (stats.alerts ()));
+    Alcotest.test_case "prevent mode drops on match" `Quick (fun () ->
+        let signature = List.hd (Ids.default_signatures 1) in
+        let ids, _ = Ids.create ~mode:`Prevent () in
+        check Alcotest.bool "dropped" false
+          (is_forward (ids.process (pkt ~payload:signature ()))));
+    Alcotest.test_case "clean payload passes silently" `Quick (fun () ->
+        let ids, stats = Ids.create ~mode:`Prevent () in
+        check Alcotest.bool "pass" true
+          (is_forward (ids.process (pkt ~payload:"CLEAN-DATA-123" ())));
+        check Alcotest.int "no alert" 0 (stats.alerts ()));
+    Alcotest.test_case "profiles differ by mode" `Quick (fun () ->
+        let det, _ = Ids.create ~mode:`Detect () in
+        let prev, _ = Ids.create ~mode:`Prevent () in
+        check Alcotest.bool "detect no drop" false (Action.may_drop det.profile);
+        check Alcotest.bool "prevent drops" true (Action.may_drop prev.profile);
+        check Alcotest.string "kinds" "IDS" det.kind;
+        check Alcotest.string "kinds" "IPS" prev.kind);
+    Alcotest.test_case "cost grows with payload" `Quick (fun () ->
+        let ids, _ = Ids.create () in
+        let small = pkt ~payload:"x" () and big = pkt ~payload:(String.make 1000 'x') () in
+        check Alcotest.bool "monotone" true (ids.cost_cycles big > ids.cost_cycles small));
+  ]
+
+let vpn_tests =
+  [
+    Alcotest.test_case "encrypts and encapsulates" `Quick (fun () ->
+        let vpn, stats = Vpn.create () in
+        let p = pkt ~payload:"secret message here" () in
+        ignore (vpn.process p);
+        check Alcotest.bool "AH added" true (Packet.has_ah p);
+        check Alcotest.bool "payload changed" true
+          (Packet.payload p <> "secret message here");
+        check Alcotest.int "counted" 1 (stats.encrypted ());
+        check Alcotest.int32 "sequence" 1l (stats.sequence ()));
+    Alcotest.test_case "decrypt restores the original payload" `Quick (fun () ->
+        let key = "test-key-16bytes" in
+        let vpn, _ = Vpn.create ~key () in
+        let p = pkt ~payload:"round trip payload" () in
+        ignore (vpn.process p);
+        check Alcotest.bool "decrypt ok" true (Vpn.decrypt ~key p);
+        check Alcotest.bool "AH removed" false (Packet.has_ah p);
+        check Alcotest.string "payload" "round trip payload" (Packet.payload p));
+    Alcotest.test_case "sequence numbers increment per packet" `Quick (fun () ->
+        let vpn, stats = Vpn.create () in
+        ignore (vpn.process (pkt ()));
+        ignore (vpn.process (pkt ()));
+        check Alcotest.int32 "two" 2l (stats.sequence ()));
+    Alcotest.test_case "distinct packets get distinct keystreams" `Quick (fun () ->
+        let vpn, _ = Vpn.create () in
+        let p1 = pkt ~payload:"same payload" () and p2 = pkt ~payload:"same payload" () in
+        ignore (vpn.process p1);
+        ignore (vpn.process p2);
+        check Alcotest.bool "ciphertexts differ" true
+          (Packet.payload p1 <> Packet.payload p2));
+    Alcotest.test_case "decrypt refuses a packet without AH" `Quick (fun () ->
+        check Alcotest.bool "false" false (Vpn.decrypt ~key:"nfp-vpn-aes-key!" (pkt ())));
+    Alcotest.test_case "rejects short keys" `Quick (fun () ->
+        Alcotest.check_raises "key"
+          (Invalid_argument "Aes.expand_key: key must be 16 bytes") (fun () ->
+            ignore (Vpn.create ~key:"short" ())));
+    Alcotest.test_case "profile matches Table 2 row" `Quick (fun () ->
+        let vpn, _ = Vpn.create () in
+        check Alcotest.bool "add/rm" true (Action.adds_or_removes_headers vpn.profile);
+        check Alcotest.bool "writes payload" true
+          (List.mem Field.Payload (Action.writes vpn.profile)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Monitor / NAT / Proxy / Caching / Compression / Shaper / Gateway    *)
+(* ------------------------------------------------------------------ *)
+
+let monitor_tests =
+  [
+    Alcotest.test_case "counts per flow" `Quick (fun () ->
+        let mon, stats = Monitor.create () in
+        let f1 = flow () and f2 = flow ~sport:9999 () in
+        ignore (mon.process (pkt ~flow:f1 ()));
+        ignore (mon.process (pkt ~flow:f1 ()));
+        ignore (mon.process (pkt ~flow:f2 ()));
+        check Alcotest.int "flows" 2 (stats.flows ());
+        (match stats.lookup f1 with
+        | Some c -> check Alcotest.int "f1 packets" 2 c.Monitor.packets
+        | None -> Alcotest.fail "flow missing");
+        check Alcotest.int "total" 3 (stats.total_packets ()));
+    Alcotest.test_case "byte counters track wire length" `Quick (fun () ->
+        let mon, stats = Monitor.create () in
+        let p = pkt () in
+        let len = Packet.wire_length p in
+        ignore (mon.process p);
+        match stats.lookup (Packet.flow p) with
+        | Some c -> check Alcotest.int "bytes" len c.Monitor.bytes
+        | None -> Alcotest.fail "flow missing");
+    Alcotest.test_case "read-only" `Quick (fun () ->
+        let mon, _ = Monitor.create () in
+        let p = pkt () in
+        let before = Packet.to_bytes p in
+        ignore (mon.process p);
+        check Alcotest.bool "unchanged" true (Bytes.equal before (Packet.to_bytes p)));
+  ]
+
+let nat_tests =
+  [
+    Alcotest.test_case "rewrites source address and port" `Quick (fun () ->
+        let public_ip = ip "203.0.113.7" in
+        let nat, _ = Nat.create ~public_ip ~port_base:20000 () in
+        let p = pkt () in
+        ignore (nat.process p);
+        check Alcotest.int32 "sip" public_ip (Packet.sip p);
+        check Alcotest.int "sport" 20000 (Packet.sport p));
+    Alcotest.test_case "binding is stable per flow" `Quick (fun () ->
+        let nat, stats = Nat.create () in
+        let p1 = pkt () and p2 = pkt () in
+        ignore (nat.process p1);
+        ignore (nat.process p2);
+        check Alcotest.int "same port" (Packet.sport p1) (Packet.sport p2);
+        check Alcotest.int "one binding" 1 (stats.active_bindings ()));
+    Alcotest.test_case "distinct flows get distinct ports" `Quick (fun () ->
+        let nat, _ = Nat.create () in
+        let p1 = pkt () and p2 = pkt ~flow:(flow ~sport:777 ()) () in
+        ignore (nat.process p1);
+        ignore (nat.process p2);
+        check Alcotest.bool "different" true (Packet.sport p1 <> Packet.sport p2));
+    Alcotest.test_case "pool exhaustion drops" `Quick (fun () ->
+        let nat, stats = Nat.create ~port_count:1 () in
+        ignore (nat.process (pkt ()));
+        let verdict = nat.process (pkt ~flow:(flow ~sport:555 ()) ()) in
+        check Alcotest.bool "dropped" false (is_forward verdict);
+        check Alcotest.int "exhausted" 1 (stats.exhausted ()));
+    Alcotest.test_case "translated packets keep valid checksums" `Quick (fun () ->
+        let nat, _ = Nat.create () in
+        let p = pkt () in
+        ignore (nat.process p);
+        check Alcotest.bool "ip checksum" true (Packet.ip_checksum_valid p);
+        check Alcotest.bool "tcp checksum" true (Packet.l4_checksum_valid p));
+  ]
+
+let proxy_tests =
+  [
+    Alcotest.test_case "redirects and stamps Via" `Quick (fun () ->
+        let origin = ip "198.51.100.10" in
+        let proxy, stats = Proxy.create ~origin ~via:"Via:test " () in
+        let p = pkt ~payload:"GET /" () in
+        ignore (proxy.process p);
+        check Alcotest.int32 "dip" origin (Packet.dip p);
+        check Alcotest.string "payload" "Via:test GET /" (Packet.payload p);
+        check Alcotest.int "count" 1 (stats.redirected ()));
+    Alcotest.test_case "rewritten packet is still well-formed" `Quick (fun () ->
+        let proxy, _ = Proxy.create () in
+        let p = pkt ~payload:"GET /path HTTP/1.1" () in
+        ignore (proxy.process p);
+        check Alcotest.bool "checksum" true (Packet.ip_checksum_valid p);
+        match Packet.of_bytes (Packet.to_bytes p) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "declares its length write" `Quick (fun () ->
+        let proxy, _ = Proxy.create () in
+        check Alcotest.bool "writes len" true
+          (List.mem Field.Len (Action.writes proxy.profile)));
+  ]
+
+let caching_tests =
+  [
+    Alcotest.test_case "miss then hit" `Quick (fun () ->
+        let cache, stats = Caching.create () in
+        ignore (cache.process (pkt ~payload:"GET /index" ()));
+        ignore (cache.process (pkt ~payload:"GET /index" ()));
+        check Alcotest.int "misses" 1 (stats.misses ());
+        check Alcotest.int "hits" 1 (stats.hits ()));
+    Alcotest.test_case "different destinations are different keys" `Quick (fun () ->
+        let cache, stats = Caching.create () in
+        ignore (cache.process (pkt ~payload:"GET /x" ()));
+        ignore (cache.process (pkt ~flow:(flow ~dip:"10.8.2.11" ()) ~payload:"GET /x" ()));
+        check Alcotest.int "two misses" 2 (stats.misses ()));
+    Alcotest.test_case "eviction beyond capacity" `Quick (fun () ->
+        let cache, stats = Caching.create ~capacity:2 () in
+        List.iter (fun s -> ignore (cache.process (pkt ~payload:s ()))) [ "a"; "b"; "c" ];
+        check Alcotest.int "capped" 2 (stats.entries ()));
+  ]
+
+let compression_tests =
+  [
+    Alcotest.test_case "compresses repetitive payloads losslessly" `Quick (fun () ->
+        let comp, stats = Compression.create () in
+        let original = String.concat "" (List.init 30 (fun _ -> "repeat-me ")) in
+        let p = pkt ~payload:original () in
+        ignore (comp.process p);
+        check Alcotest.bool "smaller" true
+          (String.length (Packet.payload p) < String.length original);
+        check Alcotest.string "lossless" original
+          (Nfp_algo.Lz77.decompress (Packet.payload p));
+        check Alcotest.int "counted" 1 (stats.compressed ());
+        check Alcotest.bool "savings recorded" true (stats.bytes_saved () > 0));
+    Alcotest.test_case "leaves incompressible payloads alone" `Quick (fun () ->
+        let comp, stats = Compression.create () in
+        let p = pkt ~payload:"ab" () in
+        ignore (comp.process p);
+        check Alcotest.string "unchanged" "ab" (Packet.payload p);
+        check Alcotest.int "skipped" 1 (stats.skipped ()));
+    Alcotest.test_case "compressed packet stays parseable at every size" `Quick (fun () ->
+        let comp, _ = Compression.create () in
+        List.iter
+          (fun n ->
+            let payload = String.concat "" (List.init n (fun i -> Printf.sprintf "tok%d " (i mod 5))) in
+            let p = pkt ~payload () in
+            ignore (comp.process p);
+            check Alcotest.bool "checksum" true (Packet.ip_checksum_valid p);
+            match Packet.of_bytes (Packet.to_bytes p) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e)
+          [ 5; 50; 250 ]);
+  ]
+
+let shaper_tests =
+  [
+    Alcotest.test_case "polices above the burst" `Quick (fun () ->
+        let shaper, stats, clock =
+          Traffic_shaper.create ~rate_bps:1000.0 ~burst_bytes:100 ()
+        in
+        clock 0L;
+        check Alcotest.bool "first ok" true
+          (is_forward (shaper.process (pkt ~payload:"" ())));
+        check Alcotest.bool "second policed" false
+          (is_forward (shaper.process (pkt ~payload:"" ())));
+        check Alcotest.int "policed" 1 (stats.policed ()));
+    Alcotest.test_case "recovers after the clock advances" `Quick (fun () ->
+        let shaper, stats, clock = Traffic_shaper.create ~rate_bps:8e9 ~burst_bytes:64 () in
+        clock 0L;
+        ignore (shaper.process (pkt ~payload:"" ()));
+        clock 0L;
+        check Alcotest.bool "empty" false (is_forward (shaper.process (pkt ~payload:"" ())));
+        clock 1000L;
+        check Alcotest.bool "refilled" true (is_forward (shaper.process (pkt ~payload:"" ())));
+        check Alcotest.int "conformed" 2 (stats.conformed ()));
+  ]
+
+let gateway_tests =
+  [
+    Alcotest.test_case "counts sessions by address pair" `Quick (fun () ->
+        let gw, stats = Gateway.create () in
+        ignore (gw.process (pkt ()));
+        ignore (gw.process (pkt ()));
+        ignore (gw.process (pkt ~flow:(flow ~sip:"10.0.9.9" ()) ()));
+        check Alcotest.int "sessions" 2 (stats.sessions ());
+        check Alcotest.int "packets" 3 (stats.packets ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry (Table 2)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "lookup is case-insensitive" `Quick (fun () ->
+        check Alcotest.bool "firewall" true (Registry.find "fIrEwAll" <> None));
+    Alcotest.test_case "profile_of raises on unknown kinds" `Quick (fun () ->
+        Alcotest.check_raises "unknown" Not_found (fun () ->
+            ignore (Registry.profile_of "NoSuchNF")));
+    Alcotest.test_case "paper Table 2 percentages present" `Quick (fun () ->
+        let pct k =
+          match Registry.find k with
+          | Some { Registry.deployment_pct = Some p; _ } -> p
+          | _ -> Alcotest.failf "missing %s" k
+        in
+        check (Alcotest.float 0.01) "firewall" 26.0 (pct "Firewall");
+        check (Alcotest.float 0.01) "ids" 20.0 (pct "IDS");
+        check (Alcotest.float 0.01) "gateway" 19.0 (pct "Gateway");
+        check (Alcotest.float 0.01) "lb" 10.0 (pct "LoadBalancer");
+        check (Alcotest.float 0.01) "caching" 10.0 (pct "Caching");
+        check (Alcotest.float 0.01) "vpn" 7.0 (pct "VPN"));
+    Alcotest.test_case "weighted kinds normalize to 1" `Quick (fun () ->
+        let total =
+          List.fold_left (fun acc (_, p) -> acc +. p) 0.0 (Registry.weighted_kinds ())
+        in
+        check (Alcotest.float 1e-9) "sum" 1.0 total);
+    Alcotest.test_case "weighted kinds exclude unquantified rows" `Quick (fun () ->
+        check Alcotest.bool "no NAT" true
+          (not (List.mem_assoc "NAT" (Registry.weighted_kinds ()))));
+    Alcotest.test_case "register adds a new NF type" `Quick (fun () ->
+        Registry.register ~kind:"TestOnlyNf" ~profile:[ Action.Read Field.Ttl ] ();
+        check Alcotest.bool "registered" true
+          (Registry.profile_of "TestOnlyNf" = [ Action.Read Field.Ttl ]));
+    Alcotest.test_case "register overwrites an existing profile" `Quick (fun () ->
+        Registry.register ~kind:"TestOnlyNf2" ~profile:[ Action.Drop ] ();
+        Registry.register ~kind:"TestOnlyNf2" ~profile:[ Action.Read Field.Tos ] ();
+        check Alcotest.bool "overwritten" true
+          (Registry.profile_of "TestOnlyNf2" = [ Action.Read Field.Tos ]));
+    Alcotest.test_case "instantiate covers every built-in type" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            match Registry.instantiate kind ~name:"x" with
+            | Some nf -> check Alcotest.string kind kind nf.Nf.kind
+            | None -> Alcotest.failf "no implementation for %s" kind)
+          [
+            "Firewall"; "IDS"; "IPS"; "Gateway"; "LoadBalancer"; "Caching"; "VPN";
+            "NAT"; "Proxy"; "Compression"; "TrafficShaper"; "Monitor"; "Forwarder";
+          ]);
+    Alcotest.test_case "instantiated profiles match registry rows" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            match Registry.instantiate kind ~name:"x" with
+            | Some nf ->
+                check Alcotest.bool kind true
+                  (Action.normalize nf.Nf.profile = Registry.profile_of kind)
+            | None -> Alcotest.failf "no implementation for %s" kind)
+          [ "Firewall"; "IDS"; "IPS"; "LoadBalancer"; "VPN"; "Monitor"; "Forwarder" ]);
+    Alcotest.test_case "instantiate unknown type" `Quick (fun () ->
+        check Alcotest.bool "none" true (Registry.instantiate "Nope" ~name:"x" = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Action helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let action_tests =
+  [
+    Alcotest.test_case "kinds" `Quick (fun () ->
+        check Alcotest.bool "read" true (Action.kind (Action.Read Field.Sip) = Action.K_read);
+        check Alcotest.bool "write" true
+          (Action.kind (Action.Write Field.Sip) = Action.K_write);
+        check Alcotest.bool "addrm" true (Action.kind Action.Add_rm_header = Action.K_add_rm);
+        check Alcotest.bool "drop" true (Action.kind Action.Drop = Action.K_drop));
+    Alcotest.test_case "field extraction" `Quick (fun () ->
+        check Alcotest.bool "read field" true
+          (Action.field (Action.Read Field.Tos) = Some Field.Tos);
+        check Alcotest.bool "drop field" true (Action.field Action.Drop = None));
+    Alcotest.test_case "normalize sorts and dedups" `Quick (fun () ->
+        let p = Action.[ Drop; Read Field.Sip; Drop; Read Field.Sip ] in
+        check Alcotest.int "dedup" 2 (List.length (Action.normalize p)));
+    Alcotest.test_case "read_write expands" `Quick (fun () ->
+        check Alcotest.bool "rw" true
+          (Action.read_write Field.Sip = Action.[ Read Field.Sip; Write Field.Sip ]));
+    Alcotest.test_case "profile predicates" `Quick (fun () ->
+        let p = Action.[ Read Field.Sip; Write Field.Dip; Add_rm_header ] in
+        check Alcotest.bool "reads" true (Action.reads p = [ Field.Sip ]);
+        check Alcotest.bool "writes" true (Action.writes p = [ Field.Dip ]);
+        check Alcotest.bool "addrm" true (Action.adds_or_removes_headers p);
+        check Alcotest.bool "no drop" false (Action.may_drop p));
+  ]
+
+let () =
+  Alcotest.run "nfp_nf"
+    [
+      ("action", action_tests);
+      ("firewall", firewall_tests);
+      ("forwarder", forwarder_tests);
+      ("load_balancer", lb_tests);
+      ("ids", ids_tests);
+      ("vpn", vpn_tests);
+      ("monitor", monitor_tests);
+      ("nat", nat_tests);
+      ("proxy", proxy_tests);
+      ("caching", caching_tests);
+      ("compression", compression_tests);
+      ("traffic_shaper", shaper_tests);
+      ("gateway", gateway_tests);
+      ("registry", registry_tests);
+    ]

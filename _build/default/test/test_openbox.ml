@@ -1,0 +1,151 @@
+(* Tests for nfp_openbox: building blocks, OpenBox graph merging, and
+   block-level NFP parallelism (paper §7, Fig. 15). *)
+
+open Nfp_openbox
+open Nfp_packet
+
+let check = Alcotest.check
+
+let ip s = Option.get (Flow.ip_of_string s)
+
+let pkt ?(payload = "HELLO-BLOCKS") ?(dport = 61080) () =
+  Packet.create
+    ~flow:(Flow.make ~sip:(ip "10.0.1.1") ~dip:(ip "10.8.2.10") ~sport:12000 ~dport ~proto:6)
+    ~payload ()
+
+let signature = List.hd (Nfp_nf.Ids.default_signatures 1)
+
+let names stages = List.map (List.map (fun (b : Block.t) -> b.name)) stages
+
+let block_tests =
+  [
+    Alcotest.test_case "header classifier drops on a deny rule" `Quick (fun () ->
+        let deny =
+          { (Nfp_nf.Firewall.any_rule ~permit:false) with Nfp_nf.Firewall.dport_range = (80, 80) }
+        in
+        let hc = Block.header_classifier ~name:"hc" ~acl:[ deny ] in
+        check Alcotest.bool "dropped" true (hc.process (pkt ~dport:80 ()) = Block.Dropped);
+        check Alcotest.bool "passed" true (hc.process (pkt ~dport:81 ()) = Block.Continue));
+    Alcotest.test_case "dpi drops on a signature" `Quick (fun () ->
+        let dpi = Block.dpi ~name:"dpi" ~signatures:[ signature ] in
+        check Alcotest.bool "dropped" true
+          (dpi.process (pkt ~payload:("x" ^ signature) ()) = Block.Dropped);
+        check Alcotest.bool "passed" true (dpi.process (pkt ()) = Block.Continue));
+    Alcotest.test_case "alert block tags its source" `Quick (fun () ->
+        let a = Block.alert ~name:"a" ~source:"firewall" in
+        check Alcotest.bool "alert" true (a.process (pkt ()) = Block.Alerted "firewall"));
+    Alcotest.test_case "same_work compares kind and configuration" `Quick (fun () ->
+        let acl = Nfp_nf.Firewall.default_acl 10 in
+        let h1 = Block.header_classifier ~name:"x" ~acl in
+        let h2 = Block.header_classifier ~name:"y" ~acl in
+        let h3 = Block.header_classifier ~name:"z" ~acl:(Nfp_nf.Firewall.default_acl 5) in
+        check Alcotest.bool "same config shares" true (Block.same_work h1 h2);
+        check Alcotest.bool "different config does not" false (Block.same_work h1 h3);
+        check Alcotest.bool "different kinds do not" false
+          (Block.same_work h1 (Block.read_packets ())));
+  ]
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "merge shares the common prefix" `Quick (fun () ->
+        let merged = Pipeline.merge (Pipeline.firewall ()) (Pipeline.ips ()) in
+        check Alcotest.int "two shared blocks" 2 (List.length merged.shared);
+        check Alcotest.(list string) "shared names" [ "read"; "hc" ]
+          (List.map (fun (b : Block.t) -> b.name) merged.shared));
+    Alcotest.test_case "different ACLs prevent sharing the classifier" `Quick (fun () ->
+        let fw = Pipeline.firewall ~acl:(Nfp_nf.Firewall.default_acl 10) () in
+        let ips = Pipeline.ips ~acl:(Nfp_nf.Firewall.default_acl 20) () in
+        let merged = Pipeline.merge fw ips in
+        check Alcotest.int "only read shared" 1 (List.length merged.shared));
+    Alcotest.test_case "stages reproduce Fig. 15" `Quick (fun () ->
+        let merged = Pipeline.merge (Pipeline.firewall ()) (Pipeline.ips ()) in
+        let stages = Pipeline.stages merged in
+        check
+          Alcotest.(list (list string))
+          "structure"
+          [ [ "read" ]; [ "hc" ]; [ "alert_fw"; "dpi" ]; [ "alert_ips" ]; [ "output" ] ]
+          (names stages));
+    Alcotest.test_case "staged critical path is cheaper than two chains" `Quick (fun () ->
+        let fw = Pipeline.firewall () and ips = Pipeline.ips () in
+        let stages = Pipeline.stages (Pipeline.merge fw ips) in
+        check Alcotest.bool "saved" true
+          (Pipeline.staged_cycles stages
+          < Pipeline.total_cycles fw + Pipeline.total_cycles ips));
+    Alcotest.test_case "execute forwards clean traffic with both alerts" `Quick (fun () ->
+        let stages = Pipeline.stages (Pipeline.merge (Pipeline.firewall ()) (Pipeline.ips ())) in
+        let outcomes = Pipeline.execute stages (pkt ()) in
+        check Alcotest.bool "no drop" false (List.mem Block.Dropped outcomes);
+        check Alcotest.bool "firewall alert" true (List.mem (Block.Alerted "firewall") outcomes);
+        check Alcotest.bool "ips alert" true (List.mem (Block.Alerted "ips") outcomes));
+    Alcotest.test_case "execute stops at a DPI drop" `Quick (fun () ->
+        let stages = Pipeline.stages (Pipeline.merge (Pipeline.firewall ()) (Pipeline.ips ())) in
+        let outcomes = Pipeline.execute stages (pkt ~payload:("zz" ^ signature) ()) in
+        check Alcotest.bool "dropped" true (List.mem Block.Dropped outcomes);
+        check Alcotest.bool "ips alert never fires" false
+          (List.mem (Block.Alerted "ips") outcomes));
+    Alcotest.test_case "merging with itself shares everything" `Quick (fun () ->
+        let fw = Pipeline.firewall () in
+        let merged = Pipeline.merge fw (Pipeline.firewall ()) in
+        check Alcotest.int "full prefix shared" 4 (List.length merged.shared);
+        check Alcotest.bool "no leftover body" true
+          (List.for_all (fun (b : Block.t) -> b.kind = "Output") merged.tail));
+    Alcotest.test_case "pp_stages renders parallel groups" `Quick (fun () ->
+        let stages = Pipeline.stages (Pipeline.merge (Pipeline.firewall ()) (Pipeline.ips ())) in
+        let s = Format.asprintf "%a" Pipeline.pp_stages stages in
+        check Alcotest.bool "has parallel group" true
+          (String.length s > 0
+          &&
+          let rec contains i =
+            i + 2 < String.length s && (String.sub s i 3 = " | " || contains (i + 1))
+          in
+          contains 0));
+  ]
+
+let deployment_tests =
+  [
+    Alcotest.test_case "staged pipeline lowers onto the dataplane" `Quick (fun () ->
+        let stages = Pipeline.stages (Pipeline.merge (Pipeline.firewall ()) (Pipeline.ips ())) in
+        let graph, nfs = Pipeline.to_deployment stages in
+        check Alcotest.int "one NF per block" 6 (Nfp_core.Graph.nf_count graph);
+        let plan =
+          match
+            Nfp_core.Tables.plan
+              ~profile_of:(fun n -> (nfs n).Nfp_nf.Nf.profile)
+              graph
+          with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        (* Clean packet forwards through the deployed blocks. *)
+        (match Nfp_infra.Reference.run_plan ~plan ~nfs (pkt ()) with
+        | Some _ -> ()
+        | None -> Alcotest.fail "clean packet dropped");
+        (* A signature packet is dropped by the deployed DPI block. *)
+        match Nfp_infra.Reference.run_plan ~plan ~nfs (pkt ~payload:("x" ^ signature) ()) with
+        | None -> ()
+        | Some _ -> Alcotest.fail "malicious packet survived");
+    Alcotest.test_case "deployed execution matches direct execution" `Quick (fun () ->
+        let stages = Pipeline.stages (Pipeline.merge (Pipeline.firewall ()) (Pipeline.ips ())) in
+        let graph, nfs = Pipeline.to_deployment stages in
+        let plan =
+          match
+            Nfp_core.Tables.plan ~profile_of:(fun n -> (nfs n).Nfp_nf.Nf.profile) graph
+          with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        List.iter
+          (fun p ->
+            let direct =
+              not (List.mem Block.Dropped (Pipeline.execute stages (Packet.full_copy p)))
+            in
+            let deployed =
+              Nfp_infra.Reference.run_plan ~plan ~nfs (Packet.full_copy p) <> None
+            in
+            check Alcotest.bool "verdicts agree" direct deployed)
+          [ pkt (); pkt ~payload:("zz" ^ signature) (); pkt ~dport:61099 () ]);
+  ]
+
+let () =
+  Alcotest.run "nfp_openbox"
+    [ ("block", block_tests); ("pipeline", pipeline_tests); ("deployment", deployment_tests) ]

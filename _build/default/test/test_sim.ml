@@ -1,0 +1,311 @@
+(* Tests for nfp_sim: the event engine, batching server with
+   backpressure, NIC model, and measurement harness. *)
+
+open Nfp_sim
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        Engine.schedule e ~delay:30.0 (fun () -> log := 3 :: !log);
+        Engine.schedule e ~delay:10.0 (fun () -> log := 1 :: !log);
+        Engine.schedule e ~delay:20.0 (fun () -> log := 2 :: !log);
+        Engine.run e;
+        check Alcotest.(list int) "order" [ 1; 2; 3 ] (List.rev !log);
+        check (Alcotest.float 1e-9) "clock" 30.0 (Engine.now e));
+    Alcotest.test_case "equal times fire in scheduling order" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        Engine.schedule e ~delay:5.0 (fun () -> log := "a" :: !log);
+        Engine.schedule e ~delay:5.0 (fun () -> log := "b" :: !log);
+        Engine.run e;
+        check Alcotest.(list string) "fifo ties" [ "a"; "b" ] (List.rev !log));
+    Alcotest.test_case "events may schedule more events" `Quick (fun () ->
+        let e = Engine.create () in
+        let count = ref 0 in
+        let rec tick n =
+          incr count;
+          if n > 0 then Engine.schedule e ~delay:1.0 (fun () -> tick (n - 1))
+        in
+        Engine.schedule e ~delay:0.0 (fun () -> tick 4);
+        Engine.run e;
+        check Alcotest.int "five ticks" 5 !count);
+    Alcotest.test_case "until stops the clock early" `Quick (fun () ->
+        let e = Engine.create () in
+        let fired = ref false in
+        Engine.schedule e ~delay:100.0 (fun () -> fired := true);
+        Engine.run ~until:50.0 e;
+        check Alcotest.bool "not fired" false !fired;
+        check (Alcotest.float 1e-9) "clock at deadline" 50.0 (Engine.now e);
+        check Alcotest.int "still pending" 1 (Engine.pending e));
+    Alcotest.test_case "negative delay rejected" `Quick (fun () ->
+        let e = Engine.create () in
+        Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+          (fun () -> Engine.schedule e ~delay:(-1.0) (fun () -> ())));
+    Alcotest.test_case "scheduling in the past rejected" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.schedule e ~delay:10.0 (fun () ->
+            Alcotest.check_raises "past"
+              (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+                Engine.schedule_at e 5.0 (fun () -> ())));
+        Engine.run e);
+    Alcotest.test_case "max_events bounds execution" `Quick (fun () ->
+        let e = Engine.create () in
+        let count = ref 0 in
+        let rec forever () =
+          incr count;
+          Engine.schedule e ~delay:1.0 forever
+        in
+        Engine.schedule e ~delay:0.0 forever;
+        Engine.run ~max_events:10 e;
+        check Alcotest.int "bounded" 10 !count);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let simple_server engine ~service ?(ring = 8) ?(batch = 4) sink =
+  Server.create ~engine ~name:"s" ~ring_capacity:ring ~batch
+    ~service_ns:(fun _ -> service)
+    ~execute:(fun job ->
+      fun () ->
+        sink job;
+        true)
+    ()
+
+let server_tests =
+  [
+    Alcotest.test_case "processes jobs in order" `Quick (fun () ->
+        let e = Engine.create () in
+        let out = ref [] in
+        let s = simple_server e ~service:10.0 (fun j -> out := j :: !out) in
+        List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2; 3 ];
+        Engine.run e;
+        check Alcotest.(list int) "order" [ 1; 2; 3 ] (List.rev !out);
+        check Alcotest.int "processed" 3 (Server.processed s));
+    Alcotest.test_case "batch flushes at completion time" `Quick (fun () ->
+        let e = Engine.create () in
+        let times = ref [] in
+        let s =
+          Server.create ~engine:e ~name:"s" ~ring_capacity:8 ~batch:4
+            ~service_ns:(fun _ -> 10.0)
+            ~execute:(fun _ ->
+              fun () ->
+                times := Engine.now e :: !times;
+                true)
+            ()
+        in
+        List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2; 3 ];
+        Engine.run e;
+        (* Job 1 starts its own batch (flushed at 10ns); jobs 2 and 3
+           arrive while the core is busy and flush together at 30ns. *)
+        check Alcotest.(list (float 1e-6)) "flush times" [ 10.0; 30.0; 30.0 ]
+          (List.rev !times));
+    Alcotest.test_case "full ring rejects" `Quick (fun () ->
+        let e = Engine.create () in
+        let s = simple_server e ~ring:2 ~service:1000.0 (fun _ -> ()) in
+        (* The first offer starts a batch immediately, draining the ring. *)
+        check Alcotest.bool "1" true (Server.offer s 1);
+        check Alcotest.bool "2" true (Server.offer s 2);
+        check Alcotest.bool "3" true (Server.offer s 3);
+        check Alcotest.bool "4 refused" false (Server.offer s 4);
+        check Alcotest.int "rejected" 1 (Server.rejected s));
+    Alcotest.test_case "backpressure stalls until downstream drains" `Quick (fun () ->
+        let e = Engine.create () in
+        (* Downstream: slow, tiny ring. *)
+        let received = ref 0 in
+        let down = simple_server e ~ring:1 ~batch:1 ~service:100.0 (fun _ -> incr received) in
+        (* Upstream emits into downstream with retries. *)
+        let up =
+          Server.create ~engine:e ~name:"up" ~ring_capacity:16 ~batch:4
+            ~service_ns:(fun _ -> 1.0)
+            ~execute:(fun job -> fun () -> Server.offer down job)
+            ()
+        in
+        for j = 1 to 8 do
+          ignore (Server.offer up j)
+        done;
+        Engine.run e;
+        (* Refused offers are retried, not lost: every job arrives. *)
+        check Alcotest.int "all arrive eventually" 8 !received;
+        check Alcotest.bool "upstream stalled" true (Server.stalled_ns up > 0.0));
+    Alcotest.test_case "busy time accumulates service" `Quick (fun () ->
+        let e = Engine.create () in
+        let s = simple_server e ~service:7.0 (fun _ -> ()) in
+        List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2 ];
+        Engine.run e;
+        check (Alcotest.float 1e-6) "busy" 14.0 (Server.busy_ns s));
+    Alcotest.test_case "jitter keeps runs deterministic" `Quick (fun () ->
+        let run () =
+          let e = Engine.create () in
+          let total = ref 0.0 in
+          let s =
+            Server.create ~engine:e ~name:"s" ~ring_capacity:8 ~batch:2
+              ~jitter:(0.2, Nfp_algo.Prng.create ~seed:5L)
+              ~service_ns:(fun _ -> 10.0)
+              ~execute:(fun _ ->
+                fun () ->
+                  total := Engine.now e;
+                  true)
+              ()
+          in
+          List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2; 3; 4 ];
+          Engine.run e;
+          !total
+        in
+        check (Alcotest.float 1e-9) "reproducible" (run ()) (run ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* NIC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let nic_tests =
+  [
+    Alcotest.test_case "64B line rate is 14.88 Mpps" `Quick (fun () ->
+        check (Alcotest.float 0.01) "mpps" 14.88 (Nic.max_mpps ~frame_bytes:64));
+    Alcotest.test_case "1500B line rate" `Quick (fun () ->
+        check (Alcotest.float 0.001) "mpps" 0.822 (Nic.max_mpps ~frame_bytes:1500));
+    Alcotest.test_case "wire time inverse of rate" `Quick (fun () ->
+        let pps = Nic.max_pps ~frame_bytes:64 in
+        check (Alcotest.float 1e-6) "ns" (1e9 /. pps) (Nic.ns_per_packet ~frame_bytes:64));
+    Alcotest.test_case "invalid size rejected" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Nic.max_pps: frame size must be positive")
+          (fun () -> ignore (Nic.max_pps ~frame_bytes:0)));
+  ]
+
+let cost_tests =
+  [
+    Alcotest.test_case "cycle conversion at 3 GHz" `Quick (fun () ->
+        check (Alcotest.float 1e-9) "ns" 100.0 (Cost.ns_of_cycles Cost.default 300);
+        check Alcotest.int "cycles" 300 (Cost.cycles_of_ns Cost.default 100.0));
+    Alcotest.test_case "VM preset is uniformly costlier on the hop path" `Quick (fun () ->
+        check Alcotest.bool "enqueue" true (Cost.vm.ring_enqueue > Cost.default.ring_enqueue);
+        check Alcotest.bool "dequeue" true (Cost.vm.ring_dequeue > Cost.default.ring_dequeue);
+        check Alcotest.bool "copies" true (Cost.vm.header_copy > Cost.default.header_copy);
+        check Alcotest.bool "same clock" true (Cost.vm.ghz = Cost.default.ghz);
+        check Alcotest.bool "same batch" true (Cost.vm.batch = Cost.default.batch));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A one-core system with a known deterministic service time. *)
+let fixed_system ~service_ns ~ring engine ~output =
+  let drops = ref 0 in
+  let core =
+    Server.create ~engine ~name:"core" ~ring_capacity:ring ~batch:32
+      ~service_ns:(fun _ -> service_ns)
+      ~execute:(fun (pid, pkt) ->
+        fun () ->
+          output ~pid pkt;
+          true)
+      ()
+  in
+  {
+    Harness.inject =
+      (fun ~pid pkt -> if not (Server.offer core (pid, pkt)) then incr drops);
+    ring_drops = (fun () -> !drops);
+    nf_drops = (fun () -> 0);
+  }
+
+let gen _ =
+  Nfp_packet.Packet.create
+    ~flow:
+      (Nfp_packet.Flow.make
+         ~sip:(Option.get (Nfp_packet.Flow.ip_of_string "10.0.0.1"))
+         ~dip:(Option.get (Nfp_packet.Flow.ip_of_string "10.0.0.2"))
+         ~sport:1 ~dport:2 ~proto:6)
+    ~payload:"x" ()
+
+let harness_tests =
+  [
+    Alcotest.test_case "delivers every packet below capacity" `Quick (fun () ->
+        let r =
+          Harness.run
+            ~make:(fixed_system ~service_ns:100.0 ~ring:64)
+            ~gen ~arrivals:(Harness.Uniform 5.0) ~packets:1000 ()
+        in
+        check Alcotest.int "delivered" 1000 r.delivered;
+        check Alcotest.int "no drops" 0 r.ring_drops);
+    Alcotest.test_case "overload drops at the entry" `Quick (fun () ->
+        (* Service 1000ns = 1 Mpps; offer 5 Mpps. *)
+        let r =
+          Harness.run
+            ~make:(fixed_system ~service_ns:1000.0 ~ring:16)
+            ~gen ~arrivals:(Harness.Uniform 5.0) ~packets:2000 ()
+        in
+        check Alcotest.bool "drops happen" true (r.ring_drops > 0);
+        check Alcotest.int "conservation" 2000 (r.delivered + r.ring_drops));
+    Alcotest.test_case "latency approximates the service time at low load" `Quick
+      (fun () ->
+        let r =
+          Harness.run
+            ~make:(fixed_system ~service_ns:100.0 ~ring:64)
+            ~gen ~arrivals:(Harness.Uniform 0.5) ~packets:500 ()
+        in
+        let mean = Nfp_algo.Stats.mean r.latency in
+        if mean < 99.0 || mean > 200.0 then Alcotest.failf "mean %.1f implausible" mean);
+    Alcotest.test_case "max_lossless finds the capacity" `Quick (fun () ->
+        (* 100ns service = 10 Mpps capacity. *)
+        let rate =
+          Harness.max_lossless_mpps
+            ~make:(fixed_system ~service_ns:100.0 ~ring:64)
+            ~gen ~packets:4000 ~hi:14.88 ()
+        in
+        if rate < 8.5 || rate > 11.0 then Alcotest.failf "rate %.2f not near 10" rate);
+    Alcotest.test_case "burst arrivals keep the mean rate" `Quick (fun () ->
+        let r =
+          Harness.run
+            ~make:(fixed_system ~service_ns:10.0 ~ring:256)
+            ~gen ~arrivals:(Harness.Burst (1.0, 32)) ~packets:3200 ()
+        in
+        check Alcotest.int "all delivered" 3200 r.delivered;
+        (* 3200 packets at 1 Mpps mean is about 3.2 ms. *)
+        if r.duration_ns < 2.5e6 || r.duration_ns > 4.5e6 then
+          Alcotest.failf "duration %.0f off" r.duration_ns);
+    Alcotest.test_case "poisson arrivals deliver everything below capacity" `Quick
+      (fun () ->
+        let r =
+          Harness.run
+            ~make:(fixed_system ~service_ns:100.0 ~ring:256)
+            ~gen ~arrivals:(Harness.Poisson 2.0) ~packets:2000 ()
+        in
+        check Alcotest.int "delivered" 2000 r.delivered);
+    Alcotest.test_case "warmup trims latency samples" `Quick (fun () ->
+        let r =
+          Harness.run
+            ~make:(fixed_system ~service_ns:50.0 ~ring:64)
+            ~gen ~arrivals:(Harness.Uniform 1.0) ~packets:100 ~warmup:90 ()
+        in
+        check Alcotest.int "ten samples" 10 (Nfp_algo.Stats.count r.latency));
+    Alcotest.test_case "seeded runs are reproducible" `Quick (fun () ->
+        let once () =
+          let r =
+            Harness.run
+              ~make:(fixed_system ~service_ns:100.0 ~ring:64)
+              ~gen ~arrivals:(Harness.Poisson 3.0) ~packets:500 ~seed:9L ()
+          in
+          Nfp_algo.Stats.mean r.latency
+        in
+        check (Alcotest.float 1e-9) "same" (once ()) (once ()));
+  ]
+
+let () =
+  Alcotest.run "nfp_sim"
+    [
+      ("engine", engine_tests);
+      ("server", server_tests);
+      ("nic", nic_tests);
+      ("cost", cost_tests);
+      ("harness", harness_tests);
+    ]
