@@ -29,6 +29,22 @@ let note fmt = Printf.printf (fmt ^^ "\n%!")
 let search_packets = 16000
 let latency_packets = 20000
 
+(* Pktgen is pure per index, so a generator caches the packets it has
+   built: the probe runs of a bisection and the latency run afterwards
+   re-inject the same traffic, and handing out a fresh copy of a cached
+   packet is far cheaper than regenerating payload bytes (dominant for
+   large frames). Copies keep runs independent — systems mutate packets
+   in place. *)
+let memoized gen =
+  let cache : (int, Nfp_packet.Packet.t) Hashtbl.t = Hashtbl.create 4096 in
+  fun i ->
+    match Hashtbl.find_opt cache i with
+    | Some p -> Nfp_packet.Packet.full_copy p
+    | None ->
+        let p = gen i in
+        Hashtbl.replace cache i p;
+        Nfp_packet.Packet.full_copy p
+
 let gen_of_size ?(style = Nfp_traffic.Pktgen.Ascii) size =
   let g =
     Nfp_traffic.Pktgen.create
@@ -39,7 +55,7 @@ let gen_of_size ?(style = Nfp_traffic.Pktgen.Ascii) size =
         flows = 256;
       }
   in
-  Nfp_traffic.Pktgen.packet g
+  memoized (Nfp_traffic.Pktgen.packet g)
 
 let gen_datacenter () =
   let g =
@@ -50,9 +66,24 @@ let gen_datacenter () =
         flows = 256;
       }
   in
-  Nfp_traffic.Pktgen.packet g
+  memoized (Nfp_traffic.Pktgen.packet g)
 
 type measurement = { mpps : float; latency_us : float; p99_us : float }
+
+(* With --json every measurement of the selected experiment is collected
+   and dumped to BENCH_<experiment>.json. The mutex makes recording safe
+   from Harness.parallel_runs workers (sample order then follows
+   completion order; at one domain it matches print order). *)
+let json_mode = ref false
+let json_mutex = Mutex.create ()
+let json_samples : measurement list ref = ref []
+
+let record_sample m =
+  if !json_mode then begin
+    Mutex.lock json_mutex;
+    json_samples := m :: !json_samples;
+    Mutex.unlock json_mutex
+  end
 
 let measure ?(hi = 14.88) ~gen make =
   let mpps =
@@ -64,11 +95,19 @@ let measure ?(hi = 14.88) ~gen make =
       ~arrivals:(Nfp_sim.Harness.Burst (0.9 *. mpps, 32))
       ~packets:latency_packets ()
   in
-  {
-    mpps;
-    latency_us = Nfp_algo.Stats.mean r.latency /. 1000.0;
-    p99_us = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0;
-  }
+  if r.unmatched <> 0 then
+    failwith
+      (Printf.sprintf "measure: %d packets missed the classification table"
+         r.unmatched);
+  let m =
+    {
+      mpps;
+      latency_us = Nfp_algo.Stats.mean r.latency /. 1000.0;
+      p99_us = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0;
+    }
+  in
+  record_sample m;
+  m
 
 (* Fresh NF instances per deployment; [kinds] maps instance -> type. *)
 let lookup_of kinds () =
@@ -144,22 +183,37 @@ let run_fig7 () =
   note "    length; OpenNetVM slightly below and roughly flat in chain length):";
   note "    %-8s %-10s %-12s %-12s %-12s %-10s" "size" "line" "NFP-5NF" "ONVM-1NF" "ONVM-3NF"
     "ONVM-5NF";
+  (* Size points are independent sweeps, so they run on the domain pool;
+     each thunk builds its own generator (the memo cache is mutable) and
+     every simulation inside is self-seeded, so results are identical at
+     any worker count. Rows print in order after collection. *)
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.map
+         (fun size () ->
+           let gen = gen_of_size size in
+           let hi = Nfp_sim.Nic.max_mpps ~frame_bytes:size in
+           let rate n make = (measure ~hi ~gen (make n)).mpps in
+           let nfp n =
+             let kinds = forwarder_kinds n in
+             nfp_make ~kinds (Graph.seq (List.map Graph.nf (List.map fst kinds)))
+           in
+           let onvm n =
+             let kinds = forwarder_kinds n in
+             onvm_make ~kinds (List.map fst kinds)
+           in
+           let nfp5 = rate 5 nfp in
+           let onvm1 = rate 1 onvm in
+           let onvm3 = rate 3 onvm in
+           let onvm5 = rate 5 onvm in
+           (size, hi, nfp5, onvm1, onvm3, onvm5))
+         [ 64; 256; 1024; 1500 ])
+  in
   List.iter
-    (fun size ->
-      let gen = gen_of_size size in
-      let hi = Nfp_sim.Nic.max_mpps ~frame_bytes:size in
-      let rate n make = (measure ~hi ~gen (make n)).mpps in
-      let nfp n =
-        let kinds = forwarder_kinds n in
-        nfp_make ~kinds (Graph.seq (List.map Graph.nf (List.map fst kinds)))
-      in
-      let onvm n =
-        let kinds = forwarder_kinds n in
-        onvm_make ~kinds (List.map fst kinds)
-      in
-      note "    %-8d %-10.2f %-12.2f %-12.2f %-12.2f %-10.2f" size hi (rate 5 nfp)
-        (rate 1 onvm) (rate 3 onvm) (rate 5 onvm))
-    [ 64; 256; 1024; 1500 ]
+    (fun (size, hi, nfp5, onvm1, onvm3, onvm5) ->
+      note "    %-8d %-10.2f %-12.2f %-12.2f %-12.2f %-10.2f" size hi nfp5 onvm1
+        onvm3 onvm5)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* fig8/fig9/fig11 rigs: 2..d instances of one NF (Fig. 10 setups)     *)
@@ -735,18 +789,29 @@ let run_loadsweep () =
   in
   note "  max lossless rate: %.2f Mpps" mx;
   note "  %-10s %-12s %-12s %-10s" "load" "mean (us)" "p99 (us)" "drops";
+  (* Each load point is an independent simulation; sweep them on the
+     domain pool (per-thunk generators — the memo cache is mutable) and
+     print in order once all are collected. *)
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.map
+         (fun frac () ->
+           let gen = gen_of_size 64 in
+           let r =
+             Nfp_sim.Harness.run ~make ~gen
+               ~arrivals:(Nfp_sim.Harness.Burst (frac *. mx, 32))
+               ~packets:latency_packets ()
+           in
+           ( frac,
+             Nfp_algo.Stats.mean r.latency /. 1000.0,
+             Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0,
+             r.ring_drops ))
+         [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ])
+  in
   List.iter
-    (fun frac ->
-      let r =
-        Nfp_sim.Harness.run ~make ~gen
-          ~arrivals:(Nfp_sim.Harness.Burst (frac *. mx, 32))
-          ~packets:latency_packets ()
-      in
-      note "  %3.0f%%       %-12.1f %-12.1f %d" (100.0 *. frac)
-        (Nfp_algo.Stats.mean r.latency /. 1000.0)
-        (Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0)
-        r.ring_drops)
-    [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ]
+    (fun (frac, mean_us, p99_us, drops) ->
+      note "  %3.0f%%       %-12.1f %-12.1f %d" (100.0 *. frac) mean_us p99_us drops)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* scale: §7 NF scaling inside one server                              *)
@@ -845,16 +910,45 @@ let experiments =
     ("micro", run_micro);
   ]
 
+let write_json name ~wall_clock_s samples =
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"experiment\": %S,\n  \"wall_clock_s\": %.3f,\n"
+    name wall_clock_s;
+  Printf.fprintf oc "  \"measurements\": [";
+  List.iteri
+    (fun i m ->
+      Printf.fprintf oc "%s\n    { \"mpps\": %.6f, \"latency_us\": %.6f, \"p99_us\": %.6f }"
+        (if i = 0 then "" else ",")
+        m.mpps m.latency_us m.p99_us)
+    samples;
+  Printf.fprintf oc "%s]\n}\n" (if samples = [] then "" else "\n  ");
+  close_out oc;
+  note "wrote %s (%d measurements, %.1fs)" file (List.length samples) wall_clock_s
+
+let run_experiment name f =
+  if not !json_mode then f ()
+  else begin
+    json_samples := [];
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall_clock_s = Unix.gettimeofday () -. t0 in
+    write_json name ~wall_clock_s (List.rev !json_samples)
+  end
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: ((_ :: _) as selected) ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, selected = List.partition (fun a -> a = "--json") args in
+  if flags <> [] then json_mode := true;
+  match selected with
+  | _ :: _ ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment name f
           | None ->
               Printf.eprintf "unknown experiment %S; known: %s\n" name
                 (String.concat " " (List.map fst experiments));
               exit 1)
         selected
-  | _ -> List.iter (fun (_, f) -> f ()) experiments
+  | [] -> List.iter (fun (name, f) -> run_experiment name f) experiments

@@ -1,5 +1,12 @@
+(* Slots are a raw ['a array] (allocated at first enqueue, using that
+   element as the initializer) rather than ['a option array]: boxing
+   every slot in [Some] costs an allocation per enqueue on the
+   simulator's hottest path. Dequeued slots keep a stale reference
+   until overwritten, which retains at most [capacity] elements —
+   rings are small and short-lived, so that is cheaper than nulling. *)
 type 'a t = {
-  data : 'a option array;
+  mutable data : 'a array;
+  capacity : int;
   mutable head : int; (* next slot to dequeue *)
   mutable size : int;
   mutable enqueued : int;
@@ -8,43 +15,47 @@ type 'a t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { data = Array.make capacity None; head = 0; size = 0; enqueued = 0; rejected = 0 }
+  { data = [||]; capacity; head = 0; size = 0; enqueued = 0; rejected = 0 }
 
-let capacity t = Array.length t.data
+let capacity t = t.capacity
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let is_full t = t.size = Array.length t.data
+let is_full t = t.size = t.capacity
 
 let enqueue t x =
-  if is_full t then begin
+  if t.size = t.capacity then begin
     t.rejected <- t.rejected + 1;
     false
   end
   else begin
-    let tail = (t.head + t.size) mod Array.length t.data in
-    t.data.(tail) <- Some x;
+    if Array.length t.data = 0 then t.data <- Array.make t.capacity x;
+    let tail = t.head + t.size in
+    let tail = if tail >= t.capacity then tail - t.capacity else tail in
+    t.data.(tail) <- x;
     t.size <- t.size + 1;
     t.enqueued <- t.enqueued + 1;
     true
   end
 
-let dequeue t =
-  if t.size = 0 then None
-  else begin
-    let x = t.data.(t.head) in
-    t.data.(t.head) <- None;
-    t.head <- (t.head + 1) mod Array.length t.data;
-    t.size <- t.size - 1;
-    x
-  end
+(* Unchecked pop for the server poll loop: pairs with [is_empty], so no
+   option is allocated per job. *)
+let dequeue_exn t =
+  if t.size = 0 then invalid_arg "Ring.dequeue_exn: empty ring";
+  let x = t.data.(t.head) in
+  let head = t.head + 1 in
+  t.head <- (if head = t.capacity then 0 else head);
+  t.size <- t.size - 1;
+  x
 
-let peek t = if t.size = 0 then None else t.data.(t.head)
+let dequeue t = if t.size = 0 then None else Some (dequeue_exn t)
+
+let peek t = if t.size = 0 then None else Some t.data.(t.head)
 
 let clear t =
-  Array.fill t.data 0 (Array.length t.data) None;
+  t.data <- [||];
   t.head <- 0;
   t.size <- 0
 

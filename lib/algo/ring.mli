@@ -24,6 +24,10 @@ val enqueue : 'a t -> 'a -> bool
 
 val dequeue : 'a t -> 'a option
 
+val dequeue_exn : 'a t -> 'a
+(** Like {!dequeue} without the option box — for poll loops that
+    already checked {!is_empty}. @raise Invalid_argument when empty. *)
+
 val peek : 'a t -> 'a option
 
 val clear : 'a t -> unit

@@ -63,4 +63,5 @@ let make ?(config = default_config) ~cores ~chain engine ~output =
             if not (Nfp_sim.Server.offer replicas.(i) { pid; pkt }) then incr ring_drops));
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
+    unmatched = (fun () -> 0);
   }

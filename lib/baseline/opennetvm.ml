@@ -14,16 +14,10 @@ let core_count ~nfs = List.length nfs + 1
 
 type job = { pid : int64; pkt : Packet.t; next_stage : int }
 
-(* Retry-until-delivered emission to one ring. *)
-let emit_to core job =
-  let done_ = ref false in
-  fun () ->
-    if !done_ then true
-    else if Nfp_sim.Server.offer core job then begin
-      done_ := true;
-      true
-    end
-    else false
+(* Retry-until-delivered emission to one ring. The server retries a
+   thunk only until it first returns [true], so no delivered-flag is
+   needed. *)
+let emit_to core job () = Nfp_sim.Server.offer core job
 
 let make ?(config = default_config) ~nfs engine ~output =
   let cost = config.cost in
@@ -96,4 +90,5 @@ let make ?(config = default_config) ~nfs engine ~output =
               incr ring_drops));
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
+    unmatched = (fun () -> 0);
   }

@@ -1,6 +1,6 @@
 let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
   if segments = [] then invalid_arg "Cluster.make: no segments";
-  let ring_drop_fns = ref [] and nf_drop_fns = ref [] in
+  let ring_drop_fns = ref [] and nf_drop_fns = ref [] and unmatched_fns = ref [] in
   (* Wire back to front: each server's output crosses the link into the
      next server's NIC. *)
   let rec build = function
@@ -9,6 +9,7 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
         let system = System.make ?config ~plan ~nfs engine ~output in
         ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
         nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
+        unmatched_fns := system.Nfp_sim.Harness.unmatched :: !unmatched_fns;
         system
     | (plan, nfs) :: rest ->
         let downstream = build rest in
@@ -19,6 +20,7 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
         let system = System.make ?config ~plan ~nfs engine ~output:forward in
         ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
         nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
+        unmatched_fns := system.Nfp_sim.Harness.unmatched :: !unmatched_fns;
         system
   in
   let first = build segments in
@@ -27,6 +29,7 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
     Nfp_sim.Harness.inject = first.Nfp_sim.Harness.inject;
     ring_drops = sum ring_drop_fns;
     nf_drops = sum nf_drop_fns;
+    unmatched = sum unmatched_fns;
   }
 
 let of_partition ?config ?link_latency_ns ~assignments ~profile_of ~nfs engine ~output =

@@ -22,6 +22,34 @@ let core_count config (plan : Tables.plan) =
   + config.mergers
   + if config.mergers > 1 then 1 else 0
 
+type core_stats = {
+  core : string;
+  busy_ns : float;
+  stalled_ns : float;
+  processed : int;
+  queue : int;
+}
+
+let stats_of_server (type a) (s : a Nfp_sim.Server.t) =
+  {
+    core = Nfp_sim.Server.name s;
+    busy_ns = Nfp_sim.Server.busy_ns s;
+    stalled_ns = Nfp_sim.Server.stalled_ns s;
+    processed = Nfp_sim.Server.processed s;
+    queue = Nfp_sim.Server.queue_length s;
+  }
+
+(* Shared no-op completion thunk: the common "nothing left to emit"
+   result costs no allocation. *)
+let const_true () = true
+
+(* ------------------------------------------------------------------ *)
+(* Interpretive path: walks the plan's tables per packet. Kept as the  *)
+(* executable reference semantics for the compiled fast path; the      *)
+(* differential test in test/test_fastpath.ml holds the two to         *)
+(* packet-for-packet agreement.                                        *)
+(* ------------------------------------------------------------------ *)
+
 type delivery = {
   ctx : Context.t;
   merge_id : int;
@@ -49,24 +77,66 @@ let emitter sends =
     in
     go ()
 
-type core_stats = {
-  core : string;
-  busy_ns : float;
-  stalled_ns : float;
-  processed : int;
-  queue : int;
+(* ------------------------------------------------------------------ *)
+(* Compiled path: the plan is translated once, at deployment time,     *)
+(* into a preresolved runtime program — merge specs in arrays indexed  *)
+(* by merge id, NF and merger targets resolved to direct server slots, *)
+(* static cycle costs folded into one constant (only the per-byte      *)
+(* full-copy term stays dynamic), and emissions as arrays walked by a  *)
+(* cursor instead of per-packet closure lists.                         *)
+(* ------------------------------------------------------------------ *)
+
+type ccopy = { c_src : int; c_dst : int; c_full : bool }
+
+type csend =
+  | S_nf of int  (* slot in the dense NF-server array *)
+  | S_merge of { merge : cmerge; branch : int; nil : bool }
+  | S_deliver of int  (* packet version to emit *)
+
+and cprog = {
+  p_copies : ccopy array;
+  p_sends : csend array;
+  p_static : int;  (* constant cycles of the action list *)
+  p_full_srcs : int array;  (* src versions of full copies (dynamic per-byte term) *)
 }
 
-let stats_of_server (type a) (s : a Nfp_sim.Server.t) =
-  {
-    core = Nfp_sim.Server.name s;
-    busy_ns = Nfp_sim.Server.busy_ns s;
-    stalled_ns = Nfp_sim.Server.stalled_ns s;
-    processed = Nfp_sim.Server.processed s;
-    queue = Nfp_sim.Server.queue_length s;
-  }
+and cmerge = {
+  m_mid : int;
+  m_id : int;
+  m_spec : Tables.merge_spec;  (* compile-time only: branch resolution *)
+  m_expected : int;
+  m_versions : int array;  (* per-branch packet version *)
+  m_result_version : int;
+  m_ops : Merge_op.t array;
+  m_drop_any : bool;
+  m_winner : int;  (* branch index for `Priority_to; -1 when unresolved *)
+  mutable m_next : cprog;
+  mutable m_nil_sends : csend array;  (* upward nil propagation, precompiled *)
+  mutable m_completion_static : int;  (* |ops|*merge_op + m_next.p_static *)
+}
 
-let make_multi ?(config = default_config) ?stats ~graphs engine ~output =
+type cdelivery = { d_ctx : Context.t; d_merge : cmerge; d_branch : int; d_nil : bool }
+
+type cat_entry = { mutable c_received : int; mutable c_nil_mask : int }
+
+(* First branch of [spec] the deliverer satisfies, mirroring the
+   interpretive path's [branch_of] — resolved once at compile time. *)
+let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
+  let rec go i = function
+    | [] -> -1
+    | (e : Tables.expect) :: rest ->
+        if
+          e.deliverer = deliverer
+          || match deliverer with Tables.D_nf n -> List.mem n e.members | _ -> false
+        then i
+        else go (i + 1) rest
+  in
+  go 0 spec.expected
+
+let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
+
+let make_multi ?(path = `Compiled) ?(config = default_config) ?stats ~graphs engine
+    ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
   let cost = config.cost in
   (* MIDs are 1-based positions in the classification table. *)
@@ -89,259 +159,650 @@ let make_multi ?(config = default_config) ?stats ~graphs engine ~output =
              plan.nf_entries)
          graphs)
   in
-  let ring_drops = ref 0 and nf_drops = ref 0 in
-  let nf_cores : (int * string, Context.t Nfp_sim.Server.t) Hashtbl.t = Hashtbl.create 16 in
-  let merger_cores : delivery Nfp_sim.Server.t array ref = ref [||] in
-  let agent_core : delivery Nfp_sim.Server.t option ref = ref None in
+  let ring_drops = ref 0 and nf_drops = ref 0 and unmatched = ref 0 in
   let prng = Nfp_algo.Prng.create ~seed:config.seed in
   let jitter_for () = (config.jitter, Nfp_algo.Prng.split prng) in
   let packet_bytes ctx version =
     match Context.get ctx version with Some p -> Packet.wire_length p | None -> 1500
   in
-  let action_cost ctx actions =
-    List.fold_left
-      (fun acc -> function
-        | Tables.Copy { full; src_version; _ } ->
-            if full then
-              acc + cost.copy_base
-              + int_of_float (cost.copy_per_byte *. float_of_int (packet_bytes ctx src_version))
-            else acc + cost.header_copy
-        | Tables.Distribute { targets; _ } ->
-            acc + (cost.ring_enqueue * List.length targets))
-      0 actions
-  in
   let wire_delay = cost.wire_ns /. 2.0 in
   let deliver_out ~pid pkt =
     Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () -> output ~pid pkt)
   in
-  let merger_slot ctx =
+  let slot_of_pid pid instances =
     Int64.to_int
       (Int64.rem
-         (Int64.logand (Nfp_algo.Hashing.mix64 (Context.pid ctx)) Int64.max_int)
-         (Int64.of_int (max 1 (Array.length !merger_cores))))
+         (Int64.logand (Nfp_algo.Hashing.mix64 pid) Int64.max_int)
+         (Int64.of_int (max 1 instances)))
   in
-  (* A single send attempt; [false] = downstream full, retry later. *)
-  let send_to_merge (d : delivery) () =
-    match !agent_core with
-    | Some agent -> Nfp_sim.Server.offer agent d
-    | None -> Nfp_sim.Server.offer !merger_cores.(merger_slot d.ctx) d
-  in
-  let send_to_nf name ctx () =
-    match Hashtbl.find_opt nf_cores (Context.mid ctx, name) with
-    | Some core -> Nfp_sim.Server.offer core ctx
-    | None -> invalid_arg (Printf.sprintf "System: FT references unknown NF %S" name)
-  in
-  (* Execute an action list: copies happen now; distributes become a
-     retryable emission worklist. *)
-  let emission_of_actions ~self ctx actions =
-    let sends =
-      List.concat_map
-        (function
-          | Tables.Copy { src_version; dst_version; full } ->
-              ignore (Context.copy ctx ~src:src_version ~dst:dst_version ~full);
-              []
-          | Tables.Distribute { version; targets } ->
-              List.map
-                (fun target () ->
-                  match target with
-                  | Tables.To_nf n -> send_to_nf n ctx ()
-                  | Tables.To_merger id ->
-                      send_to_merge
-                        { ctx; merge_id = id; deliverer = self; version; nil = false }
-                        ()
-                  | Tables.Deliver ->
-                      (match Context.get ctx version with
-                      | Some pkt -> deliver_out ~pid:(Context.pid ctx) pkt
-                      | None -> ());
-                      true)
-                targets)
-        actions
-    in
-    emitter sends
-  in
-  (* One core per NF: the NF plus its runtime (paper §6: the runtime
-     shares the CPU core with the NF). *)
-  List.iter
-    (fun (mid, (entry : Tables.nf_entry), (nf : Nfp_nf.Nf.t)) ->
-      let service_ns ctx =
-        let nf_cycles =
-          match Context.get ctx entry.version with
-          | Some pkt -> nf.cost_cycles pkt
-          | None -> 0
+  let classifier, sampler =
+    match path with
+    | `Interpretive ->
+        (* ---------------- interpretive construction ---------------- *)
+        let nf_cores : (int * string, Context.t Nfp_sim.Server.t) Hashtbl.t =
+          Hashtbl.create 16
         in
-        Nfp_sim.Cost.ns_of_cycles cost
-          (cost.ring_dequeue + cost.nf_runtime + nf_cycles + action_cost ctx entry.actions)
-      in
-      let execute ctx =
-        match Context.get ctx entry.version with
-        | None -> fun () -> true
-        | Some pkt -> (
-            (* A crashing NF must not take the dataplane down: the
-               packet is treated as dropped (with a nil where a merger
-               expects this branch) and the fault is logged. *)
-            let verdict =
-              try nf.process pkt
-              with exn ->
-                Log.warn (fun m ->
-                    m "NF %s crashed on packet %Ld: %s" entry.nf (Context.pid ctx)
-                      (Printexc.to_string exn));
-                Nfp_nf.Nf.Dropped
-            in
-            match verdict with
-            | Nfp_nf.Nf.Forward ->
-                emission_of_actions ~self:(Tables.D_nf entry.nf) ctx entry.actions
-            | Nfp_nf.Nf.Dropped -> (
-                match entry.nil_target with
-                | Some id ->
-                    emitter
-                      [
-                        send_to_merge
-                          {
-                            ctx;
-                            merge_id = id;
-                            deliverer = Tables.D_nf entry.nf;
-                            version = entry.version;
-                            nil = true;
-                          };
-                      ]
-                | None ->
-                    incr nf_drops;
-                    fun () -> true))
-      in
-      let core =
-        Nfp_sim.Server.create ~engine
-          ~name:(Printf.sprintf "mid%d:%s" mid entry.nf)
-          ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
-          ~service_ns ~execute ()
-      in
-      Hashtbl.replace nf_cores (mid, entry.nf) core)
-    nf_impls;
-  (* Merger instances: shared across service graphs (paper §5.3: "a
-     merger instance can merge any packet from any service graph"),
-     each with a private accumulating table keyed by MID and PID. *)
-  let make_merger index =
-    let at : (int * int * int64, at_entry) Hashtbl.t = Hashtbl.create 1024 in
-    let spec_of mid id =
-      match Tables.find_merge (plan_of_mid mid) id with
-      | Some s -> s
-      | None -> invalid_arg "System: delivery references unknown merge point"
-    in
-    let branch_of spec (deliverer : Tables.deliverer) =
-      List.find_opt
-        (fun (e : Tables.expect) ->
-          e.deliverer = deliverer
-          || match deliverer with Tables.D_nf n -> List.mem n e.members | _ -> false)
-        spec.Tables.expected
-    in
-    let service_ns (d : delivery) =
-      let spec = spec_of (Context.mid d.ctx) d.merge_id in
-      let branches = List.length spec.expected in
-      let completion =
-        (List.length spec.ops * cost.merge_op) + action_cost d.ctx spec.next
-      in
-      Nfp_sim.Cost.ns_of_cycles cost
-        (cost.ring_dequeue + cost.merge_delivery + (completion / max 1 branches))
-    in
-    let execute (d : delivery) =
-      let mid = Context.mid d.ctx in
-      let spec = spec_of mid d.merge_id in
-      let key = (mid, d.merge_id, Context.pid d.ctx) in
-      let entry =
-        match Hashtbl.find_opt at key with
-        | Some e -> e
-        | None ->
-            let e = { received = 0; nil_from = [] } in
-            Hashtbl.replace at key e;
-            e
-      in
-      entry.received <- entry.received + 1;
-      if d.nil then entry.nil_from <- d.deliverer :: entry.nil_from;
-      if entry.received < List.length spec.expected then fun () -> true
-      else begin
-        Hashtbl.remove at key;
-        let nil_branches =
-          List.filter_map (fun del -> branch_of spec del) entry.nil_from
+        let merger_cores : delivery Nfp_sim.Server.t array ref = ref [||] in
+        let agent_core : delivery Nfp_sim.Server.t option ref = ref None in
+        let action_cost ctx actions =
+          List.fold_left
+            (fun acc -> function
+              | Tables.Copy { full; src_version; _ } ->
+                  if full then
+                    acc + cost.copy_base
+                    + int_of_float
+                        (cost.copy_per_byte *. float_of_int (packet_bytes ctx src_version))
+                  else acc + cost.header_copy
+              | Tables.Distribute { targets; _ } ->
+                  acc + (cost.ring_enqueue * List.length targets))
+            0 actions
         in
-        let dropped =
-          match spec.drop_policy with
-          | `Any -> nil_branches <> []
-          | `Priority_to winner -> (
-              match branch_of spec winner with
-              | Some wb -> List.exists (fun (b : Tables.expect) -> b = wb) nil_branches
-              | None -> nil_branches <> [])
+        (* A single send attempt; [false] = downstream full, retry later. *)
+        let send_to_merge (d : delivery) () =
+          match !agent_core with
+          | Some agent -> Nfp_sim.Server.offer agent d
+          | None ->
+              Nfp_sim.Server.offer
+                !merger_cores.(slot_of_pid (Context.pid d.ctx) (Array.length !merger_cores))
+                d
         in
-        if dropped then begin
-          (* Propagate a nil upward when an enclosing merger expects this
-             branch; otherwise the packet dies here. *)
-          let nil_sends =
+        let send_to_nf name ctx () =
+          match Hashtbl.find_opt nf_cores (Context.mid ctx, name) with
+          | Some core -> Nfp_sim.Server.offer core ctx
+          | None -> invalid_arg (Printf.sprintf "System: FT references unknown NF %S" name)
+        in
+        (* Execute an action list: copies happen now; distributes become a
+           retryable emission worklist. *)
+        let emission_of_actions ~self ctx actions =
+          let sends =
             List.concat_map
               (function
+                | Tables.Copy { src_version; dst_version; full } ->
+                    ignore (Context.copy ctx ~src:src_version ~dst:dst_version ~full);
+                    []
                 | Tables.Distribute { version; targets } ->
-                    List.filter_map
-                      (function
-                        | Tables.To_merger outer ->
-                            Some
-                              (send_to_merge
-                                 {
-                                   ctx = d.ctx;
-                                   merge_id = outer;
-                                   deliverer = Tables.D_merger d.merge_id;
-                                   version;
-                                   nil = true;
-                                 })
-                        | Tables.To_nf _ | Tables.Deliver -> None)
-                      targets
-                | Tables.Copy _ -> [])
-              spec.next
+                    List.map
+                      (fun target () ->
+                        match target with
+                        | Tables.To_nf n -> send_to_nf n ctx ()
+                        | Tables.To_merger id ->
+                            send_to_merge
+                              { ctx; merge_id = id; deliverer = self; version; nil = false }
+                              ()
+                        | Tables.Deliver ->
+                            (match Context.get ctx version with
+                            | Some pkt -> deliver_out ~pid:(Context.pid ctx) pkt
+                            | None -> ());
+                            true)
+                      targets)
+              actions
           in
-          if nil_sends = [] then incr nf_drops;
-          emitter nil_sends
-        end
-        else begin
-          (* Versions from branches that dropped under a priority policy
-             are half-processed; their ops are skipped. *)
-          let nil_versions =
-            List.map (fun (b : Tables.expect) -> b.version) nil_branches
+          emitter sends
+        in
+        (* One core per NF: the NF plus its runtime (paper §6: the runtime
+           shares the CPU core with the NF). *)
+        List.iter
+          (fun (mid, (entry : Tables.nf_entry), (nf : Nfp_nf.Nf.t)) ->
+            let service_ns ctx =
+              let nf_cycles =
+                match Context.get ctx entry.version with
+                | Some pkt -> nf.cost_cycles pkt
+                | None -> 0
+              in
+              Nfp_sim.Cost.ns_of_cycles cost
+                (cost.ring_dequeue + cost.nf_runtime + nf_cycles
+               + action_cost ctx entry.actions)
+            in
+            let execute ctx =
+              match Context.get ctx entry.version with
+              | None -> const_true
+              | Some pkt -> (
+                  (* A crashing NF must not take the dataplane down: the
+                     packet is treated as dropped (with a nil where a merger
+                     expects this branch) and the fault is logged. *)
+                  let verdict =
+                    try nf.process pkt
+                    with exn ->
+                      Log.warn (fun m ->
+                          m "NF %s crashed on packet %Ld: %s" entry.nf (Context.pid ctx)
+                            (Printexc.to_string exn));
+                      Nfp_nf.Nf.Dropped
+                  in
+                  match verdict with
+                  | Nfp_nf.Nf.Forward ->
+                      emission_of_actions ~self:(Tables.D_nf entry.nf) ctx entry.actions
+                  | Nfp_nf.Nf.Dropped -> (
+                      match entry.nil_target with
+                      | Some id ->
+                          emitter
+                            [
+                              send_to_merge
+                                {
+                                  ctx;
+                                  merge_id = id;
+                                  deliverer = Tables.D_nf entry.nf;
+                                  version = entry.version;
+                                  nil = true;
+                                };
+                            ]
+                      | None ->
+                          incr nf_drops;
+                          const_true))
+            in
+            let core =
+              Nfp_sim.Server.create ~engine
+                ~name:(Printf.sprintf "mid%d:%s" mid entry.nf)
+                ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                ~jitter:(jitter_for ()) ~service_ns ~execute ()
+            in
+            Hashtbl.replace nf_cores (mid, entry.nf) core)
+          nf_impls;
+        (* Merger instances: shared across service graphs (paper §5.3: "a
+           merger instance can merge any packet from any service graph"),
+           each with a private accumulating table keyed by MID and PID. *)
+        let make_merger index =
+          let at : (int * int * int64, at_entry) Hashtbl.t = Hashtbl.create 1024 in
+          let spec_of mid id =
+            match Tables.find_merge (plan_of_mid mid) id with
+            | Some s -> s
+            | None -> invalid_arg "System: delivery references unknown merge point"
           in
-          let get v =
-            if List.mem v nil_versions && v <> spec.result_version then None
-            else Context.get d.ctx v
+          let branch_of spec (deliverer : Tables.deliverer) =
+            List.find_opt
+              (fun (e : Tables.expect) ->
+                e.deliverer = deliverer
+                || match deliverer with Tables.D_nf n -> List.mem n e.members | _ -> false)
+              spec.Tables.expected
           in
-          List.iter (fun op -> Merge_op.apply op ~get) spec.ops;
-          emission_of_actions ~self:(Tables.D_merger d.merge_id) d.ctx spec.next
-        end
-      end
-    in
-    Nfp_sim.Server.create ~engine
-      ~name:(Printf.sprintf "merger#%d" index)
-      ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
-      ~service_ns ~execute ()
+          let service_ns (d : delivery) =
+            let spec = spec_of (Context.mid d.ctx) d.merge_id in
+            let branches = List.length spec.expected in
+            let completion =
+              (List.length spec.ops * cost.merge_op) + action_cost d.ctx spec.next
+            in
+            Nfp_sim.Cost.ns_of_cycles cost
+              (cost.ring_dequeue + cost.merge_delivery + (completion / max 1 branches))
+          in
+          let execute (d : delivery) =
+            let mid = Context.mid d.ctx in
+            let spec = spec_of mid d.merge_id in
+            let key = (mid, d.merge_id, Context.pid d.ctx) in
+            let entry =
+              match Hashtbl.find_opt at key with
+              | Some e -> e
+              | None ->
+                  let e = { received = 0; nil_from = [] } in
+                  Hashtbl.replace at key e;
+                  e
+            in
+            entry.received <- entry.received + 1;
+            if d.nil then entry.nil_from <- d.deliverer :: entry.nil_from;
+            if entry.received < List.length spec.expected then const_true
+            else begin
+              Hashtbl.remove at key;
+              let nil_branches =
+                List.filter_map (fun del -> branch_of spec del) entry.nil_from
+              in
+              let dropped =
+                match spec.drop_policy with
+                | `Any -> nil_branches <> []
+                | `Priority_to winner -> (
+                    match branch_of spec winner with
+                    | Some wb -> List.exists (fun (b : Tables.expect) -> b = wb) nil_branches
+                    | None -> nil_branches <> [])
+              in
+              if dropped then begin
+                (* Propagate a nil upward when an enclosing merger expects this
+                   branch; otherwise the packet dies here. *)
+                let nil_sends =
+                  List.concat_map
+                    (function
+                      | Tables.Distribute { version; targets } ->
+                          List.filter_map
+                            (function
+                              | Tables.To_merger outer ->
+                                  Some
+                                    (send_to_merge
+                                       {
+                                         ctx = d.ctx;
+                                         merge_id = outer;
+                                         deliverer = Tables.D_merger d.merge_id;
+                                         version;
+                                         nil = true;
+                                       })
+                              | Tables.To_nf _ | Tables.Deliver -> None)
+                            targets
+                      | Tables.Copy _ -> [])
+                    spec.next
+                in
+                if nil_sends = [] then incr nf_drops;
+                emitter nil_sends
+              end
+              else begin
+                (* Versions from branches that dropped under a priority policy
+                   are half-processed; their ops are skipped. *)
+                let nil_versions =
+                  List.map (fun (b : Tables.expect) -> b.version) nil_branches
+                in
+                let get v =
+                  if List.mem v nil_versions && v <> spec.result_version then None
+                  else Context.get d.ctx v
+                in
+                List.iter (fun op -> Merge_op.apply op ~get) spec.ops;
+                emission_of_actions ~self:(Tables.D_merger d.merge_id) d.ctx spec.next
+              end
+            end
+          in
+          Nfp_sim.Server.create ~engine
+            ~name:(Printf.sprintf "merger#%d" index)
+            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+            ~service_ns ~execute ()
+        in
+        merger_cores := Array.init (max 1 config.mergers) make_merger;
+        (* The merger agent: hash the immutable PID, steer to an instance. *)
+        if config.mergers > 1 then begin
+          let instances = !merger_cores in
+          let service_ns _ =
+            Nfp_sim.Cost.ns_of_cycles cost
+              (cost.ring_dequeue + cost.merger_agent + cost.ring_enqueue)
+          in
+          let execute (d : delivery) =
+            let i = slot_of_pid (Context.pid d.ctx) (Array.length instances) in
+            emitter [ (fun () -> Nfp_sim.Server.offer instances.(i) d) ]
+          in
+          agent_core :=
+            Some
+              (Nfp_sim.Server.create ~engine ~name:"merger-agent"
+                 ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                 ~jitter:(jitter_for ()) ~service_ns ~execute ())
+        end;
+        let classifier =
+          let service_ns (ctx : Context.t) =
+            let actions = (plan_of_mid (Context.mid ctx)).classifier_actions in
+            Nfp_sim.Cost.ns_of_cycles cost (cost.classifier + action_cost ctx actions)
+          in
+          let execute ctx =
+            emission_of_actions ~self:(Tables.D_nf "classifier") ctx
+              (plan_of_mid (Context.mid ctx)).classifier_actions
+          in
+          Nfp_sim.Server.create ~engine ~name:"classifier"
+            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+            ~service_ns ~execute ()
+        in
+        let sampler () =
+          stats_of_server classifier
+          :: (Hashtbl.fold (fun _ core acc -> stats_of_server core :: acc) nf_cores []
+             |> List.sort (fun a b -> compare a.core b.core))
+          @ Array.to_list (Array.map stats_of_server !merger_cores)
+          @ (match !agent_core with Some a -> [ stats_of_server a ] | None -> [])
+        in
+        (classifier, sampler)
+    | `Compiled ->
+        (* ----------------- compiled construction ------------------- *)
+        let nf_servers : Context.t Nfp_sim.Server.t array ref = ref [||] in
+        let merger_cores : cdelivery Nfp_sim.Server.t array ref = ref [||] in
+        let agent_core : cdelivery Nfp_sim.Server.t option ref = ref None in
+        let route_merge (d : cdelivery) =
+          match !agent_core with
+          | Some agent -> Nfp_sim.Server.offer agent d
+          | None ->
+              Nfp_sim.Server.offer
+                !merger_cores.(slot_of_pid (Context.pid d.d_ctx)
+                                 (Array.length !merger_cores))
+                d
+        in
+        (* NF slots: dense indices in nf_impls order. *)
+        let slot_of : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
+        List.iteri
+          (fun i (mid, (e : Tables.nf_entry), _) -> Hashtbl.replace slot_of (mid, e.nf) i)
+          nf_impls;
+        (* Merge specs per plan, in arrays indexed by merge id. *)
+        let cmerge_table =
+          Array.mapi
+            (fun i (_, (plan : Tables.plan), _) ->
+              let mid = i + 1 in
+              let max_id =
+                List.fold_left (fun a (m : Tables.merge_spec) -> max a m.id) (-1) plan.merges
+              in
+              let arr = Array.make (max_id + 1) None in
+              List.iter
+                (fun (spec : Tables.merge_spec) ->
+                  let drop_any, winner =
+                    match spec.drop_policy with
+                    | `Any -> (true, -1)
+                    | `Priority_to w ->
+                        let b = branch_index spec w in
+                        (b < 0, b)
+                  in
+                  arr.(spec.id) <-
+                    Some
+                      {
+                        m_mid = mid;
+                        m_id = spec.id;
+                        m_spec = spec;
+                        m_expected = List.length spec.expected;
+                        m_versions =
+                          Array.of_list
+                            (List.map (fun (e : Tables.expect) -> e.version) spec.expected);
+                        m_result_version = spec.result_version;
+                        m_ops = Array.of_list spec.ops;
+                        m_drop_any = drop_any;
+                        m_winner = winner;
+                        m_next = empty_prog;
+                        m_nil_sends = [||];
+                        m_completion_static = 0;
+                      })
+                plan.merges;
+              arr)
+            table
+        in
+        let lookup_merge mid id =
+          let arr = cmerge_table.(mid - 1) in
+          if id < 0 || id >= Array.length arr then
+            invalid_arg "System: delivery references unknown merge point"
+          else
+            match arr.(id) with
+            | Some m -> m
+            | None -> invalid_arg "System: delivery references unknown merge point"
+        in
+        let compile_actions ~mid ~(self : Tables.deliverer) actions =
+          let copies = ref [] and sends = ref [] in
+          let static = ref 0 and full_srcs = ref [] in
+          List.iter
+            (function
+              | Tables.Copy { src_version; dst_version; full } ->
+                  copies := { c_src = src_version; c_dst = dst_version; c_full = full } :: !copies;
+                  if full then begin
+                    static := !static + cost.copy_base;
+                    full_srcs := src_version :: !full_srcs
+                  end
+                  else static := !static + cost.header_copy
+              | Tables.Distribute { version; targets } ->
+                  static := !static + (cost.ring_enqueue * List.length targets);
+                  List.iter
+                    (fun target ->
+                      let s =
+                        match target with
+                        | Tables.To_nf n -> (
+                            match Hashtbl.find_opt slot_of (mid, n) with
+                            | Some i -> S_nf i
+                            | None ->
+                                invalid_arg
+                                  (Printf.sprintf "System: FT references unknown NF %S" n))
+                        | Tables.To_merger id ->
+                            let m = lookup_merge mid id in
+                            S_merge
+                              { merge = m; branch = branch_index m.m_spec self; nil = false }
+                        | Tables.Deliver -> S_deliver version
+                      in
+                      sends := s :: !sends)
+                    targets)
+            actions;
+          {
+            p_copies = Array.of_list (List.rev !copies);
+            p_sends = Array.of_list (List.rev !sends);
+            p_static = !static;
+            p_full_srcs = Array.of_list (List.rev !full_srcs);
+          }
+        in
+        (* Second pass: merge continuations (may reference sibling or
+           enclosing merges, which all exist now). *)
+        Array.iteri
+          (fun i arr ->
+            let mid = i + 1 in
+            Array.iter
+              (function
+                | None -> ()
+                | Some m ->
+                    let spec = m.m_spec in
+                    m.m_next <- compile_actions ~mid ~self:(Tables.D_merger m.m_id) spec.next;
+                    m.m_completion_static <-
+                      (Array.length m.m_ops * cost.merge_op) + m.m_next.p_static;
+                    m.m_nil_sends <-
+                      Array.of_list
+                        (List.concat_map
+                           (function
+                             | Tables.Distribute { version = _; targets } ->
+                                 List.filter_map
+                                   (function
+                                     | Tables.To_merger outer ->
+                                         let om = lookup_merge mid outer in
+                                         Some
+                                           (S_merge
+                                              {
+                                                merge = om;
+                                                branch =
+                                                  branch_index om.m_spec
+                                                    (Tables.D_merger m.m_id);
+                                                nil = true;
+                                              })
+                                     | Tables.To_nf _ | Tables.Deliver -> None)
+                                   targets
+                             | Tables.Copy _ -> [])
+                           spec.next))
+              arr)
+          cmerge_table;
+        (* Runtime: walk a compiled send array with a cursor; the cursor
+           survives backpressure retries, so each target is offered in
+           order exactly once. *)
+        let exec_sends sends ctx =
+          let n = Array.length sends in
+          if n = 0 then const_true
+          else begin
+            let cursor = ref 0 in
+            fun () ->
+              let rec go i =
+                if i >= n then true
+                else
+                  let ok =
+                    match sends.(i) with
+                    | S_nf slot -> Nfp_sim.Server.offer !nf_servers.(slot) ctx
+                    | S_merge { merge; branch; nil } ->
+                        route_merge { d_ctx = ctx; d_merge = merge; d_branch = branch; d_nil = nil }
+                    | S_deliver v ->
+                        (match Context.get ctx v with
+                        | Some pkt -> deliver_out ~pid:(Context.pid ctx) pkt
+                        | None -> ());
+                        true
+                  in
+                  if ok then go (i + 1)
+                  else begin
+                    cursor := i;
+                    false
+                  end
+              in
+              go !cursor
+          end
+        in
+        let exec_prog prog ctx =
+          let copies = prog.p_copies in
+          for i = 0 to Array.length copies - 1 do
+            let c = copies.(i) in
+            ignore (Context.copy ctx ~src:c.c_src ~dst:c.c_dst ~full:c.c_full)
+          done;
+          exec_sends prog.p_sends ctx
+        in
+        let dyn_cycles prog ctx =
+          let srcs = prog.p_full_srcs in
+          let n = Array.length srcs in
+          if n = 0 then 0
+          else begin
+            let acc = ref 0 in
+            for i = 0 to n - 1 do
+              acc :=
+                !acc
+                + int_of_float
+                    (cost.copy_per_byte *. float_of_int (packet_bytes ctx srcs.(i)))
+            done;
+            !acc
+          end
+        in
+        (* NF cores, one per entry, in nf_impls order (the same PRNG
+           split order as the interpretive path). *)
+        let servers =
+          List.map
+            (fun (mid, (entry : Tables.nf_entry), (nf : Nfp_nf.Nf.t)) ->
+              let prog = compile_actions ~mid ~self:(Tables.D_nf entry.nf) entry.actions in
+              let nil_sends =
+                match entry.nil_target with
+                | None -> [||]
+                | Some id ->
+                    let m = lookup_merge mid id in
+                    [|
+                      S_merge
+                        {
+                          merge = m;
+                          branch = branch_index m.m_spec (Tables.D_nf entry.nf);
+                          nil = true;
+                        };
+                    |]
+              in
+              let static = cost.ring_dequeue + cost.nf_runtime + prog.p_static in
+              let service_ns ctx =
+                let nf_cycles =
+                  match Context.get ctx entry.version with
+                  | Some pkt -> nf.cost_cycles pkt
+                  | None -> 0
+                in
+                Nfp_sim.Cost.ns_of_cycles cost (static + nf_cycles + dyn_cycles prog ctx)
+              in
+              let execute ctx =
+                match Context.get ctx entry.version with
+                | None -> const_true
+                | Some pkt -> (
+                    let verdict =
+                      try nf.process pkt
+                      with exn ->
+                        Log.warn (fun m ->
+                            m "NF %s crashed on packet %Ld: %s" entry.nf (Context.pid ctx)
+                              (Printexc.to_string exn));
+                        Nfp_nf.Nf.Dropped
+                    in
+                    match verdict with
+                    | Nfp_nf.Nf.Forward -> exec_prog prog ctx
+                    | Nfp_nf.Nf.Dropped ->
+                        if Array.length nil_sends > 0 then exec_sends nil_sends ctx
+                        else begin
+                          incr nf_drops;
+                          const_true
+                        end)
+              in
+              Nfp_sim.Server.create ~engine
+                ~name:(Printf.sprintf "mid%d:%s" mid entry.nf)
+                ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                ~jitter:(jitter_for ()) ~service_ns ~execute ())
+            nf_impls
+        in
+        nf_servers := Array.of_list servers;
+        let make_merger index =
+          let at : (int * int * int64, cat_entry) Hashtbl.t = Hashtbl.create 1024 in
+          let service_ns (d : cdelivery) =
+            let m = d.d_merge in
+            Nfp_sim.Cost.ns_of_cycles cost
+              (cost.ring_dequeue + cost.merge_delivery
+              + ((m.m_completion_static + dyn_cycles m.m_next d.d_ctx) / max 1 m.m_expected)
+              )
+          in
+          let execute (d : cdelivery) =
+            let m = d.d_merge in
+            let key = (m.m_mid, m.m_id, Context.pid d.d_ctx) in
+            let entry =
+              match Hashtbl.find_opt at key with
+              | Some e -> e
+              | None ->
+                  let e = { c_received = 0; c_nil_mask = 0 } in
+                  Hashtbl.replace at key e;
+                  e
+            in
+            entry.c_received <- entry.c_received + 1;
+            if d.d_nil && d.d_branch >= 0 then
+              entry.c_nil_mask <- entry.c_nil_mask lor (1 lsl d.d_branch);
+            if entry.c_received < m.m_expected then const_true
+            else begin
+              Hashtbl.remove at key;
+              let mask = entry.c_nil_mask in
+              let dropped =
+                if m.m_drop_any then mask <> 0 else mask land (1 lsl m.m_winner) <> 0
+              in
+              if dropped then
+                if Array.length m.m_nil_sends = 0 then begin
+                  incr nf_drops;
+                  const_true
+                end
+                else exec_sends m.m_nil_sends d.d_ctx
+              else begin
+                (if mask = 0 then
+                   let get v = Context.get d.d_ctx v in
+                   Array.iter (fun op -> Merge_op.apply op ~get) m.m_ops
+                 else begin
+                   (* Versions from branches that dropped under a priority
+                      policy are half-processed; their ops are skipped. *)
+                   let nil_versions = ref [] in
+                   Array.iteri
+                     (fun b v ->
+                       if mask land (1 lsl b) <> 0 then nil_versions := v :: !nil_versions)
+                     m.m_versions;
+                   let nvs = !nil_versions in
+                   let get v =
+                     if List.mem v nvs && v <> m.m_result_version then None
+                     else Context.get d.d_ctx v
+                   in
+                   Array.iter (fun op -> Merge_op.apply op ~get) m.m_ops
+                 end);
+                exec_prog m.m_next d.d_ctx
+              end
+            end
+          in
+          Nfp_sim.Server.create ~engine
+            ~name:(Printf.sprintf "merger#%d" index)
+            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+            ~service_ns ~execute ()
+        in
+        merger_cores := Array.init (max 1 config.mergers) make_merger;
+        if config.mergers > 1 then begin
+          let instances = !merger_cores in
+          let service_ns _ =
+            Nfp_sim.Cost.ns_of_cycles cost
+              (cost.ring_dequeue + cost.merger_agent + cost.ring_enqueue)
+          in
+          let execute (d : cdelivery) =
+            let i = slot_of_pid (Context.pid d.d_ctx) (Array.length instances) in
+            emitter [ (fun () -> Nfp_sim.Server.offer instances.(i) d) ]
+          in
+          agent_core :=
+            Some
+              (Nfp_sim.Server.create ~engine ~name:"merger-agent"
+                 ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                 ~jitter:(jitter_for ()) ~service_ns ~execute ())
+        end;
+        let classifier_progs =
+          Array.init (Array.length table) (fun i ->
+              compile_actions ~mid:(i + 1) ~self:(Tables.D_nf "classifier")
+                (plan_of_mid (i + 1)).classifier_actions)
+        in
+        let classifier =
+          let service_ns (ctx : Context.t) =
+            let prog = classifier_progs.(Context.mid ctx - 1) in
+            Nfp_sim.Cost.ns_of_cycles cost
+              (cost.classifier + prog.p_static + dyn_cycles prog ctx)
+          in
+          let execute ctx = exec_prog classifier_progs.(Context.mid ctx - 1) ctx in
+          Nfp_sim.Server.create ~engine ~name:"classifier"
+            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+            ~service_ns ~execute ()
+        in
+        let sampler () =
+          stats_of_server classifier
+          :: (List.map stats_of_server servers
+             |> List.sort (fun a b -> compare a.core b.core))
+          @ Array.to_list (Array.map stats_of_server !merger_cores)
+          @ (match !agent_core with Some a -> [ stats_of_server a ] | None -> [])
+        in
+        (classifier, sampler)
   in
-  merger_cores := Array.init (max 1 config.mergers) make_merger;
-  (* The merger agent: hash the immutable PID, steer to an instance. *)
-  if config.mergers > 1 then begin
-    let instances = !merger_cores in
-    let service_ns _ =
-      Nfp_sim.Cost.ns_of_cycles cost
-        (cost.ring_dequeue + cost.merger_agent + cost.ring_enqueue)
-    in
-    let execute (d : delivery) =
-      let i =
-        Int64.to_int
-          (Int64.rem
-             (Int64.logand (Nfp_algo.Hashing.mix64 (Context.pid d.ctx)) Int64.max_int)
-             (Int64.of_int (Array.length instances)))
-      in
-      emitter [ (fun () -> Nfp_sim.Server.offer instances.(i) d) ]
-    in
-    agent_core :=
-      Some
-        (Nfp_sim.Server.create ~engine ~name:"merger-agent"
-           ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
-           ~service_ns ~execute ())
-  end;
-  (* Classifier core: CT match, metadata tagging, first-hop actions.
-     Unmatched packets are discarded (no service graph owns them). *)
+  (* Classifier front end: CT match, metadata tagging, first-hop actions.
+     Unmatched packets are discarded (no service graph owns them) and
+     counted separately from NF drops. *)
   let classify pkt =
     let flow = Packet.flow pkt in
     let rec go i =
@@ -352,40 +813,20 @@ let make_multi ?(config = default_config) ?stats ~graphs engine ~output =
     in
     go 0
   in
-  let classifier =
-    let service_ns (ctx : Context.t) =
-      let actions = (plan_of_mid (Context.mid ctx)).classifier_actions in
-      Nfp_sim.Cost.ns_of_cycles cost (cost.classifier + action_cost ctx actions)
-    in
-    let execute ctx =
-      emission_of_actions ~self:(Tables.D_nf "classifier") ctx
-        (plan_of_mid (Context.mid ctx)).classifier_actions
-    in
-    Nfp_sim.Server.create ~engine ~name:"classifier" ~ring_capacity:config.ring_capacity
-      ~batch:cost.batch ~jitter:(jitter_for ()) ~service_ns ~execute ()
-  in
-  (match stats with
-  | None -> ()
-  | Some cell ->
-      cell :=
-        fun () ->
-          stats_of_server classifier
-          :: (Hashtbl.fold (fun _ core acc -> stats_of_server core :: acc) nf_cores []
-             |> List.sort (fun a b -> compare a.core b.core))
-          @ Array.to_list (Array.map stats_of_server !merger_cores)
-          @ (match !agent_core with Some a -> [ stats_of_server a ] | None -> []));
+  (match stats with None -> () | Some cell -> cell := sampler);
   {
     Nfp_sim.Harness.inject =
       (fun ~pid pkt ->
         Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () ->
             match classify pkt with
-            | None -> incr nf_drops
+            | None -> incr unmatched
             | Some mid ->
                 let ctx = Context.create ~pid ~mid pkt in
                 if not (Nfp_sim.Server.offer classifier ctx) then incr ring_drops));
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
+    unmatched = (fun () -> !unmatched);
   }
 
-let make ?config ?stats ~plan ~nfs engine ~output =
-  make_multi ?config ?stats ~graphs:[ (Flow_match.any, plan, nfs) ] engine ~output
+let make ?path ?config ?stats ~plan ~nfs engine ~output =
+  make_multi ?path ?config ?stats ~graphs:[ (Flow_match.any, plan, nfs) ] engine ~output

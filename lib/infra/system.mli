@@ -31,6 +31,7 @@ type core_stats = {
 }
 
 val make :
+  ?path:[ `Compiled | `Interpretive ] ->
   ?config:config ->
   ?stats:(unit -> core_stats list) ref ->
   plan:Nfp_core.Tables.plan ->
@@ -43,6 +44,7 @@ val make :
     @raise Invalid_argument when an NF name has no implementation. *)
 
 val make_multi :
+  ?path:[ `Compiled | `Interpretive ] ->
   ?config:config ->
   ?stats:(unit -> core_stats list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
@@ -54,7 +56,17 @@ val make_multi :
     steers packets into its graph (MID = 1-based table position, first
     match wins). NF cores are per graph; merger instances are shared
     ("a merger instance can merge any packet from any service graph",
-    §5.3). Unmatched packets are discarded and counted as NF drops.
-    When a [stats] ref is supplied it is filled with a sampler of
-    per-core utilization counters.
+    §5.3). Unmatched packets are discarded and counted via the system's
+    [unmatched] counter, separate from NF drops. When a [stats] ref is
+    supplied it is filled with a sampler of per-core utilization
+    counters.
+
+    [path] selects the execution strategy. [`Compiled] (the default)
+    translates every plan once, at deployment time, into a preresolved
+    program: merge specs in arrays indexed by merge id, NF and merger
+    targets bound to their server slots, static per-action cycle costs
+    folded into constants, and emissions as cursor-walked arrays.
+    [`Interpretive] walks the plan's tables per packet; it is the
+    executable reference semantics and the two paths produce
+    packet-for-packet identical results.
     @raise Invalid_argument on an empty table or a missing NF. *)

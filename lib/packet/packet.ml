@@ -1,7 +1,18 @@
 (* Wire layout: Ethernet(14) | IPv4(20, no options) | [AH(16)] | TCP(20)/UDP(8) | payload.
    Invariant: Bytes.length buf = 14 + IPv4 total length. *)
 
-type t = { mutable buf : bytes; mutable meta : Meta.t }
+(* [g_ah]/[g_proto]/[g_l4_off] cache the header geometry (AH presence,
+   innermost protocol, L4 offset) that every field accessor needs, so
+   accessors don't re-parse the buffer per call. The cache is refreshed
+   only where the geometry can change: construction, [add_ah],
+   [remove_ah], [set_inner_proto] and [set_payload]. *)
+type t = {
+  mutable buf : bytes;
+  mutable meta : Meta.t;
+  mutable g_ah : bool;
+  mutable g_proto : int;
+  mutable g_l4_off : int;
+}
 
 type l4 = Tcp | Udp | Other of int
 
@@ -36,14 +47,26 @@ let set_u32 b off v =
 
 let outer_proto t = get_u8 t.buf (ip_off + 9)
 
-let has_ah t = outer_proto t = proto_ah
+let refresh_geom t =
+  let outer = outer_proto t in
+  let ah = outer = proto_ah in
+  t.g_ah <- ah;
+  t.g_proto <- (if ah then get_u8 t.buf (ip_off + ip_len) else outer);
+  t.g_l4_off <- (ip_off + ip_len + if ah then ah_len else 0)
 
-let proto t = if has_ah t then get_u8 t.buf (ip_off + ip_len) else outer_proto t
+let of_buf buf meta =
+  let t = { buf; meta; g_ah = false; g_proto = 0; g_l4_off = 0 } in
+  refresh_geom t;
+  t
 
-let l4_off t = ip_off + ip_len + if has_ah t then ah_len else 0
+let has_ah t = t.g_ah
+
+let proto t = t.g_proto
+
+let l4_off t = t.g_l4_off
 
 let l4_protocol t =
-  match proto t with
+  match t.g_proto with
   | 6 -> Tcp
   | 17 -> Udp
   | p -> Other p
@@ -164,7 +187,7 @@ let create ?(dmac = default_dmac) ?(smac = default_smac) ?(ttl = 64) ?(tos = 0)
     set_u16 buf (l4o + 4) (udp_len + String.length payload)
   end;
   Bytes.blit_string payload 0 buf (eth_len + ip_len + l4) (String.length payload);
-  let t = { buf; meta = Meta.zero } in
+  let t = of_buf buf Meta.zero in
   refresh_ip_checksum t;
   refresh_l4_checksum t;
   t
@@ -178,7 +201,7 @@ let of_bytes b =
     let total = get_u16 b (ip_off + 2) in
     if eth_len + total <> len then Error "IPv4 total length disagrees with frame length"
     else begin
-      let t = { buf = Bytes.copy b; meta = Meta.zero } in
+      let t = of_buf (Bytes.copy b) Meta.zero in
       let need = header_length t in
       if len < need then Error "frame truncates the transport header" else Ok t
     end
@@ -258,6 +281,7 @@ let set_payload t payload =
   Bytes.blit t.buf 0 buf 0 off;
   Bytes.blit_string payload 0 buf off (String.length payload);
   t.buf <- buf;
+  refresh_geom t;
   set_total_length t (Bytes.length buf - eth_len);
   if l4_protocol t = Udp then set_u16 t.buf (l4_off t + 4) (udp_len + String.length payload);
   refresh_l4_checksum t
@@ -276,6 +300,7 @@ let add_ah t ~spi ~seq ~icv =
   set_u32 t.buf (insert_at + 8) seq;
   set_u32 t.buf (insert_at + 12) icv;
   set_u8 t.buf (ip_off + 9) proto_ah;
+  refresh_geom t;
   set_total_length t (Bytes.length t.buf - eth_len)
 
 let remove_ah t =
@@ -291,6 +316,7 @@ let remove_ah t =
     Bytes.blit t.buf (ah_at + ah_len) buf ah_at (Bytes.length t.buf - ah_at - ah_len);
     t.buf <- buf;
     set_u8 t.buf (ip_off + 9) inner;
+    refresh_geom t;
     set_total_length t (Bytes.length t.buf - eth_len);
     Some (spi, seq, icv)
   end
@@ -335,7 +361,10 @@ let set_inner_proto t v =
   else begin
     set_u8 t.buf (ip_off + 9) v;
     refresh_ip_checksum t
-  end
+  end;
+  (* The inner protocol decides the L4 interpretation (header length,
+     checksum field), so the cached geometry must follow it. *)
+  refresh_geom t
 
 let set_field t field s =
   match field with
@@ -360,12 +389,15 @@ let set_field t field s =
       set_payload t resized
   | Field.Payload -> set_payload t s
 
-let full_copy t = { buf = Bytes.copy t.buf; meta = t.meta }
+let full_copy t =
+  { buf = Bytes.copy t.buf; meta = t.meta; g_ah = t.g_ah; g_proto = t.g_proto; g_l4_off = t.g_l4_off }
 
 let header_only_copy t ~version =
   let hlen = header_length t in
   let buf = Bytes.sub t.buf 0 hlen in
-  let copy = { buf; meta = Meta.with_version t.meta version } in
+  let copy =
+    { buf; meta = Meta.with_version t.meta version; g_ah = t.g_ah; g_proto = t.g_proto; g_l4_off = t.g_l4_off }
+  in
   (* The copy must parse as a valid packet: its IP total length now
      covers only the headers (paper §4.2). *)
   set_total_length copy (hlen - eth_len);

@@ -1,22 +1,16 @@
-type event = { time : float; seq : int; action : unit -> unit }
-
 type t = {
-  queue : event Nfp_algo.Heap.t;
+  queue : (unit -> unit) Nfp_algo.Heap.Timed.t;
   mutable clock : float;
   mutable next_seq : int;
 }
 
-let compare_events a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
-
-let create () =
-  { queue = Nfp_algo.Heap.create ~cmp:compare_events; clock = 0.0; next_seq = 0 }
+let create () = { queue = Nfp_algo.Heap.Timed.create (); clock = 0.0; next_seq = 0 }
 
 let now t = t.clock
 
 let schedule_at t time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
-  Nfp_algo.Heap.push t.queue { time; seq = t.next_seq; action };
+  Nfp_algo.Heap.Timed.push t.queue ~time ~seq:t.next_seq action;
   t.next_seq <- t.next_seq + 1
 
 let schedule t ~delay action =
@@ -25,19 +19,19 @@ let schedule t ~delay action =
 
 let run ?until ?(max_events = max_int) t =
   let deadline = match until with Some u -> u | None -> infinity in
+  let queue = t.queue in
   let rec go remaining =
-    if remaining > 0 then
-      match Nfp_algo.Heap.peek t.queue with
-      | None -> ()
-      | Some ev when ev.time > deadline -> t.clock <- deadline
-      | Some _ -> (
-          match Nfp_algo.Heap.pop t.queue with
-          | None -> ()
-          | Some ev ->
-              t.clock <- ev.time;
-              ev.action ();
-              go (remaining - 1))
+    if remaining > 0 && not (Nfp_algo.Heap.Timed.is_empty queue) then begin
+      let time = Nfp_algo.Heap.Timed.min_time queue in
+      if time > deadline then t.clock <- deadline
+      else begin
+        let action = Nfp_algo.Heap.Timed.pop_exn queue in
+        t.clock <- time;
+        action ();
+        go (remaining - 1)
+      end
+    end
   in
   go max_events
 
-let pending t = Nfp_algo.Heap.length t.queue
+let pending t = Nfp_algo.Heap.Timed.length t.queue

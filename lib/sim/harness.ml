@@ -2,6 +2,7 @@ type system = {
   inject : pid:int64 -> Nfp_packet.Packet.t -> unit;
   ring_drops : unit -> int;
   nf_drops : unit -> int;
+  unmatched : unit -> int;
 }
 
 type arrivals = Uniform of float | Poisson of float | Burst of float * int
@@ -12,24 +13,27 @@ type result = {
   offered : int;
   ring_drops : int;
   nf_drops : int;
+  unmatched : int;
   duration_ns : float;
   achieved_mpps : float;
 }
 
-let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) () =
+let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) ?stop () =
   let warmup = match warmup with Some w -> w | None -> packets / 10 in
   let engine = Engine.create () in
   let latency = Nfp_algo.Stats.create () in
-  let ingress : (int64, float) Hashtbl.t = Hashtbl.create (packets * 2) in
+  (* Injection timestamps indexed by pid (pids here are 0..packets-1);
+     NaN marks "no sample pending" so duplicate deliveries of a copied
+     packet count as delivered but sample latency only once. *)
+  let ingress = Array.make (max packets 1) Float.nan in
   let delivered = ref 0 in
   let output ~pid _pkt =
     incr delivered;
-    match Hashtbl.find_opt ingress pid with
-    | Some t0 ->
-        if Int64.to_int pid >= warmup then
-          Nfp_algo.Stats.add latency (Engine.now engine -. t0);
-        Hashtbl.remove ingress pid
-    | None -> ()
+    let i = Int64.to_int pid in
+    if i >= 0 && i < packets && not (Float.is_nan ingress.(i)) then begin
+      if i >= warmup then Nfp_algo.Stats.add latency (Engine.now engine -. ingress.(i));
+      ingress.(i) <- Float.nan
+    end
   in
   let system = make engine ~output in
   let prng = Nfp_algo.Prng.create ~seed in
@@ -46,13 +50,24 @@ let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) () =
   let rec arrive i =
     if i < packets then begin
       let pid = Int64.of_int i in
-      Hashtbl.replace ingress pid (Engine.now engine);
+      ingress.(i) <- Engine.now engine;
       system.inject ~pid (gen i);
       Engine.schedule engine ~delay:(interval_ns i) (fun () -> arrive (i + 1))
     end
   in
   Engine.schedule engine ~delay:0.0 (fun () -> arrive 0);
-  Engine.run engine;
+  (match stop with
+  | None -> Engine.run engine
+  | Some f ->
+      (* Slicing changes nothing about event order, so a run that is not
+         stopped is identical to an unsliced one; a stopped run simply
+         truncates — callers that only test a predicate (e.g. "did any
+         ring drop?") skip the rest of the simulation. *)
+      let rec slices () =
+        Engine.run engine ~max_events:4096;
+        if Engine.pending engine > 0 && not (f system) then slices ()
+      in
+      slices ());
   let duration = Engine.now engine in
   {
     latency;
@@ -60,22 +75,123 @@ let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) () =
     offered = packets;
     ring_drops = system.ring_drops ();
     nf_drops = system.nf_drops ();
+    unmatched = system.unmatched ();
     duration_ns = duration;
     achieved_mpps =
       (if duration > 0.0 then float_of_int !delivered /. duration *. 1000.0 else 0.0);
   }
 
-let max_lossless_mpps ~make ~gen ~packets ?(lo = 0.01) ~hi ?(iterations = 12) () =
+(* ------------------------------------------------------------------ *)
+(* Domain pool: independent simulations in parallel                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Workers of a pool must not spawn nested pools of their own (that
+   would oversubscribe the machine), so pool membership is recorded in
+   domain-local storage and consulted by [default_domains]. *)
+let in_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_domains () =
+  if Domain.DLS.get in_pool then 1
+  else max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let parallel_runs ?domains thunks =
+  let jobs = Array.of_list thunks in
+  let n = Array.length jobs in
+  let workers =
+    let d = match domains with Some d -> max 1 d | None -> default_domains () in
+    min d n
+  in
+  if workers <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (jobs.(i) ());
+        drain ()
+      end
+    in
+    let worker () =
+      let saved = Domain.DLS.get in_pool in
+      Domain.DLS.set in_pool true;
+      Fun.protect ~finally:(fun () -> Domain.DLS.set in_pool saved) drain
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    Fun.protect ~finally:(fun () -> List.iter Domain.join spawned) worker;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> failwith "Harness.parallel_runs: worker died before its job")
+         results)
+  end
+
+let max_lossless_mpps ~make ~gen ~packets ?(lo = 0.01) ~hi ?(iterations = 12) ?domains
+    () =
   let lossless rate =
-    let r = run ~make ~gen ~arrivals:(Uniform rate) ~packets ~warmup:0 () in
+    (* Only the existence of a drop matters, so the probe aborts at the
+       first one instead of simulating the remaining packets. *)
+    let r =
+      run ~make ~gen ~arrivals:(Uniform rate) ~packets ~warmup:0
+        ~stop:(fun s -> s.ring_drops () > 0)
+        ()
+    in
     r.ring_drops = 0
   in
-  if lossless hi then hi
+  let workers = match domains with Some d -> max 1 d | None -> default_domains () in
+  if workers <= 1 then begin
+    if lossless hi then hi
+    else begin
+      let lo = ref lo and hi = ref hi in
+      for _ = 1 to iterations do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if lossless mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
   else begin
-    let lo = ref lo and hi = ref hi in
-    for _ = 1 to iterations do
-      let mid = (!lo +. !hi) /. 2.0 in
-      if lossless mid then lo := mid else hi := mid
-    done;
-    !lo
+    (* Speculative bisection: probe every candidate midpoint of the next
+       [depth] bisection levels in one parallel batch, then replay the
+       sequential decision walk against the probed table. Midpoints are
+       recomputed with the identical float expression, so the result is
+       bit-identical to the sequential search at any worker count. *)
+    let levels = if workers >= 7 then 3 else if workers >= 3 then 2 else 1 in
+    let rec candidates lo hi depth acc =
+      if depth = 0 then acc
+      else
+        let mid = (lo +. hi) /. 2.0 in
+        candidates mid hi (depth - 1) (candidates lo mid (depth - 1) (mid :: acc))
+    in
+    let probe rates =
+      parallel_runs ~domains:workers (List.map (fun r () -> (r, lossless r)) rates)
+    in
+    let walk table lo hi depth =
+      let rec go lo hi k =
+        if k = 0 then (lo, hi)
+        else
+          let mid = (lo +. hi) /. 2.0 in
+          if List.assoc mid table then go mid hi (k - 1) else go lo mid (k - 1)
+      in
+      go lo hi depth
+    in
+    let rec rounds lo hi remaining =
+      if remaining <= 0 then lo
+      else begin
+        let depth = min levels remaining in
+        let table = probe (candidates lo hi depth []) in
+        let lo, hi = walk table lo hi depth in
+        rounds lo hi (remaining - depth)
+      end
+    in
+    (* The bracketing [hi] probe rides along with the first batch. *)
+    let depth0 = min levels iterations in
+    let table0 = probe (hi :: candidates lo hi depth0 []) in
+    if List.assoc hi table0 then hi
+    else if iterations <= 0 then lo
+    else begin
+      let lo, hi = walk table0 lo hi depth0 in
+      rounds lo hi (iterations - depth0)
+    end
   end

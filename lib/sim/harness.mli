@@ -8,6 +8,9 @@ type system = {
       (** deliver one packet to the system's NIC at the current time *)
   ring_drops : unit -> int;  (** packets lost to full rings *)
   nf_drops : unit -> int;  (** packets intentionally dropped by NFs *)
+  unmatched : unit -> int;
+      (** packets no classification-table entry claimed — distinct from
+          NF drops: an unmatched packet never entered a service graph *)
 }
 
 type arrivals =
@@ -23,6 +26,7 @@ type result = {
   offered : int;
   ring_drops : int;
   nf_drops : int;
+  unmatched : int;
   duration_ns : float;
   achieved_mpps : float;
 }
@@ -34,11 +38,28 @@ val run :
   packets:int ->
   ?warmup:int ->
   ?seed:int64 ->
+  ?stop:(system -> bool) ->
   unit ->
   result
 (** Build a fresh system, inject [packets] packets ([gen i] makes the
     i-th), run to completion. Latency samples exclude the first
-    [warmup] packets (default 10%). *)
+    [warmup] packets (default 10%). When [stop] is given it is polled
+    periodically; once it returns [true] the simulation is truncated
+    and the result reflects only the events executed so far — event
+    order is unaffected either way. *)
+
+val default_domains : unit -> int
+(** Worker count used when [?domains] is omitted: the runtime's
+    recommended domain count (capped at 8), or 1 inside a
+    {!parallel_runs} worker so pools never nest. *)
+
+val parallel_runs : ?domains:int -> (unit -> 'a) list -> 'a list
+(** Evaluate independent simulation thunks on a pool of [domains]
+    worker domains (default {!default_domains}) and return their
+    results in input order. Each {!run} invocation is fully
+    self-contained and seeded, so thunks built from pure generators
+    give identical results at any worker count. Thunks must not share
+    mutable state. *)
 
 val max_lossless_mpps :
   make:(Engine.t -> output:(pid:int64 -> Nfp_packet.Packet.t -> unit) -> system) ->
@@ -47,7 +68,12 @@ val max_lossless_mpps :
   ?lo:float ->
   hi:float ->
   ?iterations:int ->
+  ?domains:int ->
   unit ->
   float
 (** Binary-search the highest uniform offered rate with zero ring
-    drops — the paper's "maximum throughput without packet loss". *)
+    drops — the paper's "maximum throughput without packet loss". With
+    more than one domain the bracketing probes of the next bisection
+    levels run speculatively in parallel ({!parallel_runs}); the result
+    is bit-identical to the sequential search for deterministic
+    generators. *)

@@ -58,21 +58,30 @@ let rec flush t = function
 and run_batch t =
   if (not t.busy) && not (Nfp_algo.Ring.is_empty t.ring) then begin
     t.busy <- true;
-    let rec take acc n =
-      if n = 0 then List.rev acc
-      else
-        match Nfp_algo.Ring.dequeue t.ring with
-        | None -> List.rev acc
-        | Some j -> take (j :: acc) (n - 1)
-    in
-    let jobs = take [] t.batch in
-    let finish =
-      List.fold_left (fun offset job -> offset +. jittered t (t.service_ns job)) 0.0 jobs
-    in
-    t.busy_ns <- t.busy_ns +. finish;
-    Engine.schedule t.engine ~delay:finish (fun () ->
-        let thunks = List.map t.execute jobs in
-        flush t thunks)
+    let j0 = Nfp_algo.Ring.dequeue_exn t.ring in
+    if t.batch = 1 || Nfp_algo.Ring.is_empty t.ring then begin
+      (* Single-job burst — the common case under non-saturating load;
+         skips the list churn of the general path. *)
+      let finish = jittered t (t.service_ns j0) in
+      t.busy_ns <- t.busy_ns +. finish;
+      Engine.schedule t.engine ~delay:finish (fun () -> flush t [ t.execute j0 ])
+    end
+    else begin
+      let rec take acc n =
+        if n = 0 || Nfp_algo.Ring.is_empty t.ring then List.rev acc
+        else take (Nfp_algo.Ring.dequeue_exn t.ring :: acc) (n - 1)
+      in
+      let jobs = j0 :: take [] (t.batch - 1) in
+      let finish =
+        List.fold_left
+          (fun offset job -> offset +. jittered t (t.service_ns job))
+          0.0 jobs
+      in
+      t.busy_ns <- t.busy_ns +. finish;
+      Engine.schedule t.engine ~delay:finish (fun () ->
+          let thunks = List.map t.execute jobs in
+          flush t thunks)
+    end
   end
 
 let offer t job =

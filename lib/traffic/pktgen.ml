@@ -38,26 +38,45 @@ let flow_of_index t i =
    lowercase letters that match. *)
 let ascii_alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789abcdefghijklm"
 
+(* The alphabet uppercased entry-for-entry: odd positions draw from this
+   table, which never puts two adjacent lowercase letters while avoiding
+   an uppercase_ascii call per byte. *)
+let ascii_upper = String.map Char.uppercase_ascii ascii_alphabet
+
+(* Payload synthesis is per-byte work on every generated packet, so the
+   fills are explicit loops over a preallocated buffer rather than
+   String.init closures. *)
+let fill_ascii prng buf pos len =
+  let bound = String.length ascii_alphabet in
+  for j = 0 to len - 1 do
+    let k = Nfp_algo.Prng.int prng ~bound in
+    Bytes.unsafe_set buf (pos + j)
+      (if j land 1 = 0 then String.unsafe_get ascii_alphabet k
+       else String.unsafe_get ascii_upper k)
+  done
+
 let payload t prng i len =
   match t.payload_style with
-  | Random_bytes -> String.init len (fun _ -> Char.chr (Nfp_algo.Prng.int prng ~bound:256))
+  | Random_bytes ->
+      let buf = Bytes.create len in
+      for j = 0 to len - 1 do
+        Bytes.unsafe_set buf j (Char.unsafe_chr (Nfp_algo.Prng.int prng ~bound:256))
+      done;
+      Bytes.unsafe_to_string buf
   | Ascii ->
-      String.init len (fun j ->
-          let c = ascii_alphabet.[Nfp_algo.Prng.int prng ~bound:String.(length ascii_alphabet)] in
-          (* Never two adjacent lowercase letters. *)
-          if j mod 2 = 0 then c else Char.uppercase_ascii c)
+      let buf = Bytes.create len in
+      fill_ascii prng buf 0 len;
+      Bytes.unsafe_to_string buf
   | Tagged ->
       let tag = Printf.sprintf "#%d;" i in
-      if len <= String.length tag then String.sub tag 0 len
-      else
-        tag
-        ^ String.init
-            (len - String.length tag)
-            (fun j ->
-              let c =
-                ascii_alphabet.[Nfp_algo.Prng.int prng ~bound:(String.length ascii_alphabet)]
-              in
-              if j mod 2 = 0 then c else Char.uppercase_ascii c)
+      let tlen = String.length tag in
+      if len <= tlen then String.sub tag 0 len
+      else begin
+        let buf = Bytes.create len in
+        Bytes.blit_string tag 0 buf 0 tlen;
+        fill_ascii prng buf tlen (len - tlen);
+        Bytes.unsafe_to_string buf
+      end
 
 let frame_bytes t i =
   let prng = prng_of t i in

@@ -553,6 +553,35 @@ let prng_tests =
         let a = Prng.create ~seed:6L in
         let b = Prng.split a in
         check Alcotest.bool "differ" true (Prng.next a <> Prng.next b));
+    Alcotest.test_case "limb implementation matches the Int64 reference" `Quick
+      (fun () ->
+        (* The production PRNG carries SplitMix64 in native-int limbs;
+           hold it to the boxed Int64 formulation it replaced. *)
+        let golden = 0x9e3779b97f4a7c15L in
+        let ref_state = ref 0L in
+        let ref_next () =
+          ref_state := Int64.add !ref_state golden;
+          Hashing.mix64 !ref_state
+        in
+        let ref_float () =
+          let bits = Int64.shift_right_logical (ref_next ()) 11 in
+          Int64.to_float bits /. 9007199254740992.0
+        in
+        List.iter
+          (fun seed ->
+            ref_state := seed;
+            let p = Prng.create ~seed in
+            for i = 1 to 5000 do
+              if i mod 2 = 0 then
+                check Alcotest.int64
+                  (Printf.sprintf "next %Ld/%d" seed i)
+                  (ref_next ()) (Prng.next p)
+              else
+                check (Alcotest.float 0.0)
+                  (Printf.sprintf "float %Ld/%d" seed i)
+                  (ref_float ()) (Prng.float p)
+            done)
+          [ 0L; 1L; 7L; 42L; -1L; Int64.min_int; Int64.max_int; 0xdeadbeefL ]);
   ]
 
 let () =

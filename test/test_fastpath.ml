@@ -1,0 +1,298 @@
+(* Differential tests for the compiled dataplane fast path: a
+   [`Compiled] deployment must be observationally identical to the
+   [`Interpretive] reference — same packets in the same order with the
+   same bytes, same drop counters, same simulated clock — and the
+   domain-parallel harness must return bit-identical results at any
+   worker count. *)
+
+open Nfp_packet
+open Nfp_core
+
+let check = Alcotest.check
+
+(* Exact float equality: the two paths share every arithmetic
+   expression, so even the simulated timestamps must match bitwise. *)
+let exact_float = Alcotest.float 0.0
+
+let instances bindings =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (name, kind) ->
+      match Nfp_nf.Registry.instantiate kind ~name with
+      | Some nf -> Hashtbl.replace table name nf
+      | None -> Alcotest.failf "no implementation for %s" kind)
+    bindings;
+  Hashtbl.find table
+
+let plan_of text =
+  match Compiler.compile_text text with
+  | Error es -> Alcotest.failf "compile: %s" (String.concat "; " es)
+  | Ok o -> (
+      match Tables.of_output o with Ok p -> p | Error e -> Alcotest.failf "plan: %s" e)
+
+(* Everything observable about one harness run, outputs included. *)
+type trace = {
+  outs : (int64 * string) list;  (* delivery order: pid, wire bytes *)
+  delivered : int;
+  ring_drops : int;
+  nf_drops : int;
+  unmatched : int;
+  duration_ns : float;
+  mean_ns : float;
+}
+
+let trace ~path ~make ~gen ~arrivals ~packets =
+  let outs = ref [] in
+  let wrapped engine ~output =
+    make ~path engine ~output:(fun ~pid pkt ->
+        outs := (pid, Bytes.to_string (Packet.to_bytes pkt)) :: !outs;
+        output ~pid pkt)
+  in
+  let r = Nfp_sim.Harness.run ~make:wrapped ~gen ~arrivals ~packets () in
+  {
+    outs = List.rev !outs;
+    delivered = r.delivered;
+    ring_drops = r.ring_drops;
+    nf_drops = r.nf_drops;
+    unmatched = r.unmatched;
+    duration_ns = r.duration_ns;
+    (* NaN (no latency samples) would defeat both [=] and float checks;
+       normalize it to a sentinel so empty-stats runs still compare. *)
+    mean_ns =
+      (let m = Nfp_algo.Stats.mean r.latency in
+       if Float.is_nan m then -1.0 else m);
+  }
+
+let check_traces a b =
+  check Alcotest.int "delivered" a.delivered b.delivered;
+  check Alcotest.int "ring drops" a.ring_drops b.ring_drops;
+  check Alcotest.int "nf drops" a.nf_drops b.nf_drops;
+  check Alcotest.int "unmatched" a.unmatched b.unmatched;
+  check exact_float "duration" a.duration_ns b.duration_ns;
+  check exact_float "mean latency" a.mean_ns b.mean_ns;
+  check Alcotest.int "output count" (List.length a.outs) (List.length b.outs);
+  List.iter2
+    (fun (pid_a, bytes_a) (pid_b, bytes_b) ->
+      check Alcotest.int64 "output pid" pid_a pid_b;
+      check Alcotest.string "output bytes" bytes_a bytes_b)
+    a.outs b.outs
+
+let differential ~make ~gen ~arrivals ~packets =
+  check_traces
+    (trace ~path:`Interpretive ~make ~gen ~arrivals ~packets)
+    (trace ~path:`Compiled ~make ~gen ~arrivals ~packets)
+
+let traffic ?(sizes = Nfp_traffic.Size_dist.fixed 128) () =
+  let g =
+    Nfp_traffic.Pktgen.create
+      { Nfp_traffic.Pktgen.default with sizes; flows = 64 }
+  in
+  Nfp_traffic.Pktgen.packet g
+
+let single_make text bindings =
+  let plan = plan_of text in
+  fun ~path engine ~output ->
+    Nfp_infra.System.make ~path ~plan ~nfs:(instances bindings) engine ~output
+
+let ns_text =
+  "NF(vpn, VPN)\nNF(mon, Monitor)\nNF(fw, Firewall)\nNF(lb, LoadBalancer)\n\
+   Chain(vpn, mon, fw, lb)"
+
+let ns_bindings =
+  [ ("vpn", "VPN"); ("mon", "Monitor"); ("fw", "Firewall"); ("lb", "LoadBalancer") ]
+
+let we_text = "NF(ids, IPS)\nNF(mon, Monitor)\nNF(lb, LoadBalancer)\nChain(ids, mon, lb)"
+
+let we_bindings = [ ("ids", "IPS"); ("mon", "Monitor"); ("lb", "LoadBalancer") ]
+
+let differential_tests =
+  [
+    Alcotest.test_case "north-south chain at moderate load" `Quick (fun () ->
+        differential
+          ~make:(single_make ns_text ns_bindings)
+          ~gen:(traffic ())
+          ~arrivals:(Nfp_sim.Harness.Uniform 0.5) ~packets:800);
+    Alcotest.test_case "west-east graph with packet copies" `Quick (fun () ->
+        differential
+          ~make:(single_make we_text we_bindings)
+          ~gen:(traffic ())
+          ~arrivals:(Nfp_sim.Harness.Burst (1.0, 32))
+          ~packets:800);
+    Alcotest.test_case "drop-merging parallel graph" `Quick (fun () ->
+        differential
+          ~make:
+            (single_make "NF(mon, Monitor)\nNF(fw, Firewall)\nOrder(mon, before, fw)"
+               [ ("mon", "Monitor"); ("fw", "Firewall") ])
+          ~gen:(traffic ())
+          ~arrivals:(Nfp_sim.Harness.Uniform 1.0) ~packets:800);
+    Alcotest.test_case "overload: backpressure and ring drops agree" `Quick (fun () ->
+        differential
+          ~make:(single_make ns_text ns_bindings)
+          ~gen:(traffic ())
+          ~arrivals:(Nfp_sim.Harness.Uniform 20.0) ~packets:2000);
+    Alcotest.test_case "large frames (dynamic copy cost) agree" `Quick (fun () ->
+        differential
+          ~make:(single_make we_text we_bindings)
+          ~gen:(traffic ~sizes:(Nfp_traffic.Size_dist.fixed 1500) ())
+          ~arrivals:(Nfp_sim.Harness.Uniform 0.4) ~packets:400);
+    Alcotest.test_case "multiple merger instances agree" `Quick (fun () ->
+        let plan = plan_of we_text in
+        let make ~path engine ~output =
+          Nfp_infra.System.make ~path
+            ~config:{ Nfp_infra.System.default_config with mergers = 3 }
+            ~plan ~nfs:(instances we_bindings) engine ~output
+        in
+        differential ~make ~gen:(traffic ())
+          ~arrivals:(Nfp_sim.Harness.Uniform 0.8) ~packets:800);
+    Alcotest.test_case "multi-graph classifier with unmatched traffic" `Quick (fun () ->
+        (* Graph 1 takes UDP, graph 2 takes TCP dport 61080; other TCP
+           traffic is unmatched and must count identically. *)
+        let p1 = plan_of "NF(m1, Monitor)\nPosition(m1, first)" in
+        let p2 = plan_of ns_text in
+        let make ~path engine ~output =
+          Nfp_infra.System.make_multi ~path
+            ~graphs:
+              [
+                (Flow_match.make ~proto:17 (), p1, instances [ ("m1", "Monitor") ]);
+                (Flow_match.make ~dport_range:(61080, 61080) (), p2, instances ns_bindings);
+              ]
+            engine ~output
+        in
+        let tr =
+          trace ~path:`Compiled ~make ~gen:(traffic ())
+            ~arrivals:(Nfp_sim.Harness.Uniform 0.5) ~packets:600
+        in
+        check Alcotest.bool "some packets unmatched" true (tr.unmatched > 0);
+        differential ~make ~gen:(traffic ())
+          ~arrivals:(Nfp_sim.Harness.Uniform 0.5) ~packets:600);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Randomized policies: any compilable policy, both paths identical    *)
+(* ------------------------------------------------------------------ *)
+
+let kind_pool =
+  [| "Monitor"; "Gateway"; "Caching"; "Firewall"; "IDS"; "IPS"; "LoadBalancer";
+     "VPN"; "NAT"; "Proxy"; "Compression"; "Forwarder" |]
+
+let random_policy_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 5 in
+    let* kinds = array_size (return n) (int_range 0 (Array.length kind_pool - 1)) in
+    let* edge_bits = array_size (return (n * n)) bool in
+    return (kinds, edge_bits))
+
+let random_policy_arbitrary =
+  QCheck.make
+    ~print:(fun (kinds, _) ->
+      String.concat "," (Array.to_list (Array.map (fun i -> kind_pool.(i)) kinds)))
+    random_policy_gen
+
+let build_policy (kinds, edge_bits) =
+  let n = Array.length kinds in
+  let name i = Printf.sprintf "n%d" i in
+  let bindings = List.init n (fun i -> (name i, kind_pool.(kinds.(i)))) in
+  let rules =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               if j > i && edge_bits.((i * n) + j) then
+                 Some (Nfp_policy.Rule.Order (name i, name j))
+               else None)
+             (List.init n Fun.id)))
+  in
+  let rules =
+    if rules = [] then Nfp_policy.Rule.of_chain (List.init n name) else rules
+  in
+  { Nfp_policy.Rule.bindings; rules }
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:25
+         ~name:"compiled path matches interpretive path on any policy"
+         random_policy_arbitrary
+         (fun spec ->
+           let policy = build_policy spec in
+           match Compiler.compile policy with
+           | Error _ -> QCheck.assume_fail ()
+           | Ok out -> (
+               match Tables.of_output out with
+               | Error _ -> false
+               | Ok plan ->
+                   let make ~path engine ~output =
+                     Nfp_infra.System.make ~path ~plan
+                       ~nfs:(instances policy.bindings) engine ~output
+                   in
+                   let t path =
+                     trace ~path ~make ~gen:(traffic ())
+                       ~arrivals:(Nfp_sim.Harness.Uniform 1.5) ~packets:300
+                   in
+                   t `Interpretive = t `Compiled)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel harness determinism                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bench_make engine ~output =
+  Nfp_infra.System.make ~plan:(plan_of ns_text) ~nfs:(instances ns_bindings) engine
+    ~output
+
+let determinism_tests =
+  [
+    Alcotest.test_case "parallel_runs is order-preserving and deterministic" `Quick
+      (fun () ->
+        let thunks () =
+          List.init 6 (fun i () ->
+              let r =
+                Nfp_sim.Harness.run ~make:bench_make ~gen:(traffic ())
+                  ~arrivals:(Nfp_sim.Harness.Uniform (0.3 +. (0.2 *. float_of_int i)))
+                  ~packets:400 ()
+              in
+              (i, r.delivered, r.ring_drops, Nfp_algo.Stats.mean r.latency))
+        in
+        let seq = Nfp_sim.Harness.parallel_runs ~domains:1 (thunks ()) in
+        let par = Nfp_sim.Harness.parallel_runs ~domains:4 (thunks ()) in
+        check Alcotest.int "length" (List.length seq) (List.length par);
+        List.iter2
+          (fun (i1, d1, rd1, m1) (i2, d2, rd2, m2) ->
+            check Alcotest.int "order" i1 i2;
+            check Alcotest.int "delivered" d1 d2;
+            check Alcotest.int "ring drops" rd1 rd2;
+            check exact_float "mean" m1 m2)
+          seq par);
+    Alcotest.test_case "speculative bisection matches sequential search" `Quick
+      (fun () ->
+        let search domains =
+          Nfp_sim.Harness.max_lossless_mpps ~make:bench_make ~gen:(traffic ())
+            ~packets:2000 ~hi:14.88 ~iterations:6 ~domains ()
+        in
+        let s1 = search 1 in
+        check exact_float "3 domains" s1 (search 3);
+        check exact_float "8 domains" s1 (search 8));
+    Alcotest.test_case "nested pools degrade to sequential, same results" `Quick
+      (fun () ->
+        (* A thunk that itself calls parallel_runs must not spawn a
+           nested pool; results stay identical either way. *)
+        let inner () =
+          Nfp_sim.Harness.parallel_runs
+            (List.init 3 (fun i () -> i * i))
+        in
+        let outer =
+          Nfp_sim.Harness.parallel_runs ~domains:2
+            (List.init 2 (fun _ () -> inner ()))
+        in
+        List.iter
+          (fun squares -> check Alcotest.(list int) "squares" [ 0; 1; 4 ] squares)
+          outer);
+  ]
+
+let () =
+  Alcotest.run "nfp_fastpath"
+    [
+      ("differential", differential_tests);
+      ("property", property_tests);
+      ("determinism", determinism_tests);
+    ]

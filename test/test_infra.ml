@@ -658,7 +658,8 @@ let multi_tests =
         in
         system.Nfp_sim.Harness.inject ~pid:1L (pkt ()) (* TCP: no match *);
         Nfp_sim.Engine.run engine;
-        check Alcotest.int "discarded" 1 (system.nf_drops ()));
+        check Alcotest.int "discarded" 1 (system.unmatched ());
+        check Alcotest.int "not an NF drop" 0 (system.nf_drops ()));
     Alcotest.test_case "empty classification table rejected" `Quick (fun () ->
         let engine = Nfp_sim.Engine.create () in
         Alcotest.check_raises "empty" (Invalid_argument "System.make_multi: no service graphs")

@@ -216,6 +216,7 @@ let fixed_system ~service_ns ~ring engine ~output =
       (fun ~pid pkt -> if not (Server.offer core (pid, pkt)) then incr drops);
     ring_drops = (fun () -> !drops);
     nf_drops = (fun () -> 0);
+    unmatched = (fun () -> 0);
   }
 
 let gen _ =
