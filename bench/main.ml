@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- fig7    # one experiment
 
    Experiments: stats fig7 fig8 fig9 fig11 fig12 fig13 table4 merger
-   overhead replay fig15 ablation micro.
+   overhead replay fig15 ablation classify micro.
 
    Absolute microseconds depend on the calibrated cost model
    (lib/sim/cost.ml); the claims under reproduction are the *shapes* —
@@ -885,6 +885,117 @@ let run_vm () =
   run "VMs" Nfp_sim.Cost.vm
 
 (* ------------------------------------------------------------------ *)
+(* classify: §5.1 two-level classifier vs linear scan                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_classify () =
+  section "§5.1  Flow-aware classification: microflow cache + tuple space";
+  note "(the Classification Table resolves each packet's 5-tuple to a service";
+  note " graph; a linear scan examines O(rules) entries per packet, the";
+  note " two-level classifier pays one exact-match probe on a microflow-cache";
+  note " hit and one hash probe per mask shape on a miss; Cost.classified";
+  note " charges both as delay ahead of the classifier core)";
+  let rate = 1.0 (* Mpps, fixed and far below saturation: the latency
+                    delta between the two runs is pure lookup cost *) in
+  let flows = 1024 in
+  let packets = latency_packets in
+  (* Tenant [t] owns dip 10.0.t.0/24; odd tenants also pin the protocol
+     and tenants with bit 1 set also carry a source-port range, so the
+     table spans four mask shapes however many tenants there are. *)
+  let rule t =
+    let dip = Int32.of_int ((10 lsl 24) lor ((t land 0xff) lsl 8)) in
+    Nfp_packet.Flow_match.make ~dip_prefix:(dip, 24)
+      ?proto:(if t land 1 = 1 then Some 17 else None)
+      ?sport_range:(if t land 2 = 2 then Some (1024, 65535) else None)
+      ()
+  in
+  let flow_of tenants fid =
+    let t = fid mod tenants in
+    let host = (fid / tenants) land 0xff in
+    let dip = Int32.of_int ((10 lsl 24) lor ((t land 0xff) lsl 8) lor host) in
+    let sip = Int32.of_int ((10 lsl 24) lor (200 lsl 16) lor fid) in
+    Nfp_packet.Flow.make ~sip ~dip ~sport:(10000 + fid) ~dport:80
+      ~proto:(if t land 1 = 1 then 17 else 6)
+  in
+  note "  %-8s %-6s %-7s %-11s %-11s %-9s %s" "tenants" "rules" "shapes"
+    "scan (us)" "cached (us)" "hit rate" "evictions";
+  List.iter
+    (fun tenants ->
+      let graphs =
+        List.init tenants (fun t ->
+            let name = Printf.sprintf "fwd%d" t in
+            let profile_of _ = Nfp_nf.Registry.profile_of "Forwarder" in
+            let plan =
+              match Tables.plan ~profile_of (Graph.nf name) with
+              | Ok p -> p
+              | Error e -> failwith e
+            in
+            ( rule t,
+              plan,
+              fun n ->
+                match Nfp_nf.Registry.instantiate "Forwarder" ~name:n with
+                | Some nf -> nf
+                | None -> failwith "no Forwarder implementation" ))
+      in
+      let shapes =
+        Nfp_packet.Classifier.group_count
+          (Nfp_packet.Classifier.create
+             (Array.init tenants (fun t -> rule t)))
+      in
+      let gen =
+        memoized (fun i ->
+            let fid =
+              Int64.to_int (Nfp_algo.Hashing.mix64 (Int64.of_int i))
+              land (flows - 1)
+            in
+            Nfp_packet.Packet.create ~flow:(flow_of tenants fid)
+              ~payload:(String.make 46 'x') ())
+      in
+      let run_mode classify =
+        let sys = ref None in
+        let make engine ~output =
+          let s =
+            Nfp_infra.System.make_multi ~classify
+              ~config:
+                { Nfp_infra.System.default_config with
+                  cost = Nfp_sim.Cost.classified }
+              ~graphs engine ~output
+          in
+          sys := Some s;
+          s
+        in
+        let r =
+          Nfp_sim.Harness.run ~make ~gen
+            ~arrivals:(Nfp_sim.Harness.Uniform rate) ~packets ()
+        in
+        if r.unmatched <> 0 then
+          failwith
+            (Printf.sprintf "classify: %d packets missed the table" r.unmatched);
+        let counters =
+          match !sys with
+          | Some s -> s.Nfp_sim.Harness.classifier ()
+          | None -> Nfp_sim.Harness.no_classifier_counters
+        in
+        let us = Nfp_algo.Stats.mean r.latency /. 1000.0 in
+        record_sample
+          {
+            mpps = rate;
+            latency_us = us;
+            p99_us = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0;
+          };
+        (us, counters)
+      in
+      let scan_us, _ = run_mode `Scan in
+      let cached_us, c = run_mode `Cached in
+      let hit_rate =
+        100.0 *. float_of_int c.Nfp_sim.Harness.hits
+        /. float_of_int (max 1 (c.hits + c.misses))
+      in
+      note "  %-8d %-6d %-7d %-11.2f %-11.2f %7.1f%%  %d" tenants tenants
+        shapes scan_us cached_us hit_rate c.evictions)
+    [ 1; 8; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -906,6 +1017,7 @@ let experiments =
     ("loadsweep", run_loadsweep);
     ("scale", run_scale);
     ("vm", run_vm);
+    ("classify", run_classify);
     ("ablation", run_ablation);
     ("micro", run_micro);
   ]

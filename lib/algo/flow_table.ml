@@ -1,0 +1,100 @@
+(* Microflow cache: an open-addressing exact-match table from 5-tuples
+   to small non-negative ints. The 104-bit key packs into two native
+   ints (no allocation on lookup or insert); slots are probed linearly
+   inside a short window and a full window evicts — a cache, not a map,
+   so collisions cost a refill instead of a resize. *)
+
+let probe_window = 8
+let empty = -1
+
+type t = {
+  ka : int array;  (* sip<<24 | sport<<8 | proto; [empty] marks a free slot *)
+  kb : int array;  (* dip<<16 | dport *)
+  value : int array;
+  mask : int;
+  mutable occupied : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let create ?(capacity = 1 lsl 16) () =
+  if capacity < 1 then invalid_arg "Flow_table.create: capacity must be positive";
+  let cap = pow2 (max capacity probe_window) 1 in
+  {
+    ka = Array.make cap empty;
+    kb = Array.make cap empty;
+    value = Array.make cap 0;
+    mask = cap - 1;
+    occupied = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let slot_of t ~sip ~dip ~sport ~dport ~proto =
+  Int64.to_int (Hashing.tuple5_64 sip dip sport dport proto) land t.mask
+
+(* Entries are never deleted individually, so an empty slot inside the
+   probe window proves absence. *)
+let find t ~sip ~dip ~sport ~dport ~proto =
+  let base = slot_of t ~sip ~dip ~sport ~dport ~proto in
+  let a = Hashing.pack_a sip sport proto and b = Hashing.pack_b dip dport in
+  let rec go i =
+    if i >= probe_window then begin
+      t.misses <- t.misses + 1;
+      None
+    end
+    else
+      let s = (base + i) land t.mask in
+      if t.ka.(s) = a && t.kb.(s) = b then begin
+        t.hits <- t.hits + 1;
+        Some t.value.(s)
+      end
+      else if t.ka.(s) = empty then begin
+        t.misses <- t.misses + 1;
+        None
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let put t ~sip ~dip ~sport ~dport ~proto v =
+  if v < 0 then invalid_arg "Flow_table.put: negative value";
+  let base = slot_of t ~sip ~dip ~sport ~dport ~proto in
+  let a = Hashing.pack_a sip sport proto and b = Hashing.pack_b dip dport in
+  let rec go i =
+    if i >= probe_window then begin
+      (* Window full: rotate the victim slot so one hot bucket does not
+         always evict the same entry. *)
+      let s = (base + (t.evictions land (probe_window - 1))) land t.mask in
+      t.evictions <- t.evictions + 1;
+      t.ka.(s) <- a;
+      t.kb.(s) <- b;
+      t.value.(s) <- v
+    end
+    else
+      let s = (base + i) land t.mask in
+      if t.ka.(s) = a && t.kb.(s) = b then t.value.(s) <- v
+      else if t.ka.(s) = empty then begin
+        t.ka.(s) <- a;
+        t.kb.(s) <- b;
+        t.value.(s) <- v;
+        t.occupied <- t.occupied + 1
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let clear t =
+  Array.fill t.ka 0 (Array.length t.ka) empty;
+  Array.fill t.kb 0 (Array.length t.kb) empty;
+  t.occupied <- 0
+
+let length t = t.occupied
+let capacity t = t.mask + 1
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

@@ -1,0 +1,34 @@
+(** Microflow cache: exact-match 5-tuple table with O(1) lookup.
+
+    The classifier's first level (OVS-style microflow cache): maps a
+    recently seen 5-tuple straight to a small non-negative int (the
+    dataplane stores the packet's MID, with 0 reserved for "matched no
+    rule"). Open addressing over two packed native-int key limbs, a
+    short linear probe window, and eviction when the window fills —
+    bounded memory, no resizing, no per-operation allocation. Keys are
+    hashed with {!Hashing.tuple5_64}, the dataplane's one 5-tuple
+    mixing function. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fixed-capacity table; [capacity] (default 65536) is rounded up to a
+    power of two. @raise Invalid_argument when not positive. *)
+
+val find : t -> sip:int32 -> dip:int32 -> sport:int -> dport:int -> proto:int -> int option
+(** Exact-match lookup; bumps the hit or miss counter. *)
+
+val put : t -> sip:int32 -> dip:int32 -> sport:int -> dport:int -> proto:int -> int -> unit
+(** Insert or overwrite; evicts a resident entry when the probe window
+    is full. @raise Invalid_argument on a negative value. *)
+
+val clear : t -> unit
+(** Drop every entry (counters are kept): used when the rule table the
+    cached results were derived from changes. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -22,21 +22,18 @@ let mix64 z =
 
 let combine a b = ((a * 31) + b) land max_int
 
+(* The 104-bit 5-tuple packs exactly into two limbs; both fit a 63-bit
+   native int, so packing is allocation-free. *)
+let pack_a sip sport proto =
+  ((Int32.to_int sip land 0xffffffff) lsl 24) lor (sport lsl 8) lor proto
+
+let pack_b dip dport = ((Int32.to_int dip land 0xffffffff) lsl 16) lor dport
+
+let tuple5_64 sip dip sport dport proto =
+  mix64
+    (Int64.logxor
+       (mix64 (Int64.of_int (pack_a sip sport proto)))
+       (Int64.of_int (pack_b dip dport)))
+
 let tuple5 sip dip sport dport proto =
-  let h = fnv_offset in
-  let step h v = (h lxor (v land 0xff)) * fnv_prime land 0xffffffff in
-  let word h v32 =
-    let v = Int32.to_int (Int32.logand v32 0xffffffffl) in
-    let h = step h v in
-    let h = step h (v lsr 8) in
-    let h = step h (v lsr 16) in
-    step h (v lsr 24)
-  in
-  let h = word h sip in
-  let h = word h dip in
-  let h = step h sport in
-  let h = step h (sport lsr 8) in
-  let h = step h dport in
-  let h = step h (dport lsr 8) in
-  let h = step h proto in
-  h land max_int
+  Int64.to_int (tuple5_64 sip dip sport dport proto) land max_int

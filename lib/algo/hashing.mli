@@ -15,6 +15,23 @@ val mix64 : int64 -> int64
 val combine : int -> int -> int
 (** Order-dependent combination of two hash values. *)
 
+val pack_a : int32 -> int -> int -> int
+(** [pack_a sip sport proto]: first limb of the packed 104-bit 5-tuple
+    (fits a 63-bit native int, so packing never allocates). *)
+
+val pack_b : int32 -> int -> int
+(** [pack_b dip dport]: second limb. *)
+
+val tuple5_64 : int32 -> int32 -> int -> int -> int -> int64
+(** [tuple5_64 sip dip sport dport proto] is the dataplane's one
+    5-tuple mixing function: the 104-bit tuple packed into two native
+    limbs and avalanched through {!mix64}. ECMP hashing, monitor flow
+    keying and the classifier's microflow cache all key off this value
+    (directly or via its {!tuple5} truncation), so a distribution
+    regression shows up everywhere at once — test_algo holds it to
+    avalanche and bucket-spread bounds. *)
+
 val tuple5 : int32 -> int32 -> int -> int -> int -> int
 (** [tuple5 sip dip sport dport proto] hashes a 5-tuple to a
-    non-negative int, ECMP-style. *)
+    non-negative int, ECMP-style: {!tuple5_64} truncated to the native
+    int width. *)

@@ -64,4 +64,5 @@ let make ?(config = default_config) ~cores ~chain engine ~output =
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> 0);
+    classifier = (fun () -> Nfp_sim.Harness.no_classifier_counters);
   }

@@ -1,6 +1,7 @@
 let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
   if segments = [] then invalid_arg "Cluster.make: no segments";
   let ring_drop_fns = ref [] and nf_drop_fns = ref [] and unmatched_fns = ref [] in
+  let classifier_fns = ref [] in
   (* Wire back to front: each server's output crosses the link into the
      next server's NIC. *)
   let rec build = function
@@ -10,6 +11,7 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
         ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
         nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
         unmatched_fns := system.Nfp_sim.Harness.unmatched :: !unmatched_fns;
+        classifier_fns := system.Nfp_sim.Harness.classifier :: !classifier_fns;
         system
     | (plan, nfs) :: rest ->
         let downstream = build rest in
@@ -21,6 +23,7 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
         ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
         nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
         unmatched_fns := system.Nfp_sim.Harness.unmatched :: !unmatched_fns;
+        classifier_fns := system.Nfp_sim.Harness.classifier :: !classifier_fns;
         system
   in
   let first = build segments in
@@ -30,6 +33,17 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
     ring_drops = sum ring_drop_fns;
     nf_drops = sum nf_drop_fns;
     unmatched = sum unmatched_fns;
+    classifier =
+      (fun () ->
+        List.fold_left
+          (fun (acc : Nfp_sim.Harness.classifier_counters) f ->
+            let (c : Nfp_sim.Harness.classifier_counters) = f () in
+            {
+              Nfp_sim.Harness.hits = acc.hits + c.hits;
+              misses = acc.misses + c.misses;
+              evictions = acc.evictions + c.evictions;
+            })
+          Nfp_sim.Harness.no_classifier_counters !classifier_fns);
   }
 
 let of_partition ?config ?link_latency_ns ~assignments ~profile_of ~nfs engine ~output =

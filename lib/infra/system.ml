@@ -135,8 +135,8 @@ let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
 
 let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
 
-let make_multi ?(path = `Compiled) ?(config = default_config) ?stats ~graphs engine
-    ~output =
+let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_config)
+    ?stats ~graphs engine ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
   let cost = config.cost in
   (* MIDs are 1-based positions in the classification table. *)
@@ -802,23 +802,37 @@ let make_multi ?(path = `Compiled) ?(config = default_config) ?stats ~graphs eng
   in
   (* Classifier front end: CT match, metadata tagging, first-hop actions.
      Unmatched packets are discarded (no service graph owns them) and
-     counted separately from NF drops. *)
-  let classify pkt =
-    let flow = Packet.flow pkt in
-    let rec go i =
-      if i >= Array.length table then None
-      else
-        let m, _, _ = table.(i) in
-        if Flow_match.matches m flow then Some (i + 1) else go (i + 1)
-    in
-    go 0
+     counted separately from NF drops. [`Cached] resolves the flow
+     through the two-level classifier (microflow cache over the
+     tuple-space matcher); [`Scan] is the linear first-match reference.
+     Both charge their structural cycles (zero under the default cost
+     model) as added delay ahead of the classifier core. *)
+  let ct = Array.map (fun (m, _, _) -> m) table in
+  let clf = Nfp_packet.Classifier.create ct in
+  let classify_flow flow =
+    match classify with
+    | `Cached ->
+        let result, outcome = Nfp_packet.Classifier.classify clf flow in
+        let cycles =
+          match outcome with
+          | Nfp_packet.Classifier.Hit -> cost.classify_hit
+          | Nfp_packet.Classifier.Miss probed ->
+              cost.classify_hit + (cost.classify_group * probed)
+        in
+        (result, cycles)
+    | `Scan ->
+        let result, examined = Nfp_packet.Classifier.scan ct flow in
+        (result, cost.classify_rule * examined)
   in
   (match stats with None -> () | Some cell -> cell := sampler);
   {
     Nfp_sim.Harness.inject =
       (fun ~pid pkt ->
-        Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () ->
-            match classify pkt with
+        let mid, cycles = classify_flow (Packet.flow pkt) in
+        Nfp_sim.Engine.schedule engine
+          ~delay:(wire_delay +. Nfp_sim.Cost.ns_of_cycles cost cycles)
+          (fun () ->
+            match mid with
             | None -> incr unmatched
             | Some mid ->
                 let ctx = Context.create ~pid ~mid pkt in
@@ -826,7 +840,16 @@ let make_multi ?(path = `Compiled) ?(config = default_config) ?stats ~graphs eng
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> !unmatched);
+    classifier =
+      (fun () ->
+        {
+          Nfp_sim.Harness.hits = Nfp_packet.Classifier.cache_hits clf;
+          misses = Nfp_packet.Classifier.cache_misses clf;
+          evictions = Nfp_packet.Classifier.cache_evictions clf;
+        });
   }
 
-let make ?path ?config ?stats ~plan ~nfs engine ~output =
-  make_multi ?path ?config ?stats ~graphs:[ (Flow_match.any, plan, nfs) ] engine ~output
+let make ?path ?classify ?config ?stats ~plan ~nfs engine ~output =
+  make_multi ?path ?classify ?config ?stats
+    ~graphs:[ (Flow_match.any, plan, nfs) ]
+    engine ~output

@@ -32,6 +32,7 @@ type core_stats = {
 
 val make :
   ?path:[ `Compiled | `Interpretive ] ->
+  ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
   ?stats:(unit -> core_stats list) ref ->
   plan:Nfp_core.Tables.plan ->
@@ -45,6 +46,7 @@ val make :
 
 val make_multi :
   ?path:[ `Compiled | `Interpretive ] ->
+  ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
   ?stats:(unit -> core_stats list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
@@ -60,6 +62,19 @@ val make_multi :
     [unmatched] counter, separate from NF drops. When a [stats] ref is
     supplied it is filled with a sampler of per-core utilization
     counters.
+
+    [classify] selects how the front end resolves a packet's 5-tuple
+    against the table. [`Cached] (the default) uses the two-level
+    classifier — {!Nfp_packet.Classifier}'s exact-match microflow cache
+    backed by the tuple-space matcher — whose hit/miss/eviction
+    counters the system exposes through
+    [Nfp_sim.Harness.system.classifier]; [`Scan] is the linear
+    first-match reference. Both assign identical MIDs; their structural
+    cycle costs ([classify_hit]/[classify_group]/[classify_rule], zero
+    in {!Nfp_sim.Cost.default}, charged in
+    {!Nfp_sim.Cost.classified}) are added as delay ahead of the
+    classifier core, so measured latency reflects the lookup structure
+    when those terms are enabled.
 
     [path] selects the execution strategy. [`Compiled] (the default)
     translates every plan once, at deployment time, into a preresolved

@@ -1,0 +1,52 @@
+(** Two-level flow classifier: microflow cache over a tuple-space
+    matcher.
+
+    Classifies a 5-tuple against an ordered {!Flow_match} rule table
+    with first-match-wins priority — the paper's Classification Table
+    (§5.1, Fig. 4) — in amortized O(1) per packet instead of a linear
+    scan per packet:
+
+    - level 1, an exact-match microflow cache
+      ({!Nfp_algo.Flow_table}): a recently seen flow maps straight to
+      its MID (or to the cached negative "no rule" result);
+    - level 2, a tuple-space matcher: rules grouped by mask shape
+      (prefix lengths, port-range kind, proto presence), one hash table
+      per shape, so a cache miss probes one table per distinct shape
+      rather than every rule. Port ranges are unmaskable and are
+      verified exactly, per candidate rule, inside a group's bucket.
+
+    Priority is preserved exactly: each group resolves to its lowest
+    matching rule index and the winner is the minimum across groups
+    (groups whose lowest index cannot beat the match in hand are
+    skipped). [test/test_classifier.ml] holds {!classify} to
+    packet-for-packet agreement with {!scan} on randomized tables. *)
+
+type t
+
+type outcome =
+  | Hit  (** resolved by the microflow cache *)
+  | Miss of int  (** resolved by the tuple space; payload = groups probed *)
+
+val create : ?cache_capacity:int -> Flow_match.t array -> t
+(** Build the tuple space for an ordered rule table (index 0 has the
+    highest priority) with an empty cache of [cache_capacity] (default
+    65536) flows. *)
+
+val classify : t -> Flow.t -> int option * outcome
+(** First-match lookup: [Some mid] is the 1-based rule position, [None]
+    means no rule matches. Negative results are cached too. *)
+
+val scan : Flow_match.t array -> Flow.t -> int option * int
+(** Reference linear scan; also returns the number of rules examined
+    (for cost accounting). *)
+
+val group_count : t -> int
+(** Distinct mask shapes — the tables probed on a worst-case miss. *)
+
+val rule_count : t -> int
+
+val cache_hits : t -> int
+
+val cache_misses : t -> int
+
+val cache_evictions : t -> int

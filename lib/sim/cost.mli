@@ -10,6 +10,10 @@ type t = {
   ring_enqueue : int;  (** write a packet reference into a ring *)
   ring_dequeue : int;  (** read one out *)
   classifier : int;  (** CT lookup + metadata tagging *)
+  classify_hit : int;  (** microflow-cache hit: one exact-match probe *)
+  classify_group : int;  (** per tuple-space group probed on a cache miss *)
+  classify_rule : int;
+      (** per CT rule examined by the reference linear scan *)
   switch_forward : int;
       (** OpenNetVM-style centralized switch, per packet (its RX/TX
           path is the bottleneck; per-hop relaying is pipelined) *)
@@ -29,6 +33,15 @@ type t = {
 val default : t
 (** Containers on pinned cores with shared-memory rings (the paper's
     prototype). *)
+
+val classified : t
+(** {!default} with the classification-structure terms charged
+    ([classify_hit]/[classify_group]/[classify_rule] non-zero), so
+    measured latency reflects hit-vs-miss behaviour and rule-table
+    size. They default to zero in {!default} because the §6
+    reproduction experiments charge classification as the flat
+    [classifier] constant (the seed calibration) and their results must
+    not move; the classify bench opts in. *)
 
 val vm : t
 (** Virtual-machine deployment (paper §7 discussion): the same dataplane

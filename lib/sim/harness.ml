@@ -1,8 +1,13 @@
+type classifier_counters = { hits : int; misses : int; evictions : int }
+
+let no_classifier_counters = { hits = 0; misses = 0; evictions = 0 }
+
 type system = {
   inject : pid:int64 -> Nfp_packet.Packet.t -> unit;
   ring_drops : unit -> int;
   nf_drops : unit -> int;
   unmatched : unit -> int;
+  classifier : unit -> classifier_counters;
 }
 
 type arrivals = Uniform of float | Poisson of float | Burst of float * int

@@ -3,6 +3,15 @@
     to measure the latency and the maximum throughput without packet
     loss"). *)
 
+type classifier_counters = { hits : int; misses : int; evictions : int }
+(** Microflow-cache counters of a system's flow classifier: packets
+    resolved by the exact-match cache, packets that fell through to the
+    tuple-space matcher, and cached flows displaced by new ones. *)
+
+val no_classifier_counters : classifier_counters
+(** All-zero counters — what systems without a flow classifier (the
+    baselines) report. *)
+
 type system = {
   inject : pid:int64 -> Nfp_packet.Packet.t -> unit;
       (** deliver one packet to the system's NIC at the current time *)
@@ -11,6 +20,9 @@ type system = {
   unmatched : unit -> int;
       (** packets no classification-table entry claimed — distinct from
           NF drops: an unmatched packet never entered a service graph *)
+  classifier : unit -> classifier_counters;
+      (** current classifier cache counters (see
+          {!classifier_counters}) *)
 }
 
 type arrivals =

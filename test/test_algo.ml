@@ -374,6 +374,161 @@ let hashing_tests =
       QCheck.(int_range 0 100000)
       (fun i ->
         Hashing.mix64 (Int64.of_int i) <> Hashing.mix64 (Int64.of_int (i + 1)));
+    Alcotest.test_case "tuple5 is the truncation of tuple5_64" `Quick (fun () ->
+        let h64 = Hashing.tuple5_64 0x0a000102l 0x0a080304l 12000 443 6 in
+        check Alcotest.int "low bits"
+          (Int64.to_int h64 land max_int)
+          (Hashing.tuple5 0x0a000102l 0x0a080304l 12000 443 6));
+    (* The one 5-tuple mixer keys ECMP, monitor tables and the microflow
+       cache; these two bounds catch a silent quality regression. *)
+    Alcotest.test_case "tuple5_64 avalanche: one flipped input bit moves ~half the \
+                        output" `Quick (fun () ->
+        let prng = Prng.create ~seed:11L in
+        let popcount x =
+          let c = ref 0 in
+          for b = 0 to 63 do
+            if Int64.logand (Int64.shift_right_logical x b) 1L = 1L then incr c
+          done;
+          !c
+        in
+        (* Flip every one of the 104 key bits across random base tuples;
+           the mean flipped-output-bit count must sit near 32. *)
+        let total = ref 0 and samples = ref 0 in
+        for _ = 1 to 64 do
+          let r () = Prng.int prng ~bound:(1 lsl 30) in
+          let sip = Int32.of_int (r ()) and dip = Int32.of_int (r ()) in
+          let sport = r () land 0xffff and dport = r () land 0xffff in
+          let proto = r () land 0xff in
+          let base = Hashing.tuple5_64 sip dip sport dport proto in
+          let flip h' =
+            total := !total + popcount (Int64.logxor base h');
+            incr samples
+          in
+          for b = 0 to 31 do
+            flip
+              (Hashing.tuple5_64 (Int32.logxor sip (Int32.shift_left 1l b)) dip sport
+                 dport proto);
+            flip
+              (Hashing.tuple5_64 sip (Int32.logxor dip (Int32.shift_left 1l b)) sport
+                 dport proto)
+          done;
+          for b = 0 to 15 do
+            flip (Hashing.tuple5_64 sip dip (sport lxor (1 lsl b)) dport proto);
+            flip (Hashing.tuple5_64 sip dip sport (dport lxor (1 lsl b)) proto)
+          done;
+          for b = 0 to 7 do
+            flip (Hashing.tuple5_64 sip dip sport dport (proto lxor (1 lsl b)))
+          done
+        done;
+        let mean = float_of_int !total /. float_of_int !samples in
+        check Alcotest.bool
+          (Printf.sprintf "mean flipped bits %.2f in [28, 36]" mean)
+          true
+          (mean > 28.0 && mean < 36.0));
+    Alcotest.test_case "tuple5_64 spreads structured flows evenly over buckets" `Quick
+      (fun () ->
+        (* Adversarially regular traffic: one subnet, sequential hosts
+           and ports — exactly what a weak mixer clumps. *)
+        let bins = Array.make 64 0 in
+        let n = 8192 in
+        for i = 0 to n - 1 do
+          let sip = Int32.of_int (0x0a000000 lor (i land 0xff)) in
+          let dip = Int32.of_int (0x0a080000 lor (i lsr 8)) in
+          let h = Hashing.tuple5_64 sip dip (10000 + (i land 63)) 443 6 in
+          let b = Int64.to_int h land 63 in
+          bins.(b) <- bins.(b) + 1
+        done;
+        let expected = n / 64 in
+        Array.iteri
+          (fun b c ->
+            check Alcotest.bool
+              (Printf.sprintf "bin %d count %d within 2x of %d" b c expected)
+              true
+              (c > expected / 2 && c < expected * 2))
+          bins);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Flow_table (microflow cache)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let flow_table_tests =
+  let key i =
+    ( Int32.of_int (0x0a000000 lor (i land 0xffff)),
+      Int32.of_int (0x0a080000 lor (i lsr 4)),
+      (10000 + i) land 0xffff,
+      443,
+      6 )
+  in
+  let find t i =
+    let sip, dip, sport, dport, proto = key i in
+    Flow_table.find t ~sip ~dip ~sport ~dport ~proto
+  in
+  let put t i v =
+    let sip, dip, sport, dport, proto = key i in
+    Flow_table.put t ~sip ~dip ~sport ~dport ~proto v
+  in
+  [
+    Alcotest.test_case "put then find" `Quick (fun () ->
+        let t = Flow_table.create ~capacity:64 () in
+        put t 1 17;
+        check (Alcotest.option Alcotest.int) "present" (Some 17) (find t 1);
+        check (Alcotest.option Alcotest.int) "absent" None (find t 2);
+        check Alcotest.int "hits" 1 (Flow_table.hits t);
+        check Alcotest.int "misses" 1 (Flow_table.misses t);
+        check Alcotest.int "length" 1 (Flow_table.length t));
+    Alcotest.test_case "overwrite keeps one entry" `Quick (fun () ->
+        let t = Flow_table.create ~capacity:64 () in
+        put t 3 1;
+        put t 3 2;
+        check (Alcotest.option Alcotest.int) "updated" (Some 2) (find t 3);
+        check Alcotest.int "length" 1 (Flow_table.length t));
+    Alcotest.test_case "zero values are cacheable (negative results)" `Quick (fun () ->
+        let t = Flow_table.create ~capacity:64 () in
+        put t 9 0;
+        check (Alcotest.option Alcotest.int) "zero" (Some 0) (find t 9));
+    Alcotest.test_case "negative values rejected" `Quick (fun () ->
+        let t = Flow_table.create ~capacity:64 () in
+        Alcotest.check_raises "neg" (Invalid_argument "Flow_table.put: negative value")
+          (fun () -> put t 1 (-1)));
+    Alcotest.test_case "capacity rounded to a power of two" `Quick (fun () ->
+        check Alcotest.int "48 -> 64" 64 (Flow_table.capacity (Flow_table.create ~capacity:48 ()));
+        Alcotest.check_raises "zero" (Invalid_argument "Flow_table.create: capacity must be positive")
+          (fun () -> ignore (Flow_table.create ~capacity:0 ())));
+    Alcotest.test_case "overflow evicts instead of growing" `Quick (fun () ->
+        let t = Flow_table.create ~capacity:32 () in
+        for i = 0 to 499 do
+          put t i i
+        done;
+        check Alcotest.bool "evicted" true (Flow_table.evictions t > 0);
+        check Alcotest.bool "bounded" true (Flow_table.length t <= Flow_table.capacity t);
+        (* Whatever survives must still read back correctly. *)
+        let good = ref 0 in
+        for i = 0 to 499 do
+          match find t i with
+          | Some v -> check Alcotest.int "value" i v; incr good
+          | None -> ()
+        done;
+        check Alcotest.bool "some survived" true (!good > 0));
+    Alcotest.test_case "clear empties entries but keeps counters" `Quick (fun () ->
+        let t = Flow_table.create ~capacity:64 () in
+        put t 1 5;
+        ignore (find t 1);
+        Flow_table.clear t;
+        check Alcotest.int "length" 0 (Flow_table.length t);
+        check (Alcotest.option Alcotest.int) "gone" None (find t 1);
+        check Alcotest.int "hits kept" 1 (Flow_table.hits t));
+    qtest ~count:50 "random load: every undisplaced key reads its value"
+      QCheck.(int_range 1 400)
+      (fun n ->
+        let t = Flow_table.create ~capacity:256 () in
+        for i = 0 to n - 1 do
+          put t i (i * 2)
+        done;
+        (* find either misses (evicted) or returns exactly what was put *)
+        List.for_all
+          (fun i -> match find t i with None -> true | Some v -> v = i * 2)
+          (List.init n Fun.id));
   ]
 
 let checksum_tests =
@@ -593,6 +748,7 @@ let () =
       ("aho_corasick", aho_tests);
       ("aes", aes_tests);
       ("hashing", hashing_tests);
+      ("flow_table", flow_table_tests);
       ("checksum", checksum_tests);
       ("token_bucket", bucket_tests);
       ("lz77", lz77_tests);

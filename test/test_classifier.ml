@@ -1,0 +1,267 @@
+(* Differential tests for the two-level classifier: [Classifier.classify]
+   (microflow cache over a tuple-space matcher) must assign the same MID
+   as the [Classifier.scan] linear reference, packet for packet, on
+   randomized overlapping rule tables — including port-range rules,
+   boundary ports, and caches small enough to thrash. A system-level
+   check holds a [`Cached] multi-graph deployment observationally
+   identical to the [`Scan] one. *)
+
+open Nfp_packet
+module Prng = Nfp_algo.Prng
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Random tables and flows over a deliberately small universe so that  *)
+(* rules overlap and flows actually hit them.                          *)
+(* ------------------------------------------------------------------ *)
+
+let ip a b c d =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (a land 0xff)) 24)
+    (Int32.of_int (((b land 0xff) lsl 16) lor ((c land 0xff) lsl 8) lor (d land 0xff)))
+
+(* Addresses live in 10.{0,1}.{0..3}.{0..15}; ports in a handful of
+   interesting values; protos in {1, 6, 17}. *)
+let random_flow prng =
+  let addr () = ip 10 (Prng.int prng ~bound:2) (Prng.int prng ~bound:4) (Prng.int prng ~bound:16) in
+  let port () =
+    match Prng.int prng ~bound:6 with
+    | 0 -> 0
+    | 1 -> 65535
+    | 2 -> 80
+    | 3 -> 443
+    | _ -> Prng.int prng ~bound:1024
+  in
+  let proto = [| 1; 6; 17 |].(Prng.int prng ~bound:3) in
+  Flow.make ~sip:(addr ()) ~dip:(addr ()) ~sport:(port ()) ~dport:(port ()) ~proto
+
+let random_prefix prng =
+  let len = [| 0; 8; 16; 24; 28; 32; Prng.int prng ~bound:33 |].(Prng.int prng ~bound:7) in
+  (ip 10 (Prng.int prng ~bound:2) (Prng.int prng ~bound:4) (Prng.int prng ~bound:16), len)
+
+let random_range prng =
+  match Prng.int prng ~bound:5 with
+  | 0 -> (0, 0)
+  | 1 -> (65535, 65535)
+  | 2 ->
+      let p = Prng.int prng ~bound:1024 in
+      (p, p)
+  | 3 -> (0, Prng.int prng ~bound:65536)
+  | _ ->
+      let a = Prng.int prng ~bound:1024 in
+      (a, a + Prng.int prng ~bound:(65536 - a))
+
+let random_rule ?(force_ranges = false) prng =
+  let opt bound v = if force_ranges || Prng.int prng ~bound = 0 then Some (v ()) else None in
+  Flow_match.make
+    ?sip_prefix:(opt 2 (fun () -> random_prefix prng))
+    ?dip_prefix:(opt 2 (fun () -> random_prefix prng))
+    ?sport_range:(if force_ranges then Some (random_range prng) else opt 3 (fun () -> random_range prng))
+    ?dport_range:(opt 3 (fun () -> random_range prng))
+    ?proto:(opt 2 (fun () -> [| 1; 6; 17 |].(Prng.int prng ~bound:3)))
+    ()
+
+let random_table ?force_ranges prng n = Array.init n (fun _ -> random_rule ?force_ranges prng)
+
+let mid = Alcotest.option Alcotest.int
+
+(* The differential itself: a stream that mixes a recurring flow pool
+   (cache hits) with fresh flows (cache misses), checked packet for
+   packet against the linear scan. Returns the classifier for counter
+   assertions. *)
+let differential ?cache_capacity ?force_ranges ~seed ~rules ~packets () =
+  let prng = Prng.create ~seed in
+  let table = random_table ?force_ranges prng rules in
+  let clf = Classifier.create ?cache_capacity table in
+  let pool = Array.init 97 (fun _ -> random_flow prng) in
+  for i = 1 to packets do
+    let flow =
+      if Prng.int prng ~bound:4 < 3 then pool.(Prng.int prng ~bound:(Array.length pool))
+      else random_flow prng
+    in
+    let expected, _ = Classifier.scan table flow in
+    let got, _ = Classifier.classify clf flow in
+    if expected <> got then
+      check mid (Format.asprintf "packet %d: %a" i Flow.pp flow) expected got
+  done;
+  check Alcotest.int "every packet hit or missed the cache" packets
+    (Classifier.cache_hits clf + Classifier.cache_misses clf);
+  clf
+
+let differential_tests =
+  [
+    Alcotest.test_case "12k packets, 64 overlapping rules" `Quick (fun () ->
+        ignore (differential ~seed:1L ~rules:64 ~packets:12_000 ()));
+    Alcotest.test_case "port-range-heavy table (unmaskable shapes)" `Quick (fun () ->
+        ignore (differential ~force_ranges:true ~seed:2L ~rules:48 ~packets:12_000 ()));
+    Alcotest.test_case "tiny cache: evictions do not change answers" `Quick (fun () ->
+        let clf = differential ~cache_capacity:16 ~seed:3L ~rules:64 ~packets:12_000 () in
+        check Alcotest.bool "cache thrashes" true (Classifier.cache_evictions clf > 0));
+    Alcotest.test_case "single catch-all rule" `Quick (fun () ->
+        let table = [| Flow_match.any |] in
+        let clf = Classifier.create table in
+        let prng = Prng.create ~seed:4L in
+        for _ = 1 to 500 do
+          let f = random_flow prng in
+          check mid "catch-all" (Some 1) (fst (Classifier.classify clf f))
+        done);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60 ~name:"random tables agree with scan"
+         QCheck.(pair (int_range 1 40) (int_bound 10_000))
+         (fun (rules, seed) ->
+           ignore
+             (differential ~cache_capacity:64 ~seed:(Int64.of_int (seed + 7)) ~rules
+                ~packets:400 ());
+           true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Structure: priority, caching and counters                           *)
+(* ------------------------------------------------------------------ *)
+
+let flow_a = Flow.make ~sip:(ip 10 0 0 1) ~dip:(ip 10 1 0 1) ~sport:1000 ~dport:80 ~proto:6
+
+let structure_tests =
+  [
+    Alcotest.test_case "lowest rule index wins across groups" `Quick (fun () ->
+        (* Rule 1 (broad, proto-only shape) must shadow rule 2 (exact
+           shape) even though the exact-match group is more specific. *)
+        let table = [| Flow_match.make ~proto:6 (); Flow_match.of_flow flow_a |] in
+        let clf = Classifier.create table in
+        check mid "shadowed" (Some 1) (fst (Classifier.classify clf flow_a));
+        (* Reversing the table order flips the winner. *)
+        let table' = [| Flow_match.of_flow flow_a; Flow_match.make ~proto:6 () |] in
+        let clf' = Classifier.create table' in
+        check mid "exact first" (Some 1) (fst (Classifier.classify clf' flow_a));
+        check mid "broad catches the rest" (Some 2)
+          (fst (Classifier.classify clf' (Flow.reverse flow_a))));
+    Alcotest.test_case "repeat flows are cache hits" `Quick (fun () ->
+        let clf = Classifier.create [| Flow_match.make ~proto:6 () |] in
+        let r1, o1 = Classifier.classify clf flow_a in
+        let r2, o2 = Classifier.classify clf flow_a in
+        check mid "same mid" r1 r2;
+        check Alcotest.bool "first misses" true (match o1 with Classifier.Miss _ -> true | _ -> false);
+        check Alcotest.bool "second hits" true (o2 = Classifier.Hit);
+        check Alcotest.int "hits" 1 (Classifier.cache_hits clf);
+        check Alcotest.int "misses" 1 (Classifier.cache_misses clf));
+    Alcotest.test_case "negative results are cached too" `Quick (fun () ->
+        let clf = Classifier.create [| Flow_match.make ~proto:17 () |] in
+        let r1, o1 = Classifier.classify clf flow_a in
+        let r2, o2 = Classifier.classify clf flow_a in
+        check mid "no match" None r1;
+        check mid "still no match" None r2;
+        check Alcotest.bool "first misses" true (o1 <> Classifier.Hit);
+        check Alcotest.bool "second hits" true (o2 = Classifier.Hit));
+    Alcotest.test_case "group count tracks distinct mask shapes" `Quick (fun () ->
+        let table =
+          [|
+            Flow_match.make ~proto:6 ();
+            Flow_match.make ~proto:17 ();  (* same shape as above *)
+            Flow_match.make ~sip_prefix:(ip 10 0 0 0, 24) ();
+            Flow_match.make ~sip_prefix:(ip 10 1 0 0, 24) ();  (* same shape *)
+            Flow_match.make ~dport_range:(0, 1023) ();
+          |]
+        in
+        let clf = Classifier.create table in
+        check Alcotest.int "rules" 5 (Classifier.rule_count clf);
+        check Alcotest.int "shapes" 3 (Classifier.group_count clf));
+    Alcotest.test_case "a /0 prefix is the same shape as no prefix" `Quick (fun () ->
+        let table =
+          [|
+            Flow_match.make ~sip_prefix:(ip 10 0 0 0, 0) ~proto:6 ();
+            Flow_match.make ~proto:6 ();
+          |]
+        in
+        let clf = Classifier.create table in
+        check Alcotest.int "shapes" 1 (Classifier.group_count clf);
+        check mid "first wins" (Some 1) (fst (Classifier.classify clf flow_a)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* System level: `Cached` vs `Scan` front ends are observationally     *)
+(* identical (costs default to zero, so even timestamps must agree).   *)
+(* ------------------------------------------------------------------ *)
+
+let instances bindings =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (name, kind) ->
+      match Nfp_nf.Registry.instantiate kind ~name with
+      | Some nf -> Hashtbl.replace table name nf
+      | None -> Alcotest.failf "no implementation for %s" kind)
+    bindings;
+  Hashtbl.find table
+
+let plan_of text =
+  match Nfp_core.Compiler.compile_text text with
+  | Error es -> Alcotest.failf "compile: %s" (String.concat "; " es)
+  | Ok o -> (
+      match Nfp_core.Tables.of_output o with
+      | Ok p -> p
+      | Error e -> Alcotest.failf "plan: %s" e)
+
+type trace = {
+  outs : (int64 * string) list;
+  delivered : int;
+  unmatched : int;
+  duration_ns : float;
+}
+
+let trace ~classify ~graphs ~packets =
+  let outs = ref [] in
+  let make engine ~output =
+    Nfp_infra.System.make_multi ~classify ~graphs engine ~output:(fun ~pid pkt ->
+        outs := (pid, Bytes.to_string (Packet.to_bytes pkt)) :: !outs;
+        output ~pid pkt)
+  in
+  let g =
+    Nfp_traffic.Pktgen.create { Nfp_traffic.Pktgen.default with flows = 64 }
+  in
+  let r =
+    Nfp_sim.Harness.run ~make
+      ~gen:(Nfp_traffic.Pktgen.packet g)
+      ~arrivals:(Nfp_sim.Harness.Uniform 0.5) ~packets ()
+  in
+  {
+    outs = List.rev !outs;
+    delivered = r.delivered;
+    unmatched = r.unmatched;
+    duration_ns = r.duration_ns;
+  }
+
+let system_tests =
+  [
+    Alcotest.test_case "`Cached and `Scan front ends trace identically" `Quick (fun () ->
+        let p1 = plan_of "NF(m1, Monitor)\nPosition(m1, first)" in
+        let p2 =
+          plan_of "NF(fw, Firewall)\nNF(lb, LoadBalancer)\nChain(fw, lb)"
+        in
+        let graphs =
+          [
+            (Flow_match.make ~proto:17 (), p1, instances [ ("m1", "Monitor") ]);
+            ( Flow_match.make ~proto:6 ~dport_range:(0, 32767) (),
+              p2,
+              instances [ ("fw", "Firewall"); ("lb", "LoadBalancer") ] );
+          ]
+        in
+        let a = trace ~classify:`Cached ~graphs ~packets:800 in
+        let b = trace ~classify:`Scan ~graphs ~packets:800 in
+        check Alcotest.int "delivered" a.delivered b.delivered;
+        check Alcotest.int "unmatched" a.unmatched b.unmatched;
+        check (Alcotest.float 0.0) "duration" a.duration_ns b.duration_ns;
+        check Alcotest.int "output count" (List.length a.outs) (List.length b.outs);
+        List.iter2
+          (fun (pid_a, bytes_a) (pid_b, bytes_b) ->
+            check Alcotest.int64 "output pid" pid_a pid_b;
+            check Alcotest.string "output bytes" bytes_a bytes_b)
+          a.outs b.outs);
+  ]
+
+let () =
+  Alcotest.run "nfp_classifier"
+    [
+      ("differential", differential_tests);
+      ("structure", structure_tests);
+      ("system", system_tests);
+    ]

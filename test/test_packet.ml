@@ -378,6 +378,77 @@ let flow_match_tests =
     Alcotest.test_case "zero-length prefix is a wildcard" `Quick (fun () ->
         let m = Flow_match.make ~sip_prefix:(0l, 0) () in
         check Alcotest.bool "any sip" true (Flow_match.matches m tcp_flow));
+    Alcotest.test_case "/0 prefix matches regardless of address bits" `Quick (fun () ->
+        (* A /0 with a non-zero address still matches everything: zero
+           mask bits means no address bits are compared. *)
+        let m = Flow_match.make ~sip_prefix:(other_ip, 0) ~dip_prefix:(some_ip, 0) () in
+        check Alcotest.bool "tcp" true (Flow_match.matches m tcp_flow);
+        check Alcotest.bool "udp" true (Flow_match.matches m udp_flow);
+        check Alcotest.bool "icmp" true (Flow_match.matches m icmp_flow));
+    Alcotest.test_case "/32 prefix is an exact address match" `Quick (fun () ->
+        let m = Flow_match.make ~sip_prefix:(some_ip, 32) () in
+        check Alcotest.bool "exact" true (Flow_match.matches m tcp_flow);
+        let off_by_one = Int32.add some_ip 1l in
+        let m2 = Flow_match.make ~sip_prefix:(off_by_one, 32) () in
+        check Alcotest.bool "adjacent" false (Flow_match.matches m2 tcp_flow);
+        let m3 = Flow_match.make ~dip_prefix:(other_ip, 32) () in
+        check Alcotest.bool "dip exact" true (Flow_match.matches m3 tcp_flow));
+    Alcotest.test_case "port range boundaries" `Quick (fun () ->
+        (* Flow with sport 0 and dport 0 (icmp_flow) sits on the lower
+           boundary; ranges are inclusive on both ends. *)
+        let low = Flow_match.make ~sport_range:(0, 0) () in
+        check Alcotest.bool "sport 0 hit" true (Flow_match.matches low icmp_flow);
+        check Alcotest.bool "sport 0 miss" false (Flow_match.matches low tcp_flow);
+        let full = Flow_match.make ~sport_range:(0, 65535) ~dport_range:(0, 65535) () in
+        check Alcotest.bool "full range tcp" true (Flow_match.matches full tcp_flow);
+        check Alcotest.bool "full range icmp" true (Flow_match.matches full icmp_flow);
+        let top = Flow_match.make ~dport_range:(65535, 65535) () in
+        let f = Flow.make ~sip:some_ip ~dip:other_ip ~sport:1 ~dport:65535 ~proto:6 in
+        check Alcotest.bool "dport 65535 hit" true (Flow_match.matches top f);
+        check Alcotest.bool "dport 65535 miss" false (Flow_match.matches top tcp_flow);
+        let single = Flow_match.make ~sport_range:(1234, 1234) () in
+        check Alcotest.bool "single-port hit" true (Flow_match.matches single tcp_flow);
+        check Alcotest.bool "single-port miss" false (Flow_match.matches single udp_flow);
+        (* Edge of an interior range: ends included, neighbours excluded. *)
+        let r = Flow_match.make ~dport_range:(80, 443) () in
+        let at p = Flow.make ~sip:some_ip ~dip:other_ip ~sport:1 ~dport:p ~proto:6 in
+        check Alcotest.bool "low end" true (Flow_match.matches r (at 80));
+        check Alcotest.bool "high end" true (Flow_match.matches r (at 443));
+        check Alcotest.bool "below" false (Flow_match.matches r (at 79));
+        check Alcotest.bool "above" false (Flow_match.matches r (at 444)));
+    Alcotest.test_case "proto mismatch rejects even when tuples agree" `Quick (fun () ->
+        let m =
+          Flow_match.make ~sip_prefix:(some_ip, 32) ~dip_prefix:(other_ip, 32)
+            ~sport_range:(1234, 1234) ~dport_range:(80, 80) ~proto:17 ()
+        in
+        check Alcotest.bool "wrong proto" false (Flow_match.matches m tcp_flow);
+        let m6 = { m with Flow_match.proto = Some 6 } in
+        check Alcotest.bool "right proto" true (Flow_match.matches m6 tcp_flow));
+    Alcotest.test_case "is_any / of_flow round-trips" `Quick (fun () ->
+        check Alcotest.bool "make () is any" true (Flow_match.is_any (Flow_match.make ()));
+        check Alcotest.bool "of_flow not any" false (Flow_match.is_any (Flow_match.of_flow tcp_flow));
+        check Alcotest.bool "proto-only not any" false
+          (Flow_match.is_any (Flow_match.make ~proto:6 ()));
+        (* of_flow pins every field: it accepts exactly the source flow. *)
+        List.iter
+          (fun f ->
+            let m = Flow_match.of_flow f in
+            check Alcotest.bool "self" true (Flow_match.matches m f);
+            List.iter
+              (fun g ->
+                if not (Flow.equal f g) then
+                  check Alcotest.bool "other" false (Flow_match.matches m g))
+              [ tcp_flow; udp_flow; icmp_flow; Flow.reverse f ])
+          [ tcp_flow; udp_flow; icmp_flow ]);
+    qtest "of_flow accepts only its own flow" QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        let mk x =
+          Flow.make ~sip:(Int32.of_int (0x0a000000 + x)) ~dip:other_ip
+            ~sport:(x land 0xffff) ~dport:80 ~proto:6
+        in
+        let fa = mk a and fb = mk b in
+        let m = Flow_match.of_flow fa in
+        Flow_match.matches m fb = Flow.equal fa fb);
   ]
 
 let () =
