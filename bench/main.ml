@@ -257,7 +257,7 @@ let run_fig8 () =
 
 (* The registry cannot instantiate parameterized firewall variants, so
    Fig. 9/11 build their deployments from explicit instances. *)
-let fw_deploy ?(copy_mode = `Auto) ?(mergers = 1) ~extra ~graph names =
+let fw_deploy ?(copy_mode = `Auto) ?(mergers = 1) ?fault ~extra ~graph names =
   let profile_of _ = Nfp_nf.Registry.profile_of "Firewall" in
   let plan =
     match Tables.plan ~copy_mode ~profile_of graph with
@@ -272,7 +272,7 @@ let fw_deploy ?(copy_mode = `Auto) ?(mergers = 1) ~extra ~graph names =
       names;
     Nfp_infra.System.make
       ~config:{ Nfp_infra.System.default_config with mergers }
-      ~plan ~nfs:(Hashtbl.find table) engine ~output
+      ?fault ~plan ~nfs:(Hashtbl.find table) engine ~output
 
 let fw_onvm ~extra names engine ~output =
   let nfs =
@@ -788,29 +788,49 @@ let run_loadsweep () =
       ~iterations:8 ()
   in
   note "  max lossless rate: %.2f Mpps" mx;
-  note "  %-10s %-12s %-12s %-10s" "load" "mean (us)" "p99 (us)" "drops";
+  note "  %-10s %-12s %-12s %-10s %-10s %s" "load" "mean (us)" "p99 (us)" "drops"
+    "rejected" "stall (us)";
   (* Each load point is an independent simulation; sweep them on the
-     domain pool (per-thunk generators — the memo cache is mutable) and
-     print in order once all are collected. *)
+     domain pool (per-thunk generators and stats cells — both are
+     mutable) and print in order once all are collected. *)
   let rows =
     Nfp_sim.Harness.parallel_runs
       (List.map
          (fun frac () ->
            let gen = gen_of_size 64 in
+           let cell = ref (fun () -> []) in
+           let make engine ~output =
+             Nfp_infra.System.make ~stats:cell ~plan ~nfs:(lookup_of kinds ()) engine
+               ~output
+           in
            let r =
              Nfp_sim.Harness.run ~make ~gen
                ~arrivals:(Nfp_sim.Harness.Burst (frac *. mx, 32))
                ~packets:latency_packets ()
            in
+           (* Ring refusals and backpressure stall time localize where
+              the knee comes from: rejects at the entry ring show up as
+              drops, stalls inside the graph show where emission waits. *)
+           let cores = !cell () in
+           let rejected =
+             List.fold_left (fun a c -> a + c.Nfp_infra.System.rejected) 0 cores
+           in
+           let stalled_us =
+             List.fold_left (fun a c -> a +. c.Nfp_infra.System.stalled_ns) 0.0 cores
+             /. 1000.0
+           in
            ( frac,
              Nfp_algo.Stats.mean r.latency /. 1000.0,
              Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0,
-             r.ring_drops ))
+             r.ring_drops,
+             rejected,
+             stalled_us ))
          [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ])
   in
   List.iter
-    (fun (frac, mean_us, p99_us, drops) ->
-      note "  %3.0f%%       %-12.1f %-12.1f %d" (100.0 *. frac) mean_us p99_us drops)
+    (fun (frac, mean_us, p99_us, drops, rejected, stalled_us) ->
+      note "  %3.0f%%       %-12.1f %-12.1f %-10d %-10d %.0f" (100.0 *. frac) mean_us
+        p99_us drops rejected stalled_us)
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -996,6 +1016,90 @@ let run_classify () =
     [ 1; 8; 64; 256 ]
 
 (* ------------------------------------------------------------------ *)
+(* faults: availability under crash storms, per recovery policy        *)
+(* ------------------------------------------------------------------ *)
+
+let run_faults () =
+  section "Faults  Availability under crash storms (4 parallel firewalls, 64B)";
+  note "(crash-rate sweep over the degree-4 rig of Fig. 11: every NF core crashes";
+  note " at exponential intervals with the given MTBF; the watchdog detects each";
+  note " failure from progress heartbeats and applies the recovery policy, while";
+  note " mergers time out accumulations a dead branch would wedge. Availability";
+  note " is completed/offered at a fixed 2.0 Mpps load; in BENCH_faults.json the";
+  note " \"mpps\" field carries availability, not a rate)";
+  let names = [ "fw0"; "fw1"; "fw2"; "fw3" ] in
+  let nf_cores = List.map (fun n -> "mid1:" ^ n) names in
+  let graph = Graph.par (List.map Graph.nf names) in
+  let rate = 2.0 in
+  let packets = 20000 in
+  let horizon_ns = float_of_int packets /. rate *. 1000.0 in
+  let policies =
+    [
+      ("Restart", Nfp_infra.System.Restart);
+      ("Bypass", Nfp_infra.System.Bypass);
+      ("Degrade", Nfp_infra.System.Degrade);
+    ]
+  in
+  let mtbfs = [ None; Some 2.0e6; Some 1.0e6; Some 0.5e6 ] in
+  let mtbf_label = function
+    | None -> "none"
+    | Some m -> Printf.sprintf "%.1f ms" (m /. 1e6)
+  in
+  note "";
+  note "  %-9s %-8s | %-7s %-9s %-9s | %-8s %-8s %-8s %s" "policy" "MTBF" "avail"
+    "mean(us)" "p99(us)" "crashes" "detects" "m.t.o." "lost";
+  (* Policy x MTBF points are independent simulations; sweep them on
+     the domain pool and print in submission order. *)
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.concat_map
+         (fun (plabel, policy) ->
+           List.map
+             (fun mtbf () ->
+               let gen = gen_of_size 64 in
+               let plan =
+                 match mtbf with
+                 | None -> Nfp_sim.Fault.empty
+                 | Some mtbf_ns ->
+                     Nfp_sim.Fault.storm ~cores:nf_cores ~mtbf_ns ~horizon_ns ()
+               in
+               let fault =
+                 {
+                   Nfp_infra.System.default_fault_config with
+                   plan;
+                   recovery_of = (fun _ -> policy);
+                 }
+               in
+               let make engine ~output =
+                 fw_deploy ~copy_mode:`Share_all ~mergers:2 ~extra:300 ~graph names
+                   ~fault engine ~output
+               in
+               let r =
+                 Nfp_sim.Harness.run ~make ~gen
+                   ~arrivals:(Nfp_sim.Harness.Uniform rate) ~packets ()
+               in
+               let h = r.health in
+               let avail = float_of_int r.completed /. float_of_int r.offered in
+               ( plabel,
+                 mtbf_label mtbf,
+                 avail,
+                 Nfp_algo.Stats.mean r.latency /. 1000.0,
+                 Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0,
+                 h.crashes,
+                 h.detections,
+                 h.merge_timeouts,
+                 r.offered - r.completed ))
+             mtbfs)
+         policies)
+  in
+  List.iter
+    (fun (plabel, mlabel, avail, mean_us, p99_us, crashes, detects, mto, lost) ->
+      record_sample { mpps = avail; latency_us = mean_us; p99_us };
+      note "  %-9s %-8s | %6.2f%% %-9.1f %-9.1f | %-8d %-8d %-8d %d" plabel mlabel
+        (100.0 *. avail) mean_us p99_us crashes detects mto lost)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1018,6 +1122,7 @@ let experiments =
     ("scale", run_scale);
     ("vm", run_vm);
     ("classify", run_classify);
+    ("faults", run_faults);
     ("ablation", run_ablation);
     ("micro", run_micro);
   ]

@@ -65,4 +65,5 @@ let make ?(config = default_config) ~cores ~chain engine ~output =
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> 0);
     classifier = (fun () -> Nfp_sim.Harness.no_classifier_counters);
+    health = (fun () -> Nfp_sim.Harness.no_health);
   }

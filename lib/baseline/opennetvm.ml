@@ -92,4 +92,5 @@ let make ?(config = default_config) ~nfs engine ~output =
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> 0);
     classifier = (fun () -> Nfp_sim.Harness.no_classifier_counters);
+    health = (fun () -> Nfp_sim.Harness.no_health);
   }

@@ -1,17 +1,23 @@
-let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
+let make ?config ?fault ?(link_latency_ns = 2000.0) ~segments engine ~output =
   if segments = [] then invalid_arg "Cluster.make: no segments";
   let ring_drop_fns = ref [] and nf_drop_fns = ref [] and unmatched_fns = ref [] in
-  let classifier_fns = ref [] in
+  let classifier_fns = ref [] and health_fns = ref [] in
+  let record (system : Nfp_sim.Harness.system) =
+    ring_drop_fns := system.ring_drops :: !ring_drop_fns;
+    nf_drop_fns := system.nf_drops :: !nf_drop_fns;
+    unmatched_fns := system.unmatched :: !unmatched_fns;
+    classifier_fns := system.classifier :: !classifier_fns;
+    health_fns := system.health :: !health_fns
+  in
   (* Wire back to front: each server's output crosses the link into the
-     next server's NIC. *)
+     next server's NIC. [fault] applies to every segment; plans match
+     cores by name, so a pattern like "mid1:*" perturbs the matching
+     core of each segment that has one. *)
   let rec build = function
     | [] -> assert false
     | [ (plan, nfs) ] ->
-        let system = System.make ?config ~plan ~nfs engine ~output in
-        ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
-        nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
-        unmatched_fns := system.Nfp_sim.Harness.unmatched :: !unmatched_fns;
-        classifier_fns := system.Nfp_sim.Harness.classifier :: !classifier_fns;
+        let system = System.make ?config ?fault ~plan ~nfs engine ~output in
+        record system;
         system
     | (plan, nfs) :: rest ->
         let downstream = build rest in
@@ -19,11 +25,8 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
           Nfp_sim.Engine.schedule engine ~delay:link_latency_ns (fun () ->
               downstream.Nfp_sim.Harness.inject ~pid pkt)
         in
-        let system = System.make ?config ~plan ~nfs engine ~output:forward in
-        ring_drop_fns := system.Nfp_sim.Harness.ring_drops :: !ring_drop_fns;
-        nf_drop_fns := system.Nfp_sim.Harness.nf_drops :: !nf_drop_fns;
-        unmatched_fns := system.Nfp_sim.Harness.unmatched :: !unmatched_fns;
-        classifier_fns := system.Nfp_sim.Harness.classifier :: !classifier_fns;
+        let system = System.make ?config ?fault ~plan ~nfs engine ~output:forward in
+        record system;
         system
   in
   let first = build segments in
@@ -44,9 +47,15 @@ let make ?config ?(link_latency_ns = 2000.0) ~segments engine ~output =
               evictions = acc.evictions + c.evictions;
             })
           Nfp_sim.Harness.no_classifier_counters !classifier_fns);
+    health =
+      (fun () ->
+        List.fold_left
+          (fun acc f -> Nfp_sim.Harness.add_health acc (f ()))
+          Nfp_sim.Harness.no_health !health_fns);
   }
 
-let of_partition ?config ?link_latency_ns ~assignments ~profile_of ~nfs engine ~output =
+let of_partition ?config ?fault ?link_latency_ns ~assignments ~profile_of ~nfs engine
+    ~output =
   let rec plans acc = function
     | [] -> Ok (List.rev acc)
     | (a : Nfp_core.Partition.assignment) :: rest -> (
@@ -56,4 +65,4 @@ let of_partition ?config ?link_latency_ns ~assignments ~profile_of ~nfs engine ~
   in
   match plans [] assignments with
   | Error e -> Error e
-  | Ok segments -> Ok (make ?config ?link_latency_ns ~segments engine ~output)
+  | Ok segments -> Ok (make ?config ?fault ?link_latency_ns ~segments engine ~output)

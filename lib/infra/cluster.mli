@@ -11,6 +11,7 @@ open Nfp_packet
 
 val make :
   ?config:System.config ->
+  ?fault:System.fault_config ->
   ?link_latency_ns:float ->
   segments:(Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
   Nfp_sim.Engine.t ->
@@ -18,11 +19,15 @@ val make :
   Nfp_sim.Harness.system
 (** Deploy the segments in order on one simulated server each; a packet
     leaving segment [i] traverses the link (default 2 µs, a ToR switch
-    hop) and enters segment [i+1]'s NIC. Drop/loss counters aggregate
-    across servers. @raise Invalid_argument on an empty segment list. *)
+    hop) and enters segment [i+1]'s NIC. Drop/loss and health counters
+    aggregate across servers. [fault] applies to every segment (plans
+    match cores by name, so a pattern perturbs the matching core of
+    each segment that has one). @raise Invalid_argument on an empty
+    segment list. *)
 
 val of_partition :
   ?config:System.config ->
+  ?fault:System.fault_config ->
   ?link_latency_ns:float ->
   assignments:Nfp_core.Partition.assignment list ->
   profile_of:(string -> Nfp_nf.Action.t list) ->

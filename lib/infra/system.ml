@@ -16,6 +16,67 @@ type config = {
 let default_config =
   { cost = Nfp_sim.Cost.default; ring_capacity = 128; mergers = 1; jitter = 0.05; seed = 7L }
 
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: injection plan, watchdog, recovery policies        *)
+(* ------------------------------------------------------------------ *)
+
+(* What the watchdog does with an NF core that stopped making progress:
+   - [Restart]: the core comes back [restart_ns] later; whatever sat in
+     its ring is dropped (and accounted in [health.flushed]).
+   - [Bypass]: the core is removed from the graph — packets headed to it
+     skip straight through its action program unprocessed, so mergers
+     are never again left waiting on its branch. For read-only or
+     optional NFs (monitors, taps) this loses nothing but telemetry.
+   - [Degrade]: the core's whole service graph falls back to the
+     sequential order of the same plan ([Tables.serial_order]) on a twin
+     chain of fresh cores until the failed core has restarted; parallel
+     wedging is impossible while degraded.
+   Infrastructure cores (classifier, mergers, merger agent, twin-chain
+   cores) always use Restart. *)
+type recovery = Restart | Bypass | Degrade
+
+type fault_config = {
+  plan : Nfp_sim.Fault.plan;
+  watchdog_interval_ns : float;  (* heartbeat sampling period *)
+  watchdog_deadline_ns : float;
+      (* a core with queued work but no progress (neither a processed
+         packet nor a backpressure retry) for this long is declared
+         failed; backpressure alone never trips it *)
+  merge_timeout_ns : float;
+      (* mergers force-complete an accumulation this old with the
+         versions that did arrive; 0.0 disables the timeout *)
+  restart_ns : float;  (* downtime of a Restart / Degrade recovery *)
+  recovery_of : string -> recovery;  (* policy per NF instance name *)
+}
+
+let default_fault_config =
+  {
+    plan = Nfp_sim.Fault.empty;
+    watchdog_interval_ns = 30_000.0;
+    watchdog_deadline_ns = 120_000.0;
+    merge_timeout_ns = 250_000.0;
+    restart_ns = Nfp_sim.Cost.default.restart_ns;
+    recovery_of = (fun _ -> Restart);
+  }
+
+(* The uniform control surface the watchdog holds over every core,
+   whatever its job type. *)
+type probe = {
+  pr_name : string;
+  pr_nf : (int * string) option;  (* mid, NF instance name; None = infrastructure *)
+  pr_processed : unit -> int;
+  pr_queue : unit -> int;
+  pr_stalled : unit -> float;
+  pr_busy : unit -> bool;
+  pr_down : unit -> bool;
+  pr_kill : unit -> unit;
+  pr_revive : unit -> int;
+  pr_drain : unit -> int;  (* NF cores: reroute the backlog around the core *)
+  pr_crashes : unit -> int;
+  pr_fault_drops : unit -> int;
+  pr_flushed : unit -> int;
+}
+
 let core_count config (plan : Tables.plan) =
   1
   + List.length plan.Tables.nf_entries
@@ -27,6 +88,7 @@ type core_stats = {
   busy_ns : float;
   stalled_ns : float;
   processed : int;
+  rejected : int;
   queue : int;
 }
 
@@ -36,6 +98,7 @@ let stats_of_server (type a) (s : a Nfp_sim.Server.t) =
     busy_ns = Nfp_sim.Server.busy_ns s;
     stalled_ns = Nfp_sim.Server.stalled_ns s;
     processed = Nfp_sim.Server.processed s;
+    rejected = Nfp_sim.Server.rejected s;
     queue = Nfp_sim.Server.queue_length s;
   }
 
@@ -117,7 +180,11 @@ and cmerge = {
 
 type cdelivery = { d_ctx : Context.t; d_merge : cmerge; d_branch : int; d_nil : bool }
 
-type cat_entry = { mutable c_received : int; mutable c_nil_mask : int }
+type cat_entry = {
+  mutable c_received : int;
+  mutable c_nil_mask : int;
+  mutable c_arrived_mask : int;  (* branches seen, for merger-timeout completion *)
+}
 
 (* First branch of [spec] the deliverer satisfies, mirroring the
    interpretive path's [branch_of] — resolved once at compile time. *)
@@ -136,9 +203,22 @@ let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
 let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
 
 let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_config)
-    ?stats ~graphs engine ~output =
+    ?fault ?stats ~graphs engine ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
+  (match (fault, path) with
+  | Some _, `Interpretive ->
+      invalid_arg "System.make_multi: fault injection requires the `Compiled path"
+  | _ -> ());
   let cost = config.cost in
+  (* Faults are resolved per core by name; [None] everywhere when no
+     fault config is given, and [Server.create ?fault:None] is exactly
+     the pre-fault server. *)
+  let fault_for name =
+    match fault with
+    | None -> None
+    | Some (fc : fault_config) -> Nfp_sim.Fault.for_core fc.plan name
+  in
+  let merge_timeout_ns = match fault with Some fc -> fc.merge_timeout_ns | None -> 0.0 in
   (* MIDs are 1-based positions in the classification table. *)
   let table = Array.of_list graphs in
   let plan_of_mid mid : Tables.plan =
@@ -174,6 +254,38 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
       (Int64.rem
          (Int64.logand (Nfp_algo.Hashing.mix64 pid) Int64.max_int)
          (Int64.of_int (max 1 instances)))
+  in
+  (* Every compiled-path core registers a probe; the watchdog and the
+     [health] counters below work off this list. *)
+  let probes : probe list ref = ref [] in
+  let register_probe :
+      'a. ?nf:int * string -> ?drain:(unit -> int) -> 'a Nfp_sim.Server.t -> unit =
+   fun ?nf ?(drain = fun () -> 0) s ->
+    probes :=
+      {
+        pr_name = Nfp_sim.Server.name s;
+        pr_nf = nf;
+        pr_processed = (fun () -> Nfp_sim.Server.processed s);
+        pr_queue = (fun () -> Nfp_sim.Server.queue_length s);
+        pr_stalled = (fun () -> Nfp_sim.Server.stalled_ns s);
+        pr_busy = (fun () -> Nfp_sim.Server.is_busy s);
+        pr_down = (fun () -> Nfp_sim.Server.is_down s);
+        pr_kill = (fun () -> Nfp_sim.Server.kill s);
+        pr_revive = (fun () -> Nfp_sim.Server.revive s);
+        pr_drain = drain;
+        pr_crashes = (fun () -> Nfp_sim.Server.crashes s);
+        pr_fault_drops = (fun () -> Nfp_sim.Server.fault_drops s);
+        pr_flushed = (fun () -> Nfp_sim.Server.flushed s);
+      }
+      :: !probes
+  in
+  let bypassed_packets = ref 0 and merge_timeouts = ref 0 in
+  (* Run a retryable emission to completion off-core: used where no
+     server owns the emission (bypass reroutes, timed-out merges), with
+     the same stall-poll cadence as a core's flush loop. *)
+  let rec drive thunk =
+    if not (thunk ()) then
+      Nfp_sim.Engine.schedule engine ~delay:150.0 (fun () -> drive thunk)
   in
   let classifier, sampler =
     match path with
@@ -440,6 +552,12 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     | `Compiled ->
         (* ----------------- compiled construction ------------------- *)
         let nf_servers : Context.t Nfp_sim.Server.t array ref = ref [||] in
+        (* Bypass state: a [true] slot routes around the NF — its
+           packets skip processing but still execute its compiled
+           action program (kept in [nf_cprogs]) so downstream cores and
+           mergers see every expected branch. *)
+        let bypassed = ref [||] in
+        let nf_cprogs : cprog array ref = ref [||] in
         let merger_cores : cdelivery Nfp_sim.Server.t array ref = ref [||] in
         let agent_core : cdelivery Nfp_sim.Server.t option ref = ref None in
         let route_merge (d : cdelivery) =
@@ -584,8 +702,11 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           cmerge_table;
         (* Runtime: walk a compiled send array with a cursor; the cursor
            survives backpressure retries, so each target is offered in
-           order exactly once. *)
-        let exec_sends sends ctx =
+           order exactly once. Sends into a bypassed NF slot run the
+           NF's action program immediately instead (the failed core is
+           out of the graph); [drive] absorbs any backpressure of that
+           rerouted emission. *)
+        let rec exec_sends sends ctx =
           let n = Array.length sends in
           if n = 0 then const_true
           else begin
@@ -596,7 +717,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                 else
                   let ok =
                     match sends.(i) with
-                    | S_nf slot -> Nfp_sim.Server.offer !nf_servers.(slot) ctx
+                    | S_nf slot ->
+                        if Array.length !bypassed > 0 && !bypassed.(slot) then begin
+                          incr bypassed_packets;
+                          drive (exec_prog !nf_cprogs.(slot) ctx);
+                          true
+                        end
+                        else Nfp_sim.Server.offer !nf_servers.(slot) ctx
                     | S_merge { merge; branch; nil } ->
                         route_merge { d_ctx = ctx; d_merge = merge; d_branch = branch; d_nil = nil }
                     | S_deliver v ->
@@ -613,8 +740,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               in
               go !cursor
           end
-        in
-        let exec_prog prog ctx =
+        and exec_prog prog ctx =
           let copies = prog.p_copies in
           for i = 0 to Array.length copies - 1 do
             let c = copies.(i) in
@@ -640,8 +766,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         (* NF cores, one per entry, in nf_impls order (the same PRNG
            split order as the interpretive path). *)
         let servers =
-          List.map
-            (fun (mid, (entry : Tables.nf_entry), (nf : Nfp_nf.Nf.t)) ->
+          List.mapi
+            (fun slot (mid, (entry : Tables.nf_entry), (nf : Nfp_nf.Nf.t)) ->
               let prog = compile_actions ~mid ~self:(Tables.D_nf entry.nf) entry.actions in
               let nil_sends =
                 match entry.nil_target with
@@ -687,13 +813,72 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                           const_true
                         end)
               in
-              Nfp_sim.Server.create ~engine
-                ~name:(Printf.sprintf "mid%d:%s" mid entry.nf)
-                ~ring_capacity:config.ring_capacity ~batch:cost.batch
-                ~jitter:(jitter_for ()) ~service_ns ~execute ())
+              let name = Printf.sprintf "mid%d:%s" mid entry.nf in
+              let server =
+                Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
+                  ~batch:cost.batch ~jitter:(jitter_for ()) ?fault:(fault_for name)
+                  ~service_ns ~execute ()
+              in
+              (* Bypass recovery: mark the slot, then reroute whatever
+                 already queued behind the dead core through its action
+                 program so no merger waits on this branch. *)
+              let drain () =
+                !bypassed.(slot) <- true;
+                let backlog = Nfp_sim.Server.drain server in
+                List.iter
+                  (fun ctx ->
+                    incr bypassed_packets;
+                    drive (exec_prog prog ctx))
+                  backlog;
+                List.length backlog
+              in
+              register_probe ~nf:(mid, entry.nf) ~drain server;
+              (server, prog))
             nf_impls
         in
+        let servers, progs = List.split servers in
         nf_servers := Array.of_list servers;
+        nf_cprogs := Array.of_list progs;
+        bypassed := Array.make (List.length nf_impls) false;
+        (* Merge completion, shared by the full-arrival path and the
+           timeout path. [nil_mask] decides the drop policy; [skip_mask]
+           marks branches whose versions must not feed the merge ops —
+           nil branches (half-processed) and, on a timeout, branches
+           that never arrived. With [skip_mask = nil_mask] this is
+           exactly the pre-timeout completion. *)
+        let complete m ctx ~nil_mask ~skip_mask =
+          let dropped =
+            if m.m_drop_any then nil_mask <> 0 else nil_mask land (1 lsl m.m_winner) <> 0
+          in
+          if dropped then
+            if Array.length m.m_nil_sends = 0 then begin
+              incr nf_drops;
+              const_true
+            end
+            else exec_sends m.m_nil_sends ctx
+          else begin
+            (if skip_mask = 0 then
+               let get v = Context.get ctx v in
+               Array.iter (fun op -> Merge_op.apply op ~get) m.m_ops
+             else begin
+               (* Versions from branches that dropped under a priority
+                  policy are half-processed; their ops are skipped. *)
+               let skip_versions = ref [] in
+               Array.iteri
+                 (fun b v ->
+                   if skip_mask land (1 lsl b) <> 0 then
+                     skip_versions := v :: !skip_versions)
+                 m.m_versions;
+               let svs = !skip_versions in
+               let get v =
+                 if List.mem v svs && v <> m.m_result_version then None
+                 else Context.get ctx v
+               in
+               Array.iter (fun op -> Merge_op.apply op ~get) m.m_ops
+             end);
+            exec_prog m.m_next ctx
+          end
+        in
         let make_merger index =
           let at : (int * int * int64, cat_entry) Hashtbl.t = Hashtbl.create 1024 in
           let service_ns (d : cdelivery) =
@@ -710,53 +895,49 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               match Hashtbl.find_opt at key with
               | Some e -> e
               | None ->
-                  let e = { c_received = 0; c_nil_mask = 0 } in
+                  let e = { c_received = 0; c_nil_mask = 0; c_arrived_mask = 0 } in
                   Hashtbl.replace at key e;
+                  (* Arm the straggler timeout when this accumulation
+                     opens: if a failed branch never shows up, merge
+                     what did arrive rather than wedge the packet (the
+                     drop policy still applies to arrived nils). A
+                     straggler landing after the forced completion opens
+                     a fresh accumulation that can deliver a duplicate;
+                     metrics therefore count distinct completions. *)
+                  if merge_timeout_ns > 0.0 then
+                    Nfp_sim.Engine.schedule engine ~delay:merge_timeout_ns (fun () ->
+                        match Hashtbl.find_opt at key with
+                        | Some e' when e' == e ->
+                            Hashtbl.remove at key;
+                            incr merge_timeouts;
+                            let missing =
+                              ((1 lsl m.m_expected) - 1) land lnot e.c_arrived_mask
+                            in
+                            drive
+                              (complete m d.d_ctx ~nil_mask:e.c_nil_mask
+                                 ~skip_mask:(e.c_nil_mask lor missing))
+                        | _ -> ());
                   e
             in
             entry.c_received <- entry.c_received + 1;
+            if d.d_branch >= 0 then
+              entry.c_arrived_mask <- entry.c_arrived_mask lor (1 lsl d.d_branch);
             if d.d_nil && d.d_branch >= 0 then
               entry.c_nil_mask <- entry.c_nil_mask lor (1 lsl d.d_branch);
             if entry.c_received < m.m_expected then const_true
             else begin
               Hashtbl.remove at key;
-              let mask = entry.c_nil_mask in
-              let dropped =
-                if m.m_drop_any then mask <> 0 else mask land (1 lsl m.m_winner) <> 0
-              in
-              if dropped then
-                if Array.length m.m_nil_sends = 0 then begin
-                  incr nf_drops;
-                  const_true
-                end
-                else exec_sends m.m_nil_sends d.d_ctx
-              else begin
-                (if mask = 0 then
-                   let get v = Context.get d.d_ctx v in
-                   Array.iter (fun op -> Merge_op.apply op ~get) m.m_ops
-                 else begin
-                   (* Versions from branches that dropped under a priority
-                      policy are half-processed; their ops are skipped. *)
-                   let nil_versions = ref [] in
-                   Array.iteri
-                     (fun b v ->
-                       if mask land (1 lsl b) <> 0 then nil_versions := v :: !nil_versions)
-                     m.m_versions;
-                   let nvs = !nil_versions in
-                   let get v =
-                     if List.mem v nvs && v <> m.m_result_version then None
-                     else Context.get d.d_ctx v
-                   in
-                   Array.iter (fun op -> Merge_op.apply op ~get) m.m_ops
-                 end);
-                exec_prog m.m_next d.d_ctx
-              end
+              complete m d.d_ctx ~nil_mask:entry.c_nil_mask ~skip_mask:entry.c_nil_mask
             end
           in
-          Nfp_sim.Server.create ~engine
-            ~name:(Printf.sprintf "merger#%d" index)
-            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
-            ~service_ns ~execute ()
+          let name = Printf.sprintf "merger#%d" index in
+          let server =
+            Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
+              ~batch:cost.batch ~jitter:(jitter_for ()) ?fault:(fault_for name)
+              ~service_ns ~execute ()
+          in
+          register_probe server;
+          server
         in
         merger_cores := Array.init (max 1 config.mergers) make_merger;
         if config.mergers > 1 then begin
@@ -769,11 +950,14 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
             let i = slot_of_pid (Context.pid d.d_ctx) (Array.length instances) in
             emitter [ (fun () -> Nfp_sim.Server.offer instances.(i) d) ]
           in
-          agent_core :=
-            Some
-              (Nfp_sim.Server.create ~engine ~name:"merger-agent"
-                 ~ring_capacity:config.ring_capacity ~batch:cost.batch
-                 ~jitter:(jitter_for ()) ~service_ns ~execute ())
+          let agent =
+            Nfp_sim.Server.create ~engine ~name:"merger-agent"
+              ~ring_capacity:config.ring_capacity ~batch:cost.batch
+              ~jitter:(jitter_for ()) ?fault:(fault_for "merger-agent") ~service_ns
+              ~execute ()
+          in
+          register_probe agent;
+          agent_core := Some agent
         end;
         let classifier_progs =
           Array.init (Array.length table) (fun i ->
@@ -787,9 +971,14 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               (cost.classifier + prog.p_static + dyn_cycles prog ctx)
           in
           let execute ctx = exec_prog classifier_progs.(Context.mid ctx - 1) ctx in
-          Nfp_sim.Server.create ~engine ~name:"classifier"
-            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
-            ~service_ns ~execute ()
+          let clf =
+            Nfp_sim.Server.create ~engine ~name:"classifier"
+              ~ring_capacity:config.ring_capacity ~batch:cost.batch
+              ~jitter:(jitter_for ()) ?fault:(fault_for "classifier") ~service_ns
+              ~execute ()
+          in
+          register_probe clf;
+          clf
         in
         let sampler () =
           stats_of_server classifier
@@ -825,9 +1014,206 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         (result, cost.classify_rule * examined)
   in
   (match stats with None -> () | Some cell -> cell := sampler);
+  (* ---------------------------------------------------------------- *)
+  (* Degrade fallback: one sequential twin chain per service graph,   *)
+  (* built from the plan's provably-equivalent serial order. While a  *)
+  (* graph is degraded, new packets run the chain instead of the      *)
+  (* parallel deployment. Twin cores draw jitter from a PRNG stream   *)
+  (* independent of the main one, so building them does not perturb   *)
+  (* the fault-free trace (the differential test holds this).         *)
+  (* ---------------------------------------------------------------- *)
+  let twin_heads =
+    match fault with
+    | None -> [||]
+    | Some _ ->
+        let twin_prng =
+          Nfp_algo.Prng.create ~seed:(Int64.logxor config.seed 0x5eed_f417L)
+        in
+        Array.init (Array.length table) (fun i ->
+            let mid = i + 1 in
+            let plan = plan_of_mid mid in
+            let chain =
+              List.filter_map
+                (fun name ->
+                  List.find_map
+                    (fun (m, (e : Tables.nf_entry), nf) ->
+                      if m = mid && e.nf = name then Some (name, (nf : Nfp_nf.Nf.t))
+                      else None)
+                    nf_impls)
+                plan.serial_order
+            in
+            let rec build = function
+              | [] -> None
+              | (name, (nf : Nfp_nf.Nf.t)) :: rest ->
+                  let next = build rest in
+                  let service_ns ((_, pkt) : int64 * Packet.t) =
+                    Nfp_sim.Cost.ns_of_cycles cost
+                      (cost.ring_dequeue + cost.nf_runtime + nf.cost_cycles pkt
+                     + cost.ring_enqueue)
+                  in
+                  let execute ((pid, pkt) as job) =
+                    let verdict =
+                      try nf.process pkt
+                      with exn ->
+                        Log.warn (fun m ->
+                            m "NF %s (sequential fallback) crashed on packet %Ld: %s"
+                              name pid (Printexc.to_string exn));
+                        Nfp_nf.Nf.Dropped
+                    in
+                    match verdict with
+                    | Nfp_nf.Nf.Forward -> (
+                        match next with
+                        | Some core -> fun () -> Nfp_sim.Server.offer core job
+                        | None ->
+                            deliver_out ~pid pkt;
+                            const_true)
+                    | Nfp_nf.Nf.Dropped ->
+                        incr nf_drops;
+                        const_true
+                  in
+                  let cname = Printf.sprintf "seq:mid%d:%s" mid name in
+                  let core =
+                    Nfp_sim.Server.create ~engine ~name:cname
+                      ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                      ~jitter:(config.jitter, Nfp_algo.Prng.split twin_prng)
+                      ?fault:(fault_for cname) ~service_ns ~execute ()
+                  in
+                  register_probe core;
+                  Some core
+            in
+            build chain)
+  in
+  (* ---------------------------------------------------------------- *)
+  (* Watchdog: per-core progress heartbeats. A core is healthy while  *)
+  (* it processes packets or at least retries a stalled emission      *)
+  (* (backpressure is not failure); a core with queued work and a     *)
+  (* frozen heartbeat past the deadline is declared failed and its    *)
+  (* recovery policy runs. The watchdog wakes on injection and stops  *)
+  (* rescheduling itself when every core is idle, so a finished       *)
+  (* simulation drains.                                               *)
+  (* ---------------------------------------------------------------- *)
+  let probe_arr = Array.of_list (List.rev !probes) in
+  let detections = ref 0 and restarts = ref 0 and bypasses = ref 0 in
+  let degrades = ref 0 and recoveries = ref 0 in
+  let degraded = Array.make (Array.length table) false in
+  let wstate = Array.make (Array.length probe_arr) `Up in
+  let wd_kick =
+    match fault with
+    | None -> fun () -> ()
+    | Some (fc : fault_config) ->
+        let n = Array.length probe_arr in
+        let prev_processed = Array.make n 0 in
+        let prev_stalled = Array.make n 0.0 in
+        let last_progress = Array.make n 0.0 in
+        let active = ref false in
+        let mark_progress i (p : probe) now =
+          prev_processed.(i) <- p.pr_processed ();
+          prev_stalled.(i) <- p.pr_stalled ();
+          last_progress.(i) <- now
+        in
+        let recover i (p : probe) =
+          incr detections;
+          let restart_core ~on_up () =
+            wstate.(i) <- `Restarting;
+            p.pr_kill ();
+            Nfp_sim.Engine.schedule engine ~delay:fc.restart_ns (fun () ->
+                ignore (p.pr_revive ());
+                incr restarts;
+                wstate.(i) <- `Up;
+                mark_progress i p (Nfp_sim.Engine.now engine);
+                on_up ())
+          in
+          match p.pr_nf with
+          | None -> restart_core ~on_up:ignore ()
+          | Some (mid, nfname) -> (
+              match fc.recovery_of nfname with
+              | Restart -> restart_core ~on_up:ignore ()
+              | Bypass ->
+                  wstate.(i) <- `Bypassed;
+                  incr bypasses;
+                  p.pr_kill ();
+                  ignore (p.pr_drain ())
+              | Degrade ->
+                  degraded.(mid - 1) <- true;
+                  incr degrades;
+                  restart_core
+                    ~on_up:(fun () ->
+                      degraded.(mid - 1) <- false;
+                      incr recoveries)
+                    ())
+        in
+        let rec check () =
+          let now = Nfp_sim.Engine.now engine in
+          let pending = ref false in
+          Array.iteri
+            (fun i p ->
+              let pc = p.pr_processed () and st = p.pr_stalled () in
+              if pc > prev_processed.(i) || st > prev_stalled.(i) then
+                mark_progress i p now
+              else if
+                wstate.(i) = `Up
+                && p.pr_queue () > 0
+                && now -. last_progress.(i) > fc.watchdog_deadline_ns
+              then recover i p;
+              (match wstate.(i) with
+              | `Bypassed -> ()
+              | `Restarting -> pending := true
+              | `Up ->
+                  if
+                    (if p.pr_down () then p.pr_queue () > 0
+                     else p.pr_queue () > 0 || p.pr_busy ())
+                  then pending := true))
+            probe_arr;
+          if !pending then
+            Nfp_sim.Engine.schedule engine ~delay:fc.watchdog_interval_ns check
+          else active := false
+        in
+        fun () ->
+          if not !active then begin
+            active := true;
+            (* Reset the heartbeats on wake-up: idle time must not
+               count against the deadline. *)
+            let now = Nfp_sim.Engine.now engine in
+            Array.iteri (fun i p -> mark_progress i p now) probe_arr;
+            Nfp_sim.Engine.schedule engine ~delay:fc.watchdog_interval_ns check
+          end
+  in
+  let health () =
+    let cores =
+      Array.to_list
+        (Array.mapi
+           (fun i (p : probe) ->
+             {
+               Nfp_sim.Harness.core = p.pr_name;
+               state =
+                 (match wstate.(i) with
+                 | `Bypassed -> "bypassed"
+                 | `Restarting -> "restarting"
+                 | `Up -> if p.pr_down () then "down" else "up");
+               processed = p.pr_processed ();
+               queue = p.pr_queue ();
+             })
+           probe_arr)
+    in
+    let sum f = Array.fold_left (fun acc p -> acc + f p) 0 probe_arr in
+    {
+      Nfp_sim.Harness.cores;
+      detections = !detections;
+      crashes = sum (fun (p : probe) -> p.pr_crashes ());
+      restarts = !restarts;
+      bypasses = !bypasses;
+      degrades = !degrades;
+      recoveries = !recoveries;
+      merge_timeouts = !merge_timeouts;
+      bypassed_packets = !bypassed_packets;
+      fault_drops = sum (fun (p : probe) -> p.pr_fault_drops ());
+      flushed = sum (fun (p : probe) -> p.pr_flushed ());
+    }
+  in
   {
     Nfp_sim.Harness.inject =
       (fun ~pid pkt ->
+        wd_kick ();
         let mid, cycles = classify_flow (Packet.flow pkt) in
         Nfp_sim.Engine.schedule engine
           ~delay:(wire_delay +. Nfp_sim.Cost.ns_of_cycles cost cycles)
@@ -835,8 +1221,18 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
             match mid with
             | None -> incr unmatched
             | Some mid ->
-                let ctx = Context.create ~pid ~mid pkt in
-                if not (Nfp_sim.Server.offer classifier ctx) then incr ring_drops));
+                if degraded.(mid - 1) then (
+                  (* Sequential fallback: tag the packet as the
+                     classifier would and run the twin chain. *)
+                  Packet.set_meta pkt (Meta.make ~mid ~pid ~version:1);
+                  match twin_heads.(mid - 1) with
+                  | Some head ->
+                      if not (Nfp_sim.Server.offer head (pid, pkt)) then
+                        incr ring_drops
+                  | None -> deliver_out ~pid pkt)
+                else
+                  let ctx = Context.create ~pid ~mid pkt in
+                  if not (Nfp_sim.Server.offer classifier ctx) then incr ring_drops));
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> !unmatched);
@@ -847,9 +1243,10 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           misses = Nfp_packet.Classifier.cache_misses clf;
           evictions = Nfp_packet.Classifier.cache_evictions clf;
         });
+    health;
   }
 
-let make ?path ?classify ?config ?stats ~plan ~nfs engine ~output =
-  make_multi ?path ?classify ?config ?stats
+let make ?path ?classify ?config ?fault ?stats ~plan ~nfs engine ~output =
+  make_multi ?path ?classify ?config ?fault ?stats
     ~graphs:[ (Flow_match.any, plan, nfs) ]
     engine ~output

@@ -22,11 +22,45 @@ val default_config : config
 val core_count : config -> Nfp_core.Tables.plan -> int
 (** Cores the deployment uses: classifier + NFs + mergers (+ agent). *)
 
+(** {2 Fault tolerance} *)
+
+type recovery =
+  | Restart
+      (** bring the core back after [restart_ns]; its backlog is
+          dropped (accounted in [health.flushed]) *)
+  | Bypass
+      (** remove the core from the graph: packets skip its processing
+          but still execute its action program, so mergers never wait
+          on its branch — for optional NFs (monitors, taps) *)
+  | Degrade
+      (** run the whole service graph in the sequential order of the
+          same plan on a twin chain until the core has restarted *)
+
+type fault_config = {
+  plan : Nfp_sim.Fault.plan;  (** which cores fail, how, and when *)
+  watchdog_interval_ns : float;  (** heartbeat sampling period *)
+  watchdog_deadline_ns : float;
+      (** a core with queued work but no progress — neither a processed
+          packet nor a backpressure retry — for this long is declared
+          failed; backpressure alone never trips the watchdog *)
+  merge_timeout_ns : float;
+      (** mergers force-complete an accumulation this old with the
+          versions that did arrive; 0.0 disables the timeout *)
+  restart_ns : float;  (** downtime of a Restart / Degrade recovery *)
+  recovery_of : string -> recovery;  (** policy per NF instance name *)
+}
+
+val default_fault_config : fault_config
+(** An empty plan, Restart everywhere, 30/120 us watchdog
+    interval/deadline, 250 us merge timeout, and
+    {!Nfp_sim.Cost.default}'s [restart_ns]. *)
+
 type core_stats = {
   core : string;  (** classifier, mid<k>:<nf>, merger#<i>, merger-agent *)
   busy_ns : float;
   stalled_ns : float;  (** time blocked on downstream backpressure *)
   processed : int;
+  rejected : int;  (** offers refused because the core's ring was full *)
   queue : int;  (** ring occupancy when sampled *)
 }
 
@@ -34,6 +68,7 @@ val make :
   ?path:[ `Compiled | `Interpretive ] ->
   ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
+  ?fault:fault_config ->
   ?stats:(unit -> core_stats list) ref ->
   plan:Nfp_core.Tables.plan ->
   nfs:(string -> Nfp_nf.Nf.t) ->
@@ -48,6 +83,7 @@ val make_multi :
   ?path:[ `Compiled | `Interpretive ] ->
   ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
+  ?fault:fault_config ->
   ?stats:(unit -> core_stats list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
   Nfp_sim.Engine.t ->
@@ -84,4 +120,17 @@ val make_multi :
     [`Interpretive] walks the plan's tables per packet; it is the
     executable reference semantics and the two paths produce
     packet-for-packet identical results.
-    @raise Invalid_argument on an empty table or a missing NF. *)
+
+    [fault] (compiled path only) arms the fault-tolerance subsystem:
+    the plan's perturbations are installed on the named cores, a
+    watchdog detects dead or wedged cores from progress heartbeats and
+    applies each NF's {!recovery} policy (infrastructure cores always
+    restart), mergers time out accumulations a failed branch would
+    otherwise wedge, and a sequential twin chain per graph backs the
+    [Degrade] policy. Current counters are exposed through the
+    system's [health] field. A [fault] config whose plan is
+    {!Nfp_sim.Fault.empty} leaves the packet trace byte-identical to a
+    system built without [fault] (the differential test in
+    test/test_fastpath.ml enforces this).
+    @raise Invalid_argument on an empty table, a missing NF, or
+    [fault] combined with the [`Interpretive] path. *)

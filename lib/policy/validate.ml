@@ -1,25 +1,38 @@
+(* Conflicts carry the offending NF names AND the 1-based index of the
+   rule (in [policy.rules] order) that triggered them, so an operator
+   editing a policy file can jump straight to the bad line. Binding
+   problems name the binding instead — NF(...) lines are keyed by
+   instance name, not position. *)
+
 type conflict =
-  | Unknown_nf of string
+  | Unknown_nf of { name : string; rule : int }
   | Unknown_kind of string * string
   | Duplicate_binding of string
-  | Order_cycle of string list
-  | Priority_both_ways of string * string
-  | Position_conflict of string
-  | Position_order_conflict of string * string
-  | Self_rule of string
+  | Order_cycle of { names : string list; rules : int list }
+  | Priority_both_ways of { a : string; b : string; rules : int * int }
+  | Position_conflict of { name : string; rules : int * int }
+  | Position_order_conflict of { pinned : string; other : string; rule : int }
+  | Self_rule of { name : string; rule : int }
 
 let pp_conflict fmt = function
-  | Unknown_nf n -> Format.fprintf fmt "rule references unknown NF %S" n
+  | Unknown_nf { name; rule } ->
+      Format.fprintf fmt "rule #%d references unknown NF %S" rule name
   | Unknown_kind (n, k) -> Format.fprintf fmt "NF %S has unregistered type %S" n k
   | Duplicate_binding n -> Format.fprintf fmt "NF %S bound more than once" n
-  | Order_cycle ns ->
-      Format.fprintf fmt "precedence cycle: %s" (String.concat " -> " (ns @ [ List.hd ns ]))
-  | Priority_both_ways (a, b) ->
-      Format.fprintf fmt "conflicting priorities between %S and %S" a b
-  | Position_conflict n -> Format.fprintf fmt "NF %S pinned both first and last" n
-  | Position_order_conflict (n, other) ->
-      Format.fprintf fmt "order rule with %S contradicts the pinned position of %S" other n
-  | Self_rule n -> Format.fprintf fmt "rule relates NF %S to itself" n
+  | Order_cycle { names; rules } ->
+      Format.fprintf fmt "precedence cycle: %s (rules %s)"
+        (String.concat " -> " (names @ [ List.hd names ]))
+        (String.concat ", " (List.map (Printf.sprintf "#%d") rules))
+  | Priority_both_ways { a; b; rules = i, j } ->
+      Format.fprintf fmt "rules #%d and #%d set conflicting priorities between %S and %S" i
+        j a b
+  | Position_conflict { name; rules = i, j } ->
+      Format.fprintf fmt "rules #%d and #%d pin NF %S both first and last" i j name
+  | Position_order_conflict { pinned; other; rule } ->
+      Format.fprintf fmt "rule #%d orders %S against %S, contradicting its pinned position"
+        rule other pinned
+  | Self_rule { name; rule } ->
+      Format.fprintf fmt "rule #%d relates NF %S to itself" rule name
 
 (* Tarjan's strongly-connected components over the precedence digraph. *)
 let sccs nodes edges =
@@ -63,6 +76,8 @@ let sccs nodes edges =
 let check (policy : Rule.policy) =
   let conflicts = ref [] in
   let add c = conflicts := c :: !conflicts in
+  (* 1-based rule indexes, matching the order an operator reads them in. *)
+  let irules = List.mapi (fun i r -> (i + 1, r)) policy.rules in
   (* Bindings: duplicates and unknown registry types. *)
   let seen = Hashtbl.create 16 in
   List.iter
@@ -72,78 +87,126 @@ let check (policy : Rule.policy) =
     policy.bindings;
   (* Name resolution: a name is known if bound, or if it is itself a
      registered NF type (the paper writes Order(VPN, before, Monitor)
-     directly over type names). *)
+     directly over type names). Report each unknown name once, at the
+     first rule that mentions it. *)
   let known name =
     List.mem_assoc name policy.bindings || Nfp_nf.Registry.find name <> None
   in
-  let names = Rule.nfs_of_rules policy.rules in
-  List.iter (fun n -> if not (known n) then add (Unknown_nf n)) names;
+  let reported = Hashtbl.create 16 in
+  List.iter
+    (fun (i, r) ->
+      let mentioned =
+        match r with
+        | Rule.Order (a, b) | Rule.Priority (a, b) -> [ a; b ]
+        | Rule.Position (n, _) -> [ n ]
+      in
+      List.iter
+        (fun n ->
+          if (not (known n)) && not (Hashtbl.mem reported n) then begin
+            Hashtbl.add reported n ();
+            add (Unknown_nf { name = n; rule = i })
+          end)
+        mentioned)
+    irules;
   (* Self rules. *)
   List.iter
-    (function
-      | Rule.Order (a, b) | Rule.Priority (a, b) -> if a = b then add (Self_rule a)
+    (fun (i, r) ->
+      match r with
+      | Rule.Order (a, b) | Rule.Priority (a, b) ->
+          if a = b then add (Self_rule { name = a; rule = i })
       | Rule.Position _ -> ())
-    policy.rules;
+    irules;
   (* Priority in both directions. *)
   let prios =
-    List.filter_map (function Rule.Priority (a, b) -> Some (a, b) | _ -> None) policy.rules
+    List.filter_map
+      (fun (i, r) -> match r with Rule.Priority (a, b) -> Some (i, (a, b)) | _ -> None)
+      irules
   in
   List.iter
-    (fun (a, b) -> if a < b && List.mem (b, a) prios && List.mem (a, b) prios then add (Priority_both_ways (a, b)))
+    (fun (i, (a, b)) ->
+      if a < b then
+        match List.find_opt (fun (_, p) -> p = (b, a)) prios with
+        | Some (j, _) when List.exists (fun (_, p) -> p = (a, b)) prios ->
+            add (Priority_both_ways { a; b; rules = (i, j) })
+        | _ -> ())
     prios;
   (* Position conflicts. *)
   let positions =
-    List.filter_map (function Rule.Position (n, p) -> Some (n, p) | _ -> None) policy.rules
+    List.filter_map
+      (fun (i, r) -> match r with Rule.Position (n, p) -> Some (i, (n, p)) | _ -> None)
+      irules
   in
   List.iter
-    (fun (n, p) ->
-      if p = Rule.First && List.mem (n, Rule.Last) positions then add (Position_conflict n))
+    (fun (i, (n, p)) ->
+      if p = Rule.First then
+        match List.find_opt (fun (_, q) -> q = (n, Rule.Last)) positions with
+        | Some (j, _) -> add (Position_conflict { name = n; rules = (i, j) })
+        | None -> ())
     positions;
   (* Order rules contradicting pinned positions. *)
+  let pinned_at n p = List.exists (fun (_, q) -> q = (n, p)) positions in
   List.iter
-    (function
+    (fun (i, r) ->
+      match r with
       | Rule.Order (a, b) when a <> b ->
-          if List.mem (a, Rule.Last) positions then add (Position_order_conflict (a, b));
-          if List.mem (b, Rule.First) positions then add (Position_order_conflict (b, a))
+          if pinned_at a Rule.Last then
+            add (Position_order_conflict { pinned = a; other = b; rule = i });
+          if pinned_at b Rule.First then
+            add (Position_order_conflict { pinned = b; other = a; rule = i })
       | _ -> ())
-    policy.rules;
+    irules;
   (* Precedence cycles: Order(a,b) is a->b; Priority(hi,lo) makes lo
-     logically earlier, lo->hi. *)
-  let edges =
+     logically earlier, lo->hi. Each cycle reports every rule whose
+     edge stays inside the component. *)
+  let iedges =
     List.filter_map
-      (function
-        | Rule.Order (a, b) when a <> b -> Some (a, b)
-        | Rule.Priority (hi, lo) when hi <> lo -> Some (lo, hi)
+      (fun (i, r) ->
+        match r with
+        | Rule.Order (a, b) when a <> b -> Some (i, (a, b))
+        | Rule.Priority (hi, lo) when hi <> lo -> Some (i, (lo, hi))
         | _ -> None)
-      policy.rules
+      irules
   in
+  let edges = List.map snd iedges in
+  let names = Rule.nfs_of_rules policy.rules in
   let self_loop n = List.mem (n, n) edges in
+  let cycle ns =
+    let inside =
+      List.filter_map
+        (fun (i, (a, b)) -> if List.mem a ns && List.mem b ns then Some i else None)
+        iedges
+    in
+    add (Order_cycle { names = ns; rules = List.sort_uniq compare inside })
+  in
   List.iter
     (fun component ->
       match component with
-      | [ n ] -> if self_loop n then add (Order_cycle [ n ])
+      | [ n ] -> if self_loop n then cycle [ n ]
       | [] -> ()
-      | ns -> add (Order_cycle ns))
+      | ns -> cycle ns)
     (sccs names edges);
   List.rev !conflicts
 
 let is_valid policy = check policy = []
 
 let suggest = function
-  | Unknown_nf n ->
-      Printf.sprintf "bind %S with an NF(%s, <Type>) line or use a registered type name" n n
+  | Unknown_nf { name; rule } ->
+      Printf.sprintf "bind %S with an NF(%s, <Type>) line or fix rule #%d to use a registered type name"
+        name name rule
   | Unknown_kind (_, k) ->
       Printf.sprintf
         "register %S first (Registry.register, optionally with an inspector-derived profile)" k
   | Duplicate_binding n -> Printf.sprintf "remove one of the NF(%s, ...) lines" n
-  | Order_cycle ns ->
-      Printf.sprintf "drop one Order rule among %s to break the cycle"
-        (String.concat ", " ns)
-  | Priority_both_ways (a, b) ->
-      Printf.sprintf "keep a single Priority direction between %s and %s" a b
-  | Position_conflict n ->
-      Printf.sprintf "pin %s either first or last, not both" n
-  | Position_order_conflict (n, other) ->
-      Printf.sprintf
-        "either unpin %s or remove the Order rule relating it to %s" n other
-  | Self_rule n -> Printf.sprintf "remove the rule relating %s to itself" n
+  | Order_cycle { names; rules } ->
+      Printf.sprintf "drop one of rules %s to break the cycle among %s"
+        (String.concat ", " (List.map (Printf.sprintf "#%d") rules))
+        (String.concat ", " names)
+  | Priority_both_ways { a; b; rules = i, j } ->
+      Printf.sprintf "keep a single Priority direction between %s and %s (rule #%d or #%d)" a
+        b i j
+  | Position_conflict { name; rules = i, j } ->
+      Printf.sprintf "pin %s either first or last, not both (drop rule #%d or #%d)" name i j
+  | Position_order_conflict { pinned; other; rule } ->
+      Printf.sprintf "either unpin %s or remove rule #%d relating it to %s" pinned rule other
+  | Self_rule { name; rule } ->
+      Printf.sprintf "remove rule #%d relating %s to itself" rule name

@@ -6,17 +6,25 @@
     structural validation against the NF registry plus detection of
     contradictory rules. *)
 
+(** Conflicts name both the NFs involved and the 1-based index of the
+    offending rule in [policy.rules] — the operator-facing rendering
+    ({!pp_conflict}, {!suggest}) points at the line to edit. Binding
+    problems carry the binding's instance name instead of an index. *)
 type conflict =
-  | Unknown_nf of string  (** rule references an unbound NF name *)
+  | Unknown_nf of { name : string; rule : int }
+      (** [rule] is the first rule mentioning the unbound name *)
   | Unknown_kind of string * string  (** binding uses an unregistered NF type *)
   | Duplicate_binding of string
-  | Order_cycle of string list  (** NF names forming a precedence cycle *)
-  | Priority_both_ways of string * string
-  | Position_conflict of string  (** same NF pinned first and last *)
-  | Position_order_conflict of string * string
-      (** order rule contradicts first/last pinning, e.g.
+  | Order_cycle of { names : string list; rules : int list }
+      (** NF names forming a precedence cycle, with every rule whose
+          edge lies inside the cycle *)
+  | Priority_both_ways of { a : string; b : string; rules : int * int }
+  | Position_conflict of { name : string; rules : int * int }
+      (** same NF pinned first and last, by the two given rules *)
+  | Position_order_conflict of { pinned : string; other : string; rule : int }
+      (** order rule [rule] contradicts first/last pinning, e.g.
           [Position(a, last)] with [Order(a, before, b)] *)
-  | Self_rule of string  (** rule relates an NF to itself *)
+  | Self_rule of { name : string; rule : int }  (** rule relates an NF to itself *)
 
 val pp_conflict : Format.formatter -> conflict -> unit
 

@@ -18,6 +18,7 @@ type t = {
   rtc_call : int;
   wire_ns : float;
   batch : int;
+  restart_ns : float;  (* bringing a crashed NF container back (§7 fault model) *)
 }
 
 let default =
@@ -41,6 +42,9 @@ let default =
     rtc_call = 30;
     wire_ns = 4000.0;
     batch = 32;
+    (* Container respawn plus ring re-attachment: ~400us, the order of a
+       process fork+exec; VM restore would be milliseconds. *)
+    restart_ns = 400_000.0;
   }
 
 (* VM rings (virtio/vhost) pay vmexit-amortized synchronization that

@@ -28,6 +28,9 @@ type t = {
   rtc_call : int;  (** per-NF function-call overhead in the RTC model *)
   wire_ns : float;  (** generator + NIC round trip, nanoseconds *)
   batch : int;  (** poll-mode batch size (DPDK rx burst) *)
+  restart_ns : float;
+      (** bringing a crashed NF container back: respawn + ring
+          re-attachment (§7 fault model) *)
 }
 
 val default : t

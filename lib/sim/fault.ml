@@ -1,0 +1,102 @@
+(* Deterministic, seeded fault injection for the simulated dataplane.
+
+   A fault plan describes, per core (by name, or by a trailing-'*'
+   prefix pattern), a set of timed perturbations: a crash at time T, a
+   hang over a window, a service-time slowdown from time T on, or a
+   per-job transient drop probability. [Server.create ?fault] wires the
+   events into a core without the NF code knowing; [Nfp_infra.System]
+   resolves plans to cores by name, so any NF, merger, agent or
+   classifier core can be perturbed from configuration alone.
+
+   Determinism: every random draw a plan induces — drop decisions on a
+   core, crash times of a [storm] — comes from a PRNG seeded by the
+   plan seed (mixed with the core name for per-core streams), never
+   from the simulation's own jitter streams. Two runs of the same plan
+   are identical, and a run with [empty] is byte-identical to a run
+   without any fault machinery at all (enforced by the differential
+   test in test/test_fastpath.ml). *)
+
+type event =
+  | Crash of { at_ns : float }  (* the core stops; only an external revive restores it *)
+  | Hang of { at_ns : float; duration_ns : float }  (* wedged for a window, then resumes *)
+  | Slowdown of { at_ns : float; factor : float }  (* service times scale by [factor] from T on *)
+  | Drop of { probability : float }  (* each job vanishes with probability p *)
+
+type spec = { core : string; events : event list }
+
+type plan = { seed : int64; specs : spec list }
+
+let empty = { seed = 1L; specs = [] }
+
+let is_empty p = p.specs = []
+
+let plan ?(seed = 1L) specs = { seed; specs }
+
+let crash ~at_ns core = { core; events = [ Crash { at_ns } ] }
+
+let hang ~at_ns ~duration_ns core = { core; events = [ Hang { at_ns; duration_ns } ] }
+
+let slowdown ~at_ns ~factor core = { core; events = [ Slowdown { at_ns; factor } ] }
+
+let drop ~probability core = { core; events = [ Drop { probability } ] }
+
+(* Exact name, or prefix followed by '*' ("mid1:*" perturbs every NF
+   core of graph 1). *)
+let matches ~pattern ~name =
+  pattern = name
+  || String.length pattern > 0
+     && pattern.[String.length pattern - 1] = '*'
+     &&
+     let n = String.length pattern - 1 in
+     String.length name >= n && String.sub name 0 n = String.sub pattern 0 n
+
+(* Per-core PRNG stream: the plan seed folded with the core name, so
+   adding a fault on one core never shifts the draws of another. *)
+let seed_for p name =
+  let h = ref (Nfp_algo.Hashing.mix64 p.seed) in
+  String.iter
+    (fun c ->
+      h := Nfp_algo.Hashing.mix64 (Int64.add (Int64.mul !h 131L) (Int64.of_int (Char.code c))))
+    name;
+  !h
+
+(* Everything a server needs to perturb itself: the matching events and
+   a private PRNG for drop decisions. *)
+type core = { events : event list; prng : Nfp_algo.Prng.t }
+
+let for_core p name =
+  if p.specs = [] then None
+  else
+    match
+      List.concat_map
+        (fun s -> if matches ~pattern:s.core ~name then s.events else [])
+        p.specs
+    with
+    | [] -> None
+    | events -> Some { events; prng = Nfp_algo.Prng.create ~seed:(seed_for p name) }
+
+(* Crash storm: each listed core crashes at exponentially-distributed
+   intervals (mean [mtbf_ns]) within [horizon_ns]. Paired with the
+   system's Restart recovery this models a fleet of unreliable cores;
+   the bench sweeps [mtbf_ns] to trace availability under increasing
+   crash rates. Draw order is per-core, so the storm is stable under
+   reordering of [cores]. *)
+let storm ?(seed = 1L) ~cores ~mtbf_ns ~horizon_ns () =
+  if mtbf_ns <= 0.0 then invalid_arg "Fault.storm: mtbf_ns must be positive";
+  let specs =
+    List.map
+      (fun core ->
+        let prng =
+          Nfp_algo.Prng.create ~seed:(seed_for { seed; specs = [] } ("storm:" ^ core))
+        in
+        let rec go t acc =
+          let t = t +. Nfp_algo.Prng.exponential prng ~mean:mtbf_ns in
+          if t >= horizon_ns then List.rev acc else go t (Crash { at_ns = t } :: acc)
+        in
+        { core; events = go 0.0 [] })
+      cores
+  in
+  { seed; specs }
+
+let event_count p =
+  List.fold_left (fun acc (s : spec) -> acc + List.length s.events) 0 p.specs

@@ -1,0 +1,58 @@
+(** Deterministic, seeded fault injection for the simulated dataplane.
+
+    A plan maps core names to timed perturbations; {!Server.create}
+    wires a core's share of a plan into its poll loop, and
+    [Nfp_infra.System] resolves plans to cores by name. All randomness
+    (drop decisions, storm crash times) derives from the plan seed
+    folded with the core name — never from the simulation's jitter
+    streams — so two runs of one plan are identical and an {!empty}
+    plan leaves the simulation byte-identical to one without any fault
+    machinery (enforced differentially in test/test_fastpath.ml). *)
+
+type event =
+  | Crash of { at_ns : float }
+      (** the core stops; only an external revive restores it *)
+  | Hang of { at_ns : float; duration_ns : float }
+      (** wedged for a window, then resumes *)
+  | Slowdown of { at_ns : float; factor : float }
+      (** service times scale by [factor] from T on *)
+  | Drop of { probability : float }  (** each job vanishes with probability p *)
+
+type spec = { core : string; events : event list }
+(** [core] is an exact name or a trailing-['*'] prefix pattern
+    (["mid1:*"] perturbs every NF core of graph 1). *)
+
+type plan = { seed : int64; specs : spec list }
+
+val empty : plan
+
+val is_empty : plan -> bool
+
+val plan : ?seed:int64 -> spec list -> plan
+
+val crash : at_ns:float -> string -> spec
+
+val hang : at_ns:float -> duration_ns:float -> string -> spec
+
+val slowdown : at_ns:float -> factor:float -> string -> spec
+
+val drop : probability:float -> string -> spec
+
+val matches : pattern:string -> name:string -> bool
+
+type core = { events : event list; prng : Nfp_algo.Prng.t }
+(** A core's share of a plan: its matching events plus a private PRNG
+    stream for drop decisions. *)
+
+val for_core : plan -> string -> core option
+(** [None] when no spec matches the name — the server is then built
+    with no fault machinery at all. *)
+
+val storm :
+  ?seed:int64 -> cores:string list -> mtbf_ns:float -> horizon_ns:float -> unit -> plan
+(** Each listed core crashes at exponentially-distributed intervals
+    (mean [mtbf_ns]) within [horizon_ns]; draw order is per-core, so
+    the storm is stable under reordering of [cores].
+    @raise Invalid_argument when [mtbf_ns <= 0]. *)
+
+val event_count : plan -> int

@@ -2,23 +2,84 @@ type classifier_counters = { hits : int; misses : int; evictions : int }
 
 let no_classifier_counters = { hits = 0; misses = 0; evictions = 0 }
 
+(* Per-core liveness as the watchdog sees it, plus the fault/recovery
+   counters of the whole system. Systems without fault machinery report
+   [no_health]. *)
+type core_health = {
+  core : string;
+  state : string;  (* "up" | "down" | "restarting" | "bypassed" *)
+  processed : int;
+  queue : int;
+}
+
+type health = {
+  cores : core_health list;
+  detections : int;  (* watchdog heartbeat-deadline detections *)
+  crashes : int;  (* injected crash events that took a core down *)
+  restarts : int;  (* cores brought back by the Restart/Degrade policies *)
+  bypasses : int;  (* cores removed from the graph by the Bypass policy *)
+  degrades : int;  (* graphs switched to their sequential fallback *)
+  recoveries : int;  (* degraded graphs switched back to parallel *)
+  merge_timeouts : int;  (* merges force-completed without a failed branch *)
+  bypassed_packets : int;  (* packets that skipped a bypassed NF *)
+  fault_drops : int;  (* jobs vanished by injected Drop faults *)
+  flushed : int;  (* in-flight jobs lost to crashes and restart flushes *)
+}
+
+let no_health =
+  {
+    cores = [];
+    detections = 0;
+    crashes = 0;
+    restarts = 0;
+    bypasses = 0;
+    degrades = 0;
+    recoveries = 0;
+    merge_timeouts = 0;
+    bypassed_packets = 0;
+    fault_drops = 0;
+    flushed = 0;
+  }
+
+(* Combine the health of composed systems (e.g. chained cluster
+   segments): core lists concatenate, counters add. *)
+let add_health a b =
+  {
+    cores = a.cores @ b.cores;
+    detections = a.detections + b.detections;
+    crashes = a.crashes + b.crashes;
+    restarts = a.restarts + b.restarts;
+    bypasses = a.bypasses + b.bypasses;
+    degrades = a.degrades + b.degrades;
+    recoveries = a.recoveries + b.recoveries;
+    merge_timeouts = a.merge_timeouts + b.merge_timeouts;
+    bypassed_packets = a.bypassed_packets + b.bypassed_packets;
+    fault_drops = a.fault_drops + b.fault_drops;
+    flushed = a.flushed + b.flushed;
+  }
+
 type system = {
   inject : pid:int64 -> Nfp_packet.Packet.t -> unit;
   ring_drops : unit -> int;
   nf_drops : unit -> int;
   unmatched : unit -> int;
   classifier : unit -> classifier_counters;
+  health : unit -> health;
 }
 
 type arrivals = Uniform of float | Poisson of float | Burst of float * int
 
 type result = {
   latency : Nfp_algo.Stats.t;
-  delivered : int;
+  delivered : int;  (* output events; counts duplicate deliveries of copies *)
+  completed : int;  (* distinct packets that reached the output at least once *)
   offered : int;
   ring_drops : int;
   nf_drops : int;
   unmatched : int;
+  in_flight : int;  (* offered but unaccounted at end of run: still queued,
+                       wedged at a merger, or lost to injected faults *)
+  health : health;
   duration_ns : float;
   achieved_mpps : float;
 }
@@ -31,11 +92,12 @@ let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) ?stop () =
      NaN marks "no sample pending" so duplicate deliveries of a copied
      packet count as delivered but sample latency only once. *)
   let ingress = Array.make (max packets 1) Float.nan in
-  let delivered = ref 0 in
+  let delivered = ref 0 and completed = ref 0 in
   let output ~pid _pkt =
     incr delivered;
     let i = Int64.to_int pid in
     if i >= 0 && i < packets && not (Float.is_nan ingress.(i)) then begin
+      incr completed;
       if i >= warmup then Nfp_algo.Stats.add latency (Engine.now engine -. ingress.(i));
       ingress.(i) <- Float.nan
     end
@@ -74,13 +136,30 @@ let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) ?stop () =
       in
       slices ());
   let duration = Engine.now engine in
+  let ring_drops = system.ring_drops () in
+  let nf_drops = system.nf_drops () in
+  let unmatched = system.unmatched () in
+  (* Accounting must close: every offered packet is either completed
+     (first delivery), counted by exactly one drop counter, or still in
+     the system / lost to faults (in_flight). A negative residual means
+     a packet was double-counted — a dataplane bug, so fail loudly. *)
+  let in_flight = packets - !completed - ring_drops - nf_drops - unmatched in
+  if in_flight < 0 then
+    failwith
+      (Printf.sprintf
+         "Harness.run: accounting does not close: offered %d < completed %d + \
+          ring_drops %d + nf_drops %d + unmatched %d"
+         packets !completed ring_drops nf_drops unmatched);
   {
     latency;
     delivered = !delivered;
+    completed = !completed;
     offered = packets;
-    ring_drops = system.ring_drops ();
-    nf_drops = system.nf_drops ();
-    unmatched = system.unmatched ();
+    ring_drops;
+    nf_drops;
+    unmatched;
+    in_flight;
+    health = system.health ();
     duration_ns = duration;
     achieved_mpps =
       (if duration > 0.0 then float_of_int !delivered /. duration *. 1000.0 else 0.0);

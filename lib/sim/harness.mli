@@ -12,6 +12,37 @@ val no_classifier_counters : classifier_counters
 (** All-zero counters — what systems without a flow classifier (the
     baselines) report. *)
 
+type core_health = {
+  core : string;
+  state : string;  (** "up" | "down" | "restarting" | "bypassed" *)
+  processed : int;
+  queue : int;
+}
+(** One core's liveness as the system's watchdog sees it. *)
+
+type health = {
+  cores : core_health list;
+  detections : int;  (** watchdog heartbeat-deadline detections *)
+  crashes : int;  (** injected crash events that took a core down *)
+  restarts : int;  (** cores brought back by the Restart/Degrade policies *)
+  bypasses : int;  (** cores removed from the graph by the Bypass policy *)
+  degrades : int;  (** graphs switched to their sequential fallback *)
+  recoveries : int;  (** degraded graphs switched back to parallel *)
+  merge_timeouts : int;  (** merges force-completed without a failed branch *)
+  bypassed_packets : int;  (** packets that skipped a bypassed NF *)
+  fault_drops : int;  (** jobs vanished by injected Drop faults *)
+  flushed : int;  (** in-flight jobs lost to crashes and restart flushes *)
+}
+(** Fault/recovery counters of a whole system plus per-core liveness. *)
+
+val no_health : health
+(** What systems without fault machinery (the baselines, the
+    interpretive path) report. *)
+
+val add_health : health -> health -> health
+(** Combine the health of composed systems (chained cluster segments):
+    core lists concatenate, counters add. [no_health] is its unit. *)
+
 type system = {
   inject : pid:int64 -> Nfp_packet.Packet.t -> unit;
       (** deliver one packet to the system's NIC at the current time *)
@@ -23,6 +54,10 @@ type system = {
   classifier : unit -> classifier_counters;
       (** current classifier cache counters (see
           {!classifier_counters}) *)
+  health : unit -> health;
+      (** current watchdog view and fault/recovery counters (see
+          {!health}); {!no_health} when the system has no fault
+          machinery *)
 }
 
 type arrivals =
@@ -35,10 +70,21 @@ type arrivals =
 type result = {
   latency : Nfp_algo.Stats.t;  (** per-packet ns, after warmup *)
   delivered : int;
+      (** output events; a copied packet delivered on several branches
+          counts once per delivery *)
+  completed : int;
+      (** distinct offered packets that reached the output at least
+          once — the numerator of availability *)
   offered : int;
   ring_drops : int;
   nf_drops : int;
   unmatched : int;
+  in_flight : int;
+      (** offered but unaccounted at end of run: still queued, wedged
+          at a merger, or lost to injected faults. [run] enforces
+          [offered = completed + ring_drops + nf_drops + unmatched +
+          in_flight] with [in_flight >= 0] and fails loudly otherwise. *)
+  health : health;  (** the system's fault/recovery counters at end of run *)
   duration_ns : float;
   achieved_mpps : float;
 }

@@ -11,31 +11,46 @@ type 'job t = {
   mutable processed : int;
   mutable busy_ns : float;
   mutable stalled_ns : float;
+  (* Fault state (Fault.core). The defaults are exact identities —
+     [down] never set, [slow] of 1.0, no drop PRNG — so an unfaulted
+     server behaves bit-for-bit as before the fault subsystem existed. *)
+  mutable down : bool;
+  mutable slow : float;
+  mutable drop_p : float;
+  mutable fault_prng : Nfp_algo.Prng.t option;
+  (* [epoch] invalidates in-flight batches: a crash or hang bumps it,
+     and a batch-completion event whose captured epoch no longer
+     matches abandons its jobs (counted in [flushed]) instead of
+     executing them on a core that has since died. *)
+  mutable epoch : int;
+  mutable crashes : int;
+  mutable fault_drops : int;
+  mutable flushed : int;
 }
 
-let create ~engine ~name ~ring_capacity ~batch ?jitter ?(retry_ns = 150.0) ~service_ns
-    ~execute () =
-  {
-    engine;
-    name;
-    ring = Nfp_algo.Ring.create ~capacity:ring_capacity;
-    batch = max 1 batch;
-    jitter;
-    retry_ns;
-    service_ns;
-    execute;
-    busy = false;
-    processed = 0;
-    busy_ns = 0.0;
-    stalled_ns = 0.0;
-  }
-
 let jittered t base =
-  match t.jitter with
-  | None -> base
-  | Some (frac, prng) ->
-      let f = 1.0 +. (frac *. ((2.0 *. Nfp_algo.Prng.float prng) -. 1.0)) in
-      base *. f
+  let base =
+    match t.jitter with
+    | None -> base
+    | Some (frac, prng) ->
+        let f = 1.0 +. (frac *. ((2.0 *. Nfp_algo.Prng.float prng) -. 1.0)) in
+        base *. f
+  in
+  (* *. 1.0 is bitwise identity, so the multiply is free of behavioral
+     change when no slowdown fault is installed. *)
+  base *. t.slow
+
+let always () = true
+
+(* A drop fault makes the job vanish between dequeue and execution (a
+   corrupted ring slot); the server still "processes" it — progress
+   heartbeats keep beating, only the work is lost. *)
+let run_job t job =
+  match t.fault_prng with
+  | Some prng when t.drop_p > 0.0 && Nfp_algo.Prng.float prng < t.drop_p ->
+      t.fault_drops <- t.fault_drops + 1;
+      always
+  | _ -> t.execute job
 
 (* Emit the batch's thunks in order; stall and retry on backpressure. *)
 let rec flush t = function
@@ -49,22 +64,28 @@ let rec flush t = function
       end
       else begin
         t.stalled_ns <- t.stalled_ns +. t.retry_ns;
-        Engine.schedule t.engine ~delay:t.retry_ns (fun () -> flush t (thunk :: rest))
+        let epoch = t.epoch in
+        Engine.schedule t.engine ~delay:t.retry_ns (fun () ->
+            if t.epoch <> epoch then t.flushed <- t.flushed + List.length (thunk :: rest)
+            else flush t (thunk :: rest))
       end
 
 (* Pull up to [batch] jobs, work through them back to back, execute and
    flush at batch completion — the rx_burst/tx_burst pattern of a DPDK
    poll loop. *)
 and run_batch t =
-  if (not t.busy) && not (Nfp_algo.Ring.is_empty t.ring) then begin
+  if (not t.busy) && (not t.down) && not (Nfp_algo.Ring.is_empty t.ring) then begin
     t.busy <- true;
+    let epoch = t.epoch in
     let j0 = Nfp_algo.Ring.dequeue_exn t.ring in
     if t.batch = 1 || Nfp_algo.Ring.is_empty t.ring then begin
       (* Single-job burst — the common case under non-saturating load;
          skips the list churn of the general path. *)
       let finish = jittered t (t.service_ns j0) in
       t.busy_ns <- t.busy_ns +. finish;
-      Engine.schedule t.engine ~delay:finish (fun () -> flush t [ t.execute j0 ])
+      Engine.schedule t.engine ~delay:finish (fun () ->
+          if t.epoch <> epoch then t.flushed <- t.flushed + 1
+          else flush t [ run_job t j0 ])
     end
     else begin
       let rec take acc n =
@@ -79,10 +100,74 @@ and run_batch t =
       in
       t.busy_ns <- t.busy_ns +. finish;
       Engine.schedule t.engine ~delay:finish (fun () ->
-          let thunks = List.map t.execute jobs in
-          flush t thunks)
+          if t.epoch <> epoch then t.flushed <- t.flushed + List.length jobs
+          else
+            let thunks = List.map (run_job t) jobs in
+            flush t thunks)
     end
   end
+
+(* The core stops: no new batches, and the in-flight batch (if any) is
+   lost when its completion event fires against a stale epoch. *)
+let interrupt t =
+  if not t.down then begin
+    t.down <- true;
+    t.epoch <- t.epoch + 1
+  end
+
+let resume t =
+  if t.down then begin
+    t.down <- false;
+    t.busy <- false;
+    run_batch t
+  end
+
+let create ~engine ~name ~ring_capacity ~batch ?jitter ?(retry_ns = 150.0) ?fault
+    ~service_ns ~execute () =
+  let t =
+    {
+      engine;
+      name;
+      ring = Nfp_algo.Ring.create ~capacity:ring_capacity;
+      batch = max 1 batch;
+      jitter;
+      retry_ns;
+      service_ns;
+      execute;
+      busy = false;
+      processed = 0;
+      busy_ns = 0.0;
+      stalled_ns = 0.0;
+      down = false;
+      slow = 1.0;
+      drop_p = 0.0;
+      fault_prng = None;
+      epoch = 0;
+      crashes = 0;
+      fault_drops = 0;
+      flushed = 0;
+    }
+  in
+  (match fault with
+  | None -> ()
+  | Some (f : Fault.core) ->
+      t.fault_prng <- Some f.prng;
+      List.iter
+        (function
+          | Fault.Crash { at_ns } ->
+              Engine.schedule engine ~delay:at_ns (fun () ->
+                  if not t.down then begin
+                    t.crashes <- t.crashes + 1;
+                    interrupt t
+                  end)
+          | Fault.Hang { at_ns; duration_ns } ->
+              Engine.schedule engine ~delay:at_ns (fun () -> interrupt t);
+              Engine.schedule engine ~delay:(at_ns +. duration_ns) (fun () -> resume t)
+          | Fault.Slowdown { at_ns; factor } ->
+              Engine.schedule engine ~delay:at_ns (fun () -> t.slow <- t.slow *. factor)
+          | Fault.Drop { probability } -> t.drop_p <- min 1.0 (t.drop_p +. probability))
+        f.events);
+  t
 
 let offer t job =
   if Nfp_algo.Ring.enqueue t.ring job then begin
@@ -92,6 +177,39 @@ let offer t job =
   else false
 
 let has_room t = not (Nfp_algo.Ring.is_full t.ring)
+
+(* ------------------------------------------------------------------ *)
+(* Fault control surface (used by the System watchdog)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Administrative stop: same mechanics as a crash, but not counted as
+   one (used when the watchdog bypasses a core out of the graph). *)
+let kill t = interrupt t
+
+(* Remove and return everything queued, without processing it. *)
+let drain t =
+  let rec go acc =
+    if Nfp_algo.Ring.is_empty t.ring then List.rev acc
+    else go (Nfp_algo.Ring.dequeue_exn t.ring :: acc)
+  in
+  go []
+
+(* Bring a down core back. [flush] discards the ring contents that
+   accumulated while it was dead (counted in [flushed], returned), the
+   Restart recovery semantics; [flush:false] resumes with the backlog
+   intact (a hang that was externally cleared). *)
+let revive ?(flush = true) t =
+  let lost =
+    if flush then begin
+      let n = Nfp_algo.Ring.length t.ring in
+      ignore (drain t);
+      t.flushed <- t.flushed + n;
+      n
+    end
+    else 0
+  in
+  resume t;
+  lost
 
 let name t = t.name
 
@@ -104,3 +222,13 @@ let busy_ns t = t.busy_ns
 let stalled_ns t = t.stalled_ns
 
 let queue_length t = Nfp_algo.Ring.length t.ring
+
+let is_down t = t.down
+
+let is_busy t = t.busy
+
+let crashes t = t.crashes
+
+let fault_drops t = t.fault_drops
+
+let flushed t = t.flushed

@@ -20,6 +20,7 @@ val create :
   batch:int ->
   ?jitter:float * Nfp_algo.Prng.t ->
   ?retry_ns:float ->
+  ?fault:Fault.core ->
   service_ns:('job -> float) ->
   execute:('job -> unit -> bool) ->
   unit ->
@@ -27,7 +28,13 @@ val create :
 (** [execute job] performs the job's semantics once and returns its
     emit thunk; the thunk is called until it returns [true] (it must
     remember any targets it already delivered to). [retry_ns] is the
-    stall-poll interval (default 150 ns). *)
+    stall-poll interval (default 150 ns).
+
+    [fault] installs this core's share of a {!Fault.plan}: crashes and
+    hangs stop the poll loop (in-flight work is lost, see {!flushed}),
+    slowdowns scale service times, drops vanish individual jobs. With
+    no [fault] the server is bit-for-bit identical to one built before
+    the fault subsystem existed. *)
 
 val offer : 'job t -> 'job -> bool
 (** [false] when the input ring is full (caller decides: entry points
@@ -47,3 +54,39 @@ val stalled_ns : 'job t -> float
 (** Time spent blocked on downstream backpressure. *)
 
 val queue_length : 'job t -> int
+
+(** {2 Fault control surface}
+
+    Used by the fault events installed at {!create} and by the
+    [Nfp_infra.System] watchdog's recovery policies. *)
+
+val kill : 'job t -> unit
+(** Administrative stop: the core accepts no new batches and its
+    in-flight batch is abandoned (counted in {!flushed}); the input
+    ring keeps accepting jobs — a dead consumer does not unmap the
+    shared-memory ring. Not counted as a crash. *)
+
+val drain : 'job t -> 'job list
+(** Remove and return everything queued, without processing it. *)
+
+val revive : ?flush:bool -> 'job t -> int
+(** Bring a down core back and restart its poll loop. [flush] (the
+    default) discards the backlog that accumulated while it was dead —
+    Restart-recovery semantics — returning the number of jobs lost
+    (also added to {!flushed}); [flush:false] resumes with the backlog
+    intact. *)
+
+val is_down : 'job t -> bool
+
+val is_busy : 'job t -> bool
+
+val crashes : 'job t -> int
+(** Injected [Crash] events that found the core up. *)
+
+val fault_drops : 'job t -> int
+(** Jobs vanished by an injected [Drop] fault. *)
+
+val flushed : 'job t -> int
+(** Jobs lost to crashes, hangs and restart flushes: abandoned
+    in-flight batches, pending emissions of a dead core, and backlogs
+    discarded by [revive ~flush:true]. *)

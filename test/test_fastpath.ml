@@ -63,12 +63,12 @@ let trace ~path ~make ~gen ~arrivals ~packets =
        if Float.is_nan m then -1.0 else m);
   }
 
-let check_traces a b =
+let check_traces ?(duration = true) a b =
   check Alcotest.int "delivered" a.delivered b.delivered;
   check Alcotest.int "ring drops" a.ring_drops b.ring_drops;
   check Alcotest.int "nf drops" a.nf_drops b.nf_drops;
   check Alcotest.int "unmatched" a.unmatched b.unmatched;
-  check exact_float "duration" a.duration_ns b.duration_ns;
+  if duration then check exact_float "duration" a.duration_ns b.duration_ns;
   check exact_float "mean latency" a.mean_ns b.mean_ns;
   check Alcotest.int "output count" (List.length a.outs) (List.length b.outs);
   List.iter2
@@ -233,6 +233,68 @@ let property_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault machinery disarmed: a system built with a fault config whose  *)
+(* plan is empty must produce a byte-identical packet trace to one     *)
+(* built without fault machinery at all. The watchdog's idle ticks and *)
+(* the disarmed merge timeouts advance the empty tail of the event     *)
+(* heap, so only the final clock reading may differ — every delivery,  *)
+(* byte, counter and latency sample must match exactly.                *)
+(* ------------------------------------------------------------------ *)
+
+(* Generous timeout: it must never fire at test loads, only sit armed. *)
+let disarmed_fault =
+  { Nfp_infra.System.default_fault_config with merge_timeout_ns = 10_000_000.0 }
+
+let fault_differential ~plan ~bindings ~arrivals ~packets =
+  (* Fresh NF instances per run: stateful NFs (VPN sequence numbers,
+     monitor counters) must not leak state from one run to the next. *)
+  let make ?fault () ~path engine ~output =
+    Nfp_infra.System.make ~path ?fault ~plan ~nfs:(instances bindings) engine ~output
+  in
+  let t mk = trace ~path:`Compiled ~make:mk ~gen:(traffic ()) ~arrivals ~packets in
+  check_traces ~duration:false
+    (t (make ()))
+    (t (make ~fault:disarmed_fault ()))
+
+let fault_differential_tests =
+  [
+    Alcotest.test_case "disarmed faults: north-south chain identical" `Quick (fun () ->
+        fault_differential ~plan:(plan_of ns_text) ~bindings:ns_bindings
+          ~arrivals:(Nfp_sim.Harness.Uniform 0.5) ~packets:800);
+    Alcotest.test_case "disarmed faults: parallel graph with merges identical" `Quick
+      (fun () ->
+        fault_differential ~plan:(plan_of we_text) ~bindings:we_bindings
+          ~arrivals:(Nfp_sim.Harness.Burst (1.0, 32))
+          ~packets:800);
+    Alcotest.test_case "disarmed faults: overload backpressure identical" `Quick
+      (fun () ->
+        fault_differential ~plan:(plan_of ns_text) ~bindings:ns_bindings
+          ~arrivals:(Nfp_sim.Harness.Uniform 20.0) ~packets:2000);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:25
+         ~name:"disarmed faults identical on any compilable policy"
+         random_policy_arbitrary
+         (fun spec ->
+           let policy = build_policy spec in
+           match Compiler.compile policy with
+           | Error _ -> QCheck.assume_fail ()
+           | Ok out -> (
+               match Tables.of_output out with
+               | Error _ -> false
+               | Ok plan ->
+                   let make ?fault () ~path engine ~output =
+                     Nfp_infra.System.make ~path ?fault ~plan
+                       ~nfs:(instances policy.bindings) engine ~output
+                   in
+                   let t mk =
+                     trace ~path:`Compiled ~make:mk ~gen:(traffic ())
+                       ~arrivals:(Nfp_sim.Harness.Uniform 1.5) ~packets:300
+                   in
+                   let a = t (make ()) and b = t (make ~fault:disarmed_fault ()) in
+                   { a with duration_ns = 0.0 } = { b with duration_ns = 0.0 })));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Domain-parallel harness determinism                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -294,5 +356,6 @@ let () =
     [
       ("differential", differential_tests);
       ("property", property_tests);
+      ("fault-differential", fault_differential_tests);
       ("determinism", determinism_tests);
     ]

@@ -802,6 +802,238 @@ let cluster_tests =
             ignore (Nfp_infra.Cluster.make ~segments:[] engine ~output:(fun ~pid:_ _ -> ()))));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection, failure detection, and recovery policies           *)
+(* ------------------------------------------------------------------ *)
+
+(* A parallelizable pair: Monitor | Firewall behind one merger — the
+   shape where a dead branch can wedge merges. *)
+let par_text = "NF(mon, Monitor)\nNF(fw, Firewall)\nOrder(mon, before, fw)"
+
+let par_bindings = [ ("mon", "Monitor"); ("fw", "Firewall") ]
+
+(* Run [text] under [fault] at a steady 0.5 Mpps, recording delivered
+   pids so tests can see whether forwarding resumed after a failure. *)
+let fault_run ?(text = ns_text) ?(bindings = ns_bindings) ~fault ?(rate = 0.5)
+    ?(packets = 2000) () =
+  let o = compile_ok text in
+  let plan = plan_of_output o in
+  let out_pids = ref [] in
+  let make engine ~output =
+    Nfp_infra.System.make ~fault ~plan ~nfs:(instances bindings) engine
+      ~output:(fun ~pid pkt ->
+        out_pids := pid :: !out_pids;
+        output ~pid pkt)
+  in
+  let r =
+    Nfp_sim.Harness.run ~make ~gen:gen_pkt ~arrivals:(Nfp_sim.Harness.Uniform rate)
+      ~packets ()
+  in
+  (r, List.rev !out_pids)
+
+let accounting_closes (r : Nfp_sim.Harness.result) =
+  check Alcotest.int "accounting closes" r.offered
+    (r.completed + r.ring_drops + r.nf_drops + r.unmatched + r.in_flight)
+
+let fault_tests =
+  [
+    Alcotest.test_case "crash is detected and Restart restores forwarding" `Quick
+      (fun () ->
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:vpn" ];
+          }
+        in
+        let r, pids = fault_run ~fault () in
+        let h = r.health in
+        check Alcotest.int "one injected crash took effect" 1 h.crashes;
+        check Alcotest.int "watchdog detected it" 1 h.detections;
+        check Alcotest.int "and restarted the core" 1 h.restarts;
+        check Alcotest.bool "outage lost packets" true (h.flushed > 0);
+        (* The crash hits at packet ~250 of 2000; deliveries of the last
+           quarter prove the chain forwards again after the restart. *)
+        check Alcotest.bool "late packets delivered after restart" true
+          (List.exists (fun pid -> pid > 1500L) pids);
+        check Alcotest.bool "most traffic survived the outage" true
+          (float_of_int r.completed > 0.7 *. float_of_int r.offered);
+        accounting_closes r);
+    Alcotest.test_case "detection happens within the deadline" `Quick (fun () ->
+        (* The outage window is crash -> detection -> restart; with a
+           120 us deadline, 30 us heartbeat and 400 us restart the core
+           must be back within ~600 us, so at 0.5 Mpps no more than
+           ~350 packets can be lost to a single crash. A missed
+           deadline would at least double that. *)
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:vpn" ];
+          }
+        in
+        let r, _ = fault_run ~fault () in
+        let lost = r.offered - r.completed in
+        check Alcotest.bool
+          (Printf.sprintf "outage bounded by deadline (lost %d)" lost)
+          true
+          (lost <= 350);
+        accounting_closes r);
+    Alcotest.test_case "hang wedges the core, then traffic resumes" `Quick (fun () ->
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan =
+              Nfp_sim.Fault.plan
+                [ Nfp_sim.Fault.hang ~at_ns:500_000.0 ~duration_ns:50_000.0 "mid1:mon" ];
+          }
+        in
+        let r, pids = fault_run ~fault () in
+        (* A 50 us hang is shorter than the 120 us deadline: the
+           watchdog must NOT fire, and nothing may be lost. *)
+        check Alcotest.int "no detection for a sub-deadline hang" 0 r.health.detections;
+        check Alcotest.int "no crash counted" 0 r.health.crashes;
+        check Alcotest.bool "late packets delivered" true
+          (List.exists (fun pid -> pid > 1500L) pids);
+        accounting_closes r);
+    Alcotest.test_case "Bypass removes an optional NF and keeps delivering" `Quick
+      (fun () ->
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:mon" ];
+            recovery_of = (fun nf -> if nf = "mon" then Bypass else Restart);
+          }
+        in
+        let r, pids = fault_run ~text:par_text ~bindings:par_bindings ~fault () in
+        let h = r.health in
+        check Alcotest.int "bypassed once" 1 h.bypasses;
+        check Alcotest.int "never restarted" 0 h.restarts;
+        check Alcotest.bool "packets skipped the dead NF" true (h.bypassed_packets > 0);
+        check Alcotest.bool "monitor is marked bypassed" true
+          (List.exists
+             (fun (c : Nfp_sim.Harness.core_health) ->
+               c.core = "mid1:mon" && c.state = "bypassed")
+             h.cores);
+        check Alcotest.bool "late packets delivered" true
+          (List.exists (fun pid -> pid > 1500L) pids);
+        (* Only the in-flight batch of the crash window is lost; the
+           bypass reroutes everything else, so availability stays near
+           lossless. *)
+        check Alcotest.bool "near-lossless availability" true
+          (float_of_int r.completed > 0.95 *. float_of_int r.offered);
+        accounting_closes r);
+    Alcotest.test_case "merger timeout rescues merges wedged by a dead branch" `Quick
+      (fun () ->
+        (* Restart drops the dead core's backlog: those packets never
+           deliver their mon branch, and without the timeout their
+           merges would hold the fw branch hostage forever. *)
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:mon" ];
+          }
+        in
+        let r, _ = fault_run ~text:par_text ~bindings:par_bindings ~fault () in
+        let h = r.health in
+        check Alcotest.bool "timeouts fired" true (h.merge_timeouts > 0);
+        check Alcotest.bool "rescued merges bound the tail" true
+          (Nfp_algo.Stats.max_value r.latency < 2_000_000.0);
+        check Alcotest.bool "most traffic survived" true
+          (float_of_int r.completed > 0.7 *. float_of_int r.offered);
+        accounting_closes r);
+    Alcotest.test_case "Degrade falls back to the sequential order and recovers" `Quick
+      (fun () ->
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:mon" ];
+            recovery_of = (fun nf -> if nf = "mon" then Degrade else Restart);
+          }
+        in
+        let r, pids = fault_run ~text:par_text ~bindings:par_bindings ~fault () in
+        let h = r.health in
+        check Alcotest.int "degraded once" 1 h.degrades;
+        check Alcotest.int "recovered to parallel" 1 h.recoveries;
+        (* The sequential twin chain carried the degraded window. *)
+        check Alcotest.bool "twin cores processed packets" true
+          (List.exists
+             (fun (c : Nfp_sim.Harness.core_health) ->
+               String.length c.core >= 4
+               && String.sub c.core 0 4 = "seq:"
+               && c.processed > 0)
+             h.cores);
+        check Alcotest.bool "late packets delivered" true
+          (List.exists (fun pid -> pid > 1500L) pids);
+        check Alcotest.bool "most traffic survived" true
+          (float_of_int r.completed > 0.7 *. float_of_int r.offered);
+        accounting_closes r);
+    Alcotest.test_case "counters match a two-crash storm" `Quick (fun () ->
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan =
+              Nfp_sim.Fault.plan
+                [
+                  Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:vpn";
+                  Nfp_sim.Fault.crash ~at_ns:1_500_000.0 "mid1:fw";
+                ];
+          }
+        in
+        let r, _ = fault_run ~fault () in
+        let h = r.health in
+        check Alcotest.int "crashes" 2 h.crashes;
+        check Alcotest.int "detections" 2 h.detections;
+        check Alcotest.int "restarts" 2 h.restarts;
+        check Alcotest.int "no bypasses" 0 h.bypasses;
+        check Alcotest.int "no degrades" 0 h.degrades;
+        accounting_closes r);
+    Alcotest.test_case "transient drop faults are counted exactly" `Quick (fun () ->
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.drop ~probability:0.2 "mid1:lb" ];
+          }
+        in
+        let r, _ = fault_run ~fault () in
+        let h = r.health in
+        check Alcotest.bool "drops happened" true (h.fault_drops > 0);
+        (* Every missing packet is a counted fault drop (the chain tail
+           NF loses them after processing, nothing else drops). *)
+        check Alcotest.int "losses are exactly the injected drops" h.fault_drops
+          (r.offered - r.completed);
+        accounting_closes r);
+    Alcotest.test_case "health is observable without any faults armed" `Quick (fun () ->
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        let make engine ~output =
+          Nfp_infra.System.make ~plan ~nfs:(instances ns_bindings) engine ~output
+        in
+        let r =
+          Nfp_sim.Harness.run ~make ~gen:gen_pkt ~arrivals:(Nfp_sim.Harness.Uniform 0.2)
+            ~packets:300 ()
+        in
+        let h = r.health in
+        check Alcotest.bool "cores listed" true (List.length h.cores >= 5);
+        check Alcotest.bool "all up" true
+          (List.for_all
+             (fun (c : Nfp_sim.Harness.core_health) -> c.state = "up")
+             h.cores);
+        check Alcotest.int "no events" 0
+          (h.detections + h.crashes + h.restarts + h.bypasses + h.flushed));
+    Alcotest.test_case "fault config on the interpretive path is rejected" `Quick
+      (fun () ->
+        let o = compile_ok ns_text in
+        let plan = plan_of_output o in
+        let engine = Nfp_sim.Engine.create () in
+        Alcotest.check_raises "invalid"
+          (Invalid_argument
+             "System.make_multi: fault injection requires the `Compiled path")
+          (fun () ->
+            ignore
+              (Nfp_infra.System.make ~path:`Interpretive
+                 ~fault:Nfp_infra.System.default_fault_config ~plan
+                 ~nfs:(instances ns_bindings) engine ~output:(fun ~pid:_ _ -> ()))));
+  ]
+
 let () =
   Alcotest.run "nfp_infra"
     [
@@ -811,4 +1043,5 @@ let () =
       ("multi", multi_tests);
       ("cluster", cluster_tests);
       ("property", property_tests);
+      ("fault", fault_tests);
     ]

@@ -137,7 +137,7 @@ let validate_tests =
     Alcotest.test_case "unknown NF reported" `Quick (fun () ->
         let p = mk [ Rule.Order ("nothere", "Monitor") ] in
         check Alcotest.bool "conflict" true
-          (has_conflict p (function Validate.Unknown_nf "nothere" -> true | _ -> false)));
+          (has_conflict p (function Validate.Unknown_nf { name = "nothere"; rule = 1 } -> true | _ -> false)));
     Alcotest.test_case "unknown registry type reported" `Quick (fun () ->
         let p = mk ~bindings:[ ("x", "Imaginary") ] [ Rule.Position ("x", Rule.First) ] in
         check Alcotest.bool "conflict" true
@@ -162,7 +162,7 @@ let validate_tests =
             ]
         in
         check Alcotest.bool "cycle" true
-          (has_conflict p (function Validate.Order_cycle l -> List.length l = 3 | _ -> false)));
+          (has_conflict p (function Validate.Order_cycle { names; rules } -> List.length names = 3 && rules = [ 1; 2; 3 ] | _ -> false)));
     Alcotest.test_case "cycle through a priority edge" `Quick (fun () ->
         (* Priority(hi > lo) places lo before hi; Order(hi, lo) contradicts. *)
         let p = mk [ Rule.Priority ("Firewall", "Monitor"); Rule.Order ("Firewall", "Monitor") ] in
@@ -185,7 +185,7 @@ let validate_tests =
           mk [ Rule.Position ("Firewall", Rule.First); Rule.Position ("Firewall", Rule.Last) ]
         in
         check Alcotest.bool "conflict" true
-          (has_conflict p (function Validate.Position_conflict "Firewall" -> true | _ -> false)));
+          (has_conflict p (function Validate.Position_conflict { name = "Firewall"; rules = (1, 2) } -> true | _ -> false)));
     Alcotest.test_case "order into a first-pinned NF" `Quick (fun () ->
         let p =
           mk [ Rule.Position ("VPN", Rule.First); Rule.Order ("Monitor", "VPN") ]
@@ -202,7 +202,39 @@ let validate_tests =
     Alcotest.test_case "self-order reported" `Quick (fun () ->
         let p = mk [ Rule.Order ("Firewall", "Firewall") ] in
         check Alcotest.bool "conflict" true
-          (has_conflict p (function Validate.Self_rule "Firewall" -> true | _ -> false)));
+          (has_conflict p (function Validate.Self_rule { name = "Firewall"; rule = 1 } -> true | _ -> false)));
+    Alcotest.test_case "conflicts name the offending rule index" `Quick (fun () ->
+        (* Rule #1 is fine; #2 mentions the unknown name, #3 is a self
+           rule — the reports must carry those positions. *)
+        let p =
+          mk
+            [
+              Rule.Order ("VPN", "Monitor");
+              Rule.Order ("nothere", "Monitor");
+              Rule.Priority ("Firewall", "Firewall");
+            ]
+        in
+        check Alcotest.bool "unknown at #2" true
+          (has_conflict p (function
+            | Validate.Unknown_nf { name = "nothere"; rule = 2 } -> true
+            | _ -> false));
+        check Alcotest.bool "self rule at #3" true
+          (has_conflict p (function
+            | Validate.Self_rule { name = "Firewall"; rule = 3 } -> true
+            | _ -> false));
+        let rendered =
+          String.concat "\n"
+            (List.map (Format.asprintf "%a" Validate.pp_conflict) (Validate.check p))
+        in
+        let contains s =
+          let n = String.length s in
+          let rec go i =
+            i + n <= String.length rendered && (String.sub rendered i n = s || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool "renders #2" true (contains "#2");
+        check Alcotest.bool "renders #3" true (contains "#3"));
     Alcotest.test_case "conflicts render as text" `Quick (fun () ->
         let p = mk [ Rule.Order ("Firewall", "Firewall") ] in
         List.iter
@@ -219,14 +251,14 @@ let suggest_tests =
           (fun c ->
             check Alcotest.bool "non-empty" true (String.length (Validate.suggest c) > 10))
           [
-            Validate.Unknown_nf "x";
+            Validate.Unknown_nf { name = "x"; rule = 1 };
             Validate.Unknown_kind ("x", "Y");
             Validate.Duplicate_binding "x";
-            Validate.Order_cycle [ "a"; "b" ];
-            Validate.Priority_both_ways ("a", "b");
-            Validate.Position_conflict "a";
-            Validate.Position_order_conflict ("a", "b");
-            Validate.Self_rule "a";
+            Validate.Order_cycle { names = [ "a"; "b" ]; rules = [ 1; 2 ] };
+            Validate.Priority_both_ways { a = "a"; b = "b"; rules = (1, 2) };
+            Validate.Position_conflict { name = "a"; rules = (1, 2) };
+            Validate.Position_order_conflict { pinned = "a"; other = "b"; rule = 2 };
+            Validate.Self_rule { name = "a"; rule = 1 };
           ]);
     Alcotest.test_case "compiler errors carry the hint" `Quick (fun () ->
         match Nfp_core.Compiler.compile_text "Order(Firewall, before, Firewall)" with

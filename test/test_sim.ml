@@ -165,6 +165,136 @@ let server_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Injected faults at the server level                                 *)
+(* ------------------------------------------------------------------ *)
+
+let core_of plan name = Option.get (Fault.for_core plan name)
+
+let fault_tests =
+  [
+    Alcotest.test_case "crash abandons the in-flight batch" `Quick (fun () ->
+        let e = Engine.create () in
+        let delivered = ref 0 in
+        let fault = core_of (Fault.plan [ Fault.crash ~at_ns:150.0 "s" ]) "s" in
+        let s =
+          Server.create ~engine:e ~name:"s" ~ring_capacity:8 ~batch:4 ~fault
+            ~service_ns:(fun _ -> 100.0)
+            ~execute:(fun _ ->
+              fun () ->
+                incr delivered;
+                true)
+            ()
+        in
+        (* Job 1 is its own batch (done at 100 ns); 2..4 batch together
+           and would complete at 400 ns — the crash at 150 ns outlives
+           them, and their emissions must die with the core. *)
+        List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2; 3; 4 ];
+        Engine.run e;
+        check Alcotest.int "first batch delivered" 1 !delivered;
+        check Alcotest.int "rest flushed" 3 (Server.flushed s);
+        check Alcotest.int "one crash" 1 (Server.crashes s);
+        check Alcotest.bool "core is down" true (Server.is_down s));
+    Alcotest.test_case "drop fault loses jobs at the configured rate" `Quick (fun () ->
+        let run () =
+          let e = Engine.create () in
+          let delivered = ref 0 in
+          let fault = core_of (Fault.plan [ Fault.drop ~probability:0.5 "s" ]) "s" in
+          let s =
+            Server.create ~engine:e ~name:"s" ~ring_capacity:2048 ~batch:32 ~fault
+              ~service_ns:(fun _ -> 1.0)
+              ~execute:(fun _ ->
+                fun () ->
+                  incr delivered;
+                  true)
+              ()
+          in
+          for j = 1 to 1000 do
+            ignore (Server.offer s j)
+          done;
+          Engine.run e;
+          (!delivered, Server.fault_drops s)
+        in
+        let delivered, drops = run () in
+        check Alcotest.int "conserved" 1000 (delivered + drops);
+        check Alcotest.bool
+          (Printf.sprintf "rate plausible (%d/1000)" drops)
+          true
+          (drops > 350 && drops < 650);
+        (* The drop stream is seeded from the plan, not ambient state. *)
+        check Alcotest.(pair int int) "deterministic" (delivered, drops) (run ()));
+    Alcotest.test_case "slowdown scales service time from its onset" `Quick (fun () ->
+        let e = Engine.create () in
+        let fault = core_of (Fault.plan [ Fault.slowdown ~at_ns:0.0 ~factor:3.0 "s" ]) "s" in
+        let s =
+          Server.create ~engine:e ~name:"s" ~ring_capacity:8 ~batch:1 ~fault
+            ~service_ns:(fun _ -> 10.0)
+            ~execute:(fun _ -> fun () -> true)
+            ()
+        in
+        (* Offer after the engine starts so the slowdown is installed. *)
+        Engine.schedule e ~delay:5.0 (fun () ->
+            List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2 ]);
+        Engine.run e;
+        check (Alcotest.float 1e-6) "3x busy time" 60.0 (Server.busy_ns s));
+    Alcotest.test_case "hang parks the core, work resumes afterwards" `Quick (fun () ->
+        let e = Engine.create () in
+        let done_at = ref 0.0 in
+        let fault =
+          core_of (Fault.plan [ Fault.hang ~at_ns:0.0 ~duration_ns:500.0 "s" ]) "s"
+        in
+        let s =
+          Server.create ~engine:e ~name:"s" ~ring_capacity:8 ~batch:4 ~fault
+            ~service_ns:(fun _ -> 10.0)
+            ~execute:(fun _ ->
+              fun () ->
+                done_at := Engine.now e;
+                true)
+            ()
+        in
+        Engine.schedule e ~delay:5.0 (fun () -> ignore (Server.offer s 1));
+        Engine.run e;
+        check Alcotest.int "processed" 1 (Server.processed s);
+        check Alcotest.bool "held until the hang ended" true (!done_at >= 500.0);
+        check Alcotest.bool "core is back up" true (not (Server.is_down s)));
+    Alcotest.test_case "kill / revive with flush drops the backlog" `Quick (fun () ->
+        let e = Engine.create () in
+        let delivered = ref 0 in
+        let s =
+          Server.create ~engine:e ~name:"s" ~ring_capacity:8 ~batch:4
+            ~service_ns:(fun _ -> 10.0)
+            ~execute:(fun _ ->
+              fun () ->
+                incr delivered;
+                true)
+            ()
+        in
+        Server.kill s;
+        (* The ring is shared memory: it outlives its dead consumer. *)
+        List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2; 3 ];
+        check Alcotest.bool "down" true (Server.is_down s);
+        check Alcotest.int "backlog counted lost" 3 (Server.revive s);
+        Engine.run e;
+        check Alcotest.int "flushed jobs never run" 0 !delivered;
+        List.iter (fun j -> ignore (Server.offer s j)) [ 4; 5 ];
+        Engine.run e;
+        check Alcotest.int "fresh work flows again" 2 !delivered);
+    Alcotest.test_case "plans match cores by name or prefix" `Quick (fun () ->
+        let p = Fault.plan [ Fault.crash ~at_ns:1.0 "mid1:*" ] in
+        check Alcotest.bool "mid1:vpn matches" true (Fault.for_core p "mid1:vpn" <> None);
+        check Alcotest.bool "mid2:vpn does not" true (Fault.for_core p "mid2:vpn" = None);
+        check Alcotest.bool "empty plan matches nothing" true
+          (Fault.for_core Fault.empty "mid1:vpn" = None));
+    Alcotest.test_case "storm is deterministic and scales with the horizon" `Quick
+      (fun () ->
+        let mk h = Fault.storm ~seed:7L ~cores:[ "a"; "b" ] ~mtbf_ns:1e6 ~horizon_ns:h () in
+        check Alcotest.bool "same seed, same storm" true (mk 1e7 = mk 1e7);
+        check Alcotest.bool "longer horizon, more crashes" true
+          (Fault.event_count (mk 1e8) > Fault.event_count (mk 1e6));
+        check Alcotest.bool "different seed, different storm" true
+          (mk 1e7 <> Fault.storm ~seed:8L ~cores:[ "a"; "b" ] ~mtbf_ns:1e6 ~horizon_ns:1e7 ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* NIC                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -218,6 +348,7 @@ let fixed_system ~service_ns ~ring engine ~output =
     nf_drops = (fun () -> 0);
     unmatched = (fun () -> 0);
     classifier = (fun () -> Harness.no_classifier_counters);
+    health = (fun () -> Harness.no_health);
   }
 
 let gen _ =
@@ -302,12 +433,68 @@ let harness_tests =
         check (Alcotest.float 1e-9) "same" (once ()) (once ()));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Arrival processes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Full delivery-time trace of a run: stronger than comparing summary
+   statistics, this pins the entire arrival sequence. *)
+let delivery_trace ~arrivals ~seed =
+  let times = ref [] in
+  let make engine ~output =
+    fixed_system ~service_ns:50.0 ~ring:512 engine
+      ~output:(fun ~pid pkt ->
+        times := Engine.now engine :: !times;
+        output ~pid pkt)
+  in
+  ignore (Harness.run ~make ~gen ~arrivals ~packets:800 ~seed ());
+  List.rev !times
+
+let arrivals_tests =
+  [
+    Alcotest.test_case "poisson trace is identical under a fixed seed" `Quick (fun () ->
+        check
+          Alcotest.(list (float 1e-12))
+          "same trace"
+          (delivery_trace ~arrivals:(Harness.Poisson 2.0) ~seed:42L)
+          (delivery_trace ~arrivals:(Harness.Poisson 2.0) ~seed:42L));
+    Alcotest.test_case "poisson trace changes with the seed" `Quick (fun () ->
+        check Alcotest.bool "different" true
+          (delivery_trace ~arrivals:(Harness.Poisson 2.0) ~seed:42L
+          <> delivery_trace ~arrivals:(Harness.Poisson 2.0) ~seed:43L));
+    Alcotest.test_case "burst trace is identical under a fixed seed" `Quick (fun () ->
+        check
+          Alcotest.(list (float 1e-12))
+          "same trace"
+          (delivery_trace ~arrivals:(Harness.Burst (2.0, 16)) ~seed:42L)
+          (delivery_trace ~arrivals:(Harness.Burst (2.0, 16)) ~seed:42L));
+    Alcotest.test_case "burst mean rate holds across burst sizes" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            let r =
+              Harness.run
+                ~make:(fixed_system ~service_ns:10.0 ~ring:1024)
+                ~gen
+                ~arrivals:(Harness.Burst (2.0, k))
+                ~packets:3200 ()
+            in
+            (* 3200 packets at a 2 Mpps mean is 1.6 ms; allow 25% for
+               the truncated final burst and gap jitter. *)
+            let expect = 1.6e6 in
+            if r.duration_ns < 0.75 *. expect || r.duration_ns > 1.25 *. expect then
+              Alcotest.failf "burst %d: duration %.0f ns, expected about %.0f" k
+                r.duration_ns expect)
+          [ 4; 32; 128 ]);
+  ]
+
 let () =
   Alcotest.run "nfp_sim"
     [
       ("engine", engine_tests);
       ("server", server_tests);
+      ("fault", fault_tests);
       ("nic", nic_tests);
       ("cost", cost_tests);
       ("harness", harness_tests);
+      ("arrivals", arrivals_tests);
     ]
