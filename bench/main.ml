@@ -257,12 +257,18 @@ let run_fig8 () =
 
 (* The registry cannot instantiate parameterized firewall variants, so
    Fig. 9/11 build their deployments from explicit instances. *)
-let fw_deploy ?(copy_mode = `Auto) ?(mergers = 1) ?fault ~extra ~graph names =
+let fw_deploy ?(copy_mode = `Auto) ?(mergers = 1) ?ring_capacity ?fault ~extra
+    ~graph names =
   let profile_of _ = Nfp_nf.Registry.profile_of "Firewall" in
   let plan =
     match Tables.plan ~copy_mode ~profile_of graph with
     | Ok p -> p
     | Error e -> failwith e
+  in
+  let ring_capacity =
+    match ring_capacity with
+    | Some c -> c
+    | None -> Nfp_infra.System.default_config.ring_capacity
   in
   fun engine ~output ->
     let table = Hashtbl.create 8 in
@@ -271,7 +277,7 @@ let fw_deploy ?(copy_mode = `Auto) ?(mergers = 1) ?fault ~extra ~graph names =
         Hashtbl.replace table n (fst (Nfp_nf.Firewall.create ~name:n ~extra_cycles:extra ())))
       names;
     Nfp_infra.System.make
-      ~config:{ Nfp_infra.System.default_config with mergers }
+      ~config:{ Nfp_infra.System.default_config with mergers; ring_capacity }
       ?fault ~plan ~nfs:(Hashtbl.find table) engine ~output
 
 let fw_onvm ~extra names engine ~output =
@@ -1100,6 +1106,84 @@ let run_faults () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* recovery: lossless restart vs checkpoint interval x crash rate      *)
+(* ------------------------------------------------------------------ *)
+
+let run_recovery () =
+  section "Recovery  Availability vs checkpoint interval (4 parallel firewalls, 64B)";
+  note "(Restart recovery on the degree-4 rig of Fig. 11 under crash storms. With";
+  note " checkpointing on, a restarting core restores its last snapshot, replays";
+  note " its input log — output suppressed, duplicates deduped at the mergers —";
+  note " and re-admits the work the crash reclaimed; interval 0 is the lossy";
+  note " flush-the-backlog baseline. Availability is completed/offered at a fixed";
+  note " 2.0 Mpps load; in BENCH_recovery.json the \"mpps\" field carries";
+  note " availability, not a rate)";
+  let names = [ "fw0"; "fw1"; "fw2"; "fw3" ] in
+  let nf_cores = List.map (fun n -> "mid1:" ^ n) names in
+  let graph = Graph.par (List.map Graph.nf names) in
+  let rate = 2.0 in
+  let packets = 20000 in
+  let horizon_ns = float_of_int packets /. rate *. 1000.0 in
+  let intervals =
+    [
+      ("lossy", 0.0);
+      ("400 us", 400_000.0);
+      ("100 us", 100_000.0);
+      ("25 us", 25_000.0);
+    ]
+  in
+  let mtbfs = [ 2.0e6; 1.0e6; 0.5e6 ] in
+  note "";
+  note "  %-8s %-8s | %-7s %-9s %-9s | %-6s %-7s %-8s %s" "ckpt" "MTBF" "avail"
+    "mean(us)" "p99(us)" "ckpts" "replay" "salvage" "lost";
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.concat_map
+         (fun (ilabel, interval_ns) ->
+           List.map
+             (fun mtbf_ns () ->
+               let gen = gen_of_size 64 in
+               let fault =
+                 {
+                   Nfp_infra.System.default_fault_config with
+                   plan = Nfp_sim.Fault.storm ~cores:nf_cores ~mtbf_ns ~horizon_ns ();
+                   checkpoint_interval_ns = interval_ns;
+                 }
+               in
+               (* Rings deep enough to buffer a typical outage. Lossless
+                  restart never flushes admitted work, so any residual
+                  loss here is admission refusal at the entry ring while
+                  a replay-extended outage drains. *)
+               let make engine ~output =
+                 fw_deploy ~copy_mode:`Share_all ~mergers:2 ~ring_capacity:2048
+                   ~extra:300 ~graph names ~fault engine ~output
+               in
+               let r =
+                 Nfp_sim.Harness.run ~make ~gen
+                   ~arrivals:(Nfp_sim.Harness.Uniform rate) ~packets ()
+               in
+               let h = r.health in
+               let avail = float_of_int r.completed /. float_of_int r.offered in
+               ( ilabel,
+                 Printf.sprintf "%.1f ms" (mtbf_ns /. 1e6),
+                 avail,
+                 Nfp_algo.Stats.mean r.latency /. 1000.0,
+                 Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0,
+                 h.checkpoints,
+                 h.replayed,
+                 h.salvaged,
+                 r.offered - r.completed ))
+             mtbfs)
+         intervals)
+  in
+  List.iter
+    (fun (ilabel, mlabel, avail, mean_us, p99_us, ckpts, replayed, salvaged, lost) ->
+      record_sample { mpps = avail; latency_us = mean_us; p99_us };
+      note "  %-8s %-8s | %6.2f%% %-9.1f %-9.1f | %-6d %-7d %-8d %d" ilabel mlabel
+        (100.0 *. avail) mean_us p99_us ckpts replayed salvaged lost)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1123,6 +1207,7 @@ let experiments =
     ("vm", run_vm);
     ("classify", run_classify);
     ("faults", run_faults);
+    ("recovery", run_recovery);
     ("ablation", run_ablation);
     ("micro", run_micro);
   ]

@@ -34,3 +34,9 @@ let admit t ~now_ns ~size =
 let available t ~now_ns =
   refill t ~now_ns;
   t.tokens
+
+let snapshot t = (t.tokens, t.last_ns)
+
+let restore t (tokens, last_ns) =
+  t.tokens <- tokens;
+  t.last_ns <- last_ns

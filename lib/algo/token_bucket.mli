@@ -19,3 +19,10 @@ val admit : t -> now_ns:int64 -> size:int -> bool
 
 val available : t -> now_ns:int64 -> float
 (** Tokens (bytes) available at [now_ns], without consuming. *)
+
+val snapshot : t -> float * int64
+(** Current [(tokens, last_refill_ns)] pair — the bucket's whole mutable
+    state, for checkpointing (the rate and burst are immutable). *)
+
+val restore : t -> float * int64 -> unit
+(** Install a pair captured by {!snapshot}. *)

@@ -47,6 +47,14 @@ type fault_config = {
          versions that did arrive; 0.0 disables the timeout *)
   restart_ns : float;  (* downtime of a Restart / Degrade recovery *)
   recovery_of : string -> recovery;  (* policy per NF instance name *)
+  checkpoint_interval_ns : float;
+      (* period of the per-NF state snapshots that arm lossless
+         recovery; 0.0 disables checkpointing, reverting Restart to the
+         lossy flush-the-backlog semantics *)
+  log_capacity : int;
+      (* bound of each core's input log (packets since its last
+         checkpoint); a full log forces a checkpoint early rather than
+         ever silently losing an entry *)
 }
 
 let default_fault_config =
@@ -57,6 +65,8 @@ let default_fault_config =
     merge_timeout_ns = 250_000.0;
     restart_ns = Nfp_sim.Cost.default.restart_ns;
     recovery_of = (fun _ -> Restart);
+    checkpoint_interval_ns = 100_000.0;
+    log_capacity = 4096;
   }
 
 (* The uniform control surface the watchdog holds over every core,
@@ -70,11 +80,17 @@ type probe = {
   pr_busy : unit -> bool;
   pr_down : unit -> bool;
   pr_kill : unit -> unit;
-  pr_revive : unit -> int;
+  pr_revive : flush:bool -> int;
   pr_drain : unit -> int;  (* NF cores: reroute the backlog around the core *)
   pr_crashes : unit -> int;
   pr_fault_drops : unit -> int;
   pr_flushed : unit -> int;
+  pr_casualties : unit -> int;  (* reclaimed in-flight work awaiting recovery *)
+  pr_checkpoint : unit -> unit;  (* NF cores with snapshot support: take one now *)
+  pr_replay : unit -> float;
+      (* restore the last checkpoint and replay the input log; returns
+         the replay's contribution to the core's downtime (0.0 for
+         infrastructure cores and NFs without snapshot support) *)
 }
 
 let core_count config (plan : Tables.plan) =
@@ -219,6 +235,27 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     | Some (fc : fault_config) -> Nfp_sim.Fault.for_core fc.plan name
   in
   let merge_timeout_ns = match fault with Some fc -> fc.merge_timeout_ns | None -> 0.0 in
+  (* Everything the recovery subsystem adds — input logging, snapshot
+     charges, dedup filters — is gated on [armed]: a fault config with
+     an empty plan must leave the packet trace byte-identical to a
+     system built without one (the differential test enforces this). *)
+  let armed =
+    match fault with
+    | Some (fc : fault_config) -> not (Nfp_sim.Fault.is_empty fc.plan)
+    | None -> false
+  in
+  let lossless =
+    armed
+    && match fault with Some fc -> fc.checkpoint_interval_ns > 0.0 | None -> false
+  in
+  let log_capacity =
+    match fault with Some fc -> max 1 fc.log_capacity | None -> 1
+  in
+  let checkpoints = ref 0
+  and forced_checkpoints = ref 0
+  and replayed = ref 0
+  and deduped = ref 0
+  and salvaged = ref 0 in
   (* MIDs are 1-based positions in the classification table. *)
   let table = Array.of_list graphs in
   let plan_of_mid mid : Tables.plan =
@@ -246,8 +283,19 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     match Context.get ctx version with Some p -> Packet.wire_length p | None -> 1500
   in
   let wire_delay = cost.wire_ns /. 2.0 in
-  let deliver_out ~pid pkt =
-    Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () -> output ~pid pkt)
+  (* Output-side dedup backstop (armed runs only): a replayed or
+     timeout-completed branch must never deliver the same (pid, version)
+     twice. Version 0 marks deliveries with no version identity (twin
+     chains tag version 1, compiled/interpretive paths their plan
+     version), which pass through unfiltered. *)
+  let delivered_versions : (int64 * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let deliver_out ?(version = 0) ~pid pkt =
+    if armed && version > 0 && Hashtbl.mem delivered_versions (pid, version) then
+      incr deduped
+    else begin
+      if armed && version > 0 then Hashtbl.replace delivered_versions (pid, version) ();
+      Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () -> output ~pid pkt)
+    end
   in
   let slot_of_pid pid instances =
     Int64.to_int
@@ -259,8 +307,15 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
      [health] counters below work off this list. *)
   let probes : probe list ref = ref [] in
   let register_probe :
-      'a. ?nf:int * string -> ?drain:(unit -> int) -> 'a Nfp_sim.Server.t -> unit =
-   fun ?nf ?(drain = fun () -> 0) s ->
+      'a.
+      ?nf:int * string ->
+      ?drain:(unit -> int) ->
+      ?checkpoint:(unit -> unit) ->
+      ?replay:(unit -> float) ->
+      'a Nfp_sim.Server.t ->
+      unit =
+   fun ?nf ?(drain = fun () -> 0) ?(checkpoint = fun () -> ())
+       ?(replay = fun () -> 0.0) s ->
     probes :=
       {
         pr_name = Nfp_sim.Server.name s;
@@ -271,11 +326,17 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         pr_busy = (fun () -> Nfp_sim.Server.is_busy s);
         pr_down = (fun () -> Nfp_sim.Server.is_down s);
         pr_kill = (fun () -> Nfp_sim.Server.kill s);
-        pr_revive = (fun () -> Nfp_sim.Server.revive s);
+        pr_revive = (fun ~flush -> Nfp_sim.Server.revive ~flush s);
         pr_drain = drain;
         pr_crashes = (fun () -> Nfp_sim.Server.crashes s);
         pr_fault_drops = (fun () -> Nfp_sim.Server.fault_drops s);
         pr_flushed = (fun () -> Nfp_sim.Server.flushed s);
+        pr_casualties =
+          (fun () ->
+            let jobs, emits = Nfp_sim.Server.casualty_counts s in
+            jobs + emits);
+        pr_checkpoint = checkpoint;
+        pr_replay = replay;
       }
       :: !probes
   in
@@ -343,7 +404,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                               ()
                         | Tables.Deliver ->
                             (match Context.get ctx version with
-                            | Some pkt -> deliver_out ~pid:(Context.pid ctx) pkt
+                            | Some pkt ->
+                                deliver_out ~version ~pid:(Context.pid ctx) pkt
                             | None -> ());
                             true)
                       targets)
@@ -728,7 +790,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                         route_merge { d_ctx = ctx; d_merge = merge; d_branch = branch; d_nil = nil }
                     | S_deliver v ->
                         (match Context.get ctx v with
-                        | Some pkt -> deliver_out ~pid:(Context.pid ctx) pkt
+                        | Some pkt -> deliver_out ~version:v ~pid:(Context.pid ctx) pkt
                         | None -> ());
                         true
                   in
@@ -783,7 +845,72 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                         };
                     |]
               in
-              let static = cost.ring_dequeue + cost.nf_runtime + prog.p_static in
+              (* Lossless-recovery cell, armed when checkpointing is on
+                 and the NF can snapshot/restore its state: the last
+                 checkpoint, plus a bounded log of pre-processing packet
+                 copies appended since (each carries its MID/PID/version
+                 metadata). A full log forces a checkpoint early — never
+                 a silent loss. [charge] is wired to the server (created
+                 below) so checkpoint time lands on the NF core. *)
+              let recovery =
+                if not lossless then None
+                else
+                  match (nf.snapshot, nf.restore) with
+                  | Some snap, Some restore_state ->
+                      let snapref = ref (snap ()) in
+                      let log : Packet.t list ref = ref [] in
+                      let log_len = ref 0 in
+                      let charge = ref (fun (_ : float) -> ()) in
+                      let ckpt_ns = Nfp_sim.Cost.ns_of_cycles cost cost.checkpoint_cycles in
+                      let take_checkpoint ~forced () =
+                        (* An empty log means no packet touched the NF
+                           since the last snapshot — the state cannot
+                           have changed, so re-snapshotting would buy
+                           nothing and still charge the core. *)
+                        if !log_len > 0 then begin
+                          snapref := snap ();
+                          log := [];
+                          log_len := 0;
+                          incr checkpoints;
+                          if forced then incr forced_checkpoints;
+                          !charge ckpt_ns
+                        end
+                      in
+                      let log_packet pkt =
+                        if !log_len >= log_capacity then take_checkpoint ~forced:true ();
+                        log := Packet.full_copy pkt :: !log;
+                        incr log_len
+                      in
+                      (* Restore the checkpoint and re-process the log in
+                         arrival order on the logged copies: state effects
+                         replay exactly, nothing is emitted (the original
+                         emissions stand — output suppression), and the
+                         time is returned as added downtime. *)
+                      let replay () =
+                        restore_state !snapref;
+                        let extra = ref 0.0 in
+                        List.iter
+                          (fun pkt ->
+                            let cycles = cost.replay_cycles + nf.cost_cycles pkt in
+                            (try ignore (nf.process pkt) with _ -> ());
+                            incr replayed;
+                            extra := !extra +. Nfp_sim.Cost.ns_of_cycles cost cycles)
+                          (List.rev !log);
+                        (* The replayed state is the fresh checkpoint; the
+                           log restarts empty. Uncharged: the core is down
+                           and the replay is already in its downtime. *)
+                        snapref := snap ();
+                        log := [];
+                        log_len := 0;
+                        !extra
+                      in
+                      Some (take_checkpoint, log_packet, replay, charge)
+                  | _ -> None
+              in
+              let static =
+                cost.ring_dequeue + cost.nf_runtime + prog.p_static
+                + match recovery with Some _ -> cost.log_append | None -> 0
+              in
               let service_ns ctx =
                 let nf_cycles =
                   match Context.get ctx entry.version with
@@ -796,6 +923,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                 match Context.get ctx entry.version with
                 | None -> const_true
                 | Some pkt -> (
+                    (match recovery with
+                    | Some (_, log_packet, _, _) -> log_packet pkt
+                    | None -> ());
                     let verdict =
                       try nf.process pkt
                       with exn ->
@@ -819,11 +949,23 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   ~batch:cost.batch ~jitter:(jitter_for ()) ?fault:(fault_for name)
                   ~service_ns ~execute ()
               in
-              (* Bypass recovery: mark the slot, then reroute whatever
-                 already queued behind the dead core through its action
-                 program so no merger waits on this branch. *)
+              (match recovery with
+              | Some (_, _, _, charge) -> charge := Nfp_sim.Server.charge server
+              | None -> ());
+              (* Bypass recovery: mark the slot, reroute this core's
+                 casualties (the in-flight batch its kill reclaimed, and
+                 any pending emissions) plus the queued backlog through
+                 its action program, so every packet lands in exactly
+                 one ledger bucket and no merger waits on this branch. *)
               let drain () =
                 !bypassed.(slot) <- true;
+                Nfp_sim.Server.set_casualty_sink server (fun jobs emits ->
+                    List.iter
+                      (fun ctx ->
+                        incr bypassed_packets;
+                        drive (exec_prog prog ctx))
+                      jobs;
+                    List.iter drive emits);
                 let backlog = Nfp_sim.Server.drain server in
                 List.iter
                   (fun ctx ->
@@ -832,7 +974,20 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   backlog;
                 List.length backlog
               in
-              register_probe ~nf:(mid, entry.nf) ~drain server;
+              register_probe ~nf:(mid, entry.nf) ~drain
+                ?checkpoint:
+                  (match recovery with
+                  | Some (take_checkpoint, _, _, _) ->
+                      Some
+                        (fun () ->
+                          if not (Nfp_sim.Server.is_down server) then
+                            take_checkpoint ~forced:false ())
+                  | None -> None)
+                ?replay:
+                  (match recovery with
+                  | Some (_, _, replay, _) -> Some replay
+                  | None -> None)
+                server;
               (server, prog))
             nf_impls
         in
@@ -881,6 +1036,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         in
         let make_merger index =
           let at : (int * int * int64, cat_entry) Hashtbl.t = Hashtbl.create 1024 in
+          (* Completed-merge memory (armed runs only): a branch arriving
+             after its merge already completed — a straggler emitted by
+             a salvaged core after a merge timeout force-completed the
+             accumulation — is consumed silently instead of opening a
+             fresh accumulation that would deliver a duplicate. Mergers
+             never see the same (MID, merge, PID) complete twice. *)
+          let done_tbl : (int * int * int64, unit) Hashtbl.t = Hashtbl.create 64 in
           let service_ns (d : cdelivery) =
             let m = d.d_merge in
             Nfp_sim.Cost.ns_of_cycles cost
@@ -891,43 +1053,48 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let execute (d : cdelivery) =
             let m = d.d_merge in
             let key = (m.m_mid, m.m_id, Context.pid d.d_ctx) in
-            let entry =
-              match Hashtbl.find_opt at key with
-              | Some e -> e
-              | None ->
-                  let e = { c_received = 0; c_nil_mask = 0; c_arrived_mask = 0 } in
-                  Hashtbl.replace at key e;
-                  (* Arm the straggler timeout when this accumulation
-                     opens: if a failed branch never shows up, merge
-                     what did arrive rather than wedge the packet (the
-                     drop policy still applies to arrived nils). A
-                     straggler landing after the forced completion opens
-                     a fresh accumulation that can deliver a duplicate;
-                     metrics therefore count distinct completions. *)
-                  if merge_timeout_ns > 0.0 then
-                    Nfp_sim.Engine.schedule engine ~delay:merge_timeout_ns (fun () ->
-                        match Hashtbl.find_opt at key with
-                        | Some e' when e' == e ->
-                            Hashtbl.remove at key;
-                            incr merge_timeouts;
-                            let missing =
-                              ((1 lsl m.m_expected) - 1) land lnot e.c_arrived_mask
-                            in
-                            drive
-                              (complete m d.d_ctx ~nil_mask:e.c_nil_mask
-                                 ~skip_mask:(e.c_nil_mask lor missing))
-                        | _ -> ());
-                  e
-            in
-            entry.c_received <- entry.c_received + 1;
-            if d.d_branch >= 0 then
-              entry.c_arrived_mask <- entry.c_arrived_mask lor (1 lsl d.d_branch);
-            if d.d_nil && d.d_branch >= 0 then
-              entry.c_nil_mask <- entry.c_nil_mask lor (1 lsl d.d_branch);
-            if entry.c_received < m.m_expected then const_true
+            if armed && Hashtbl.mem done_tbl key then begin
+              incr deduped;
+              const_true
+            end
             else begin
-              Hashtbl.remove at key;
-              complete m d.d_ctx ~nil_mask:entry.c_nil_mask ~skip_mask:entry.c_nil_mask
+              let entry =
+                match Hashtbl.find_opt at key with
+                | Some e -> e
+                | None ->
+                    let e = { c_received = 0; c_nil_mask = 0; c_arrived_mask = 0 } in
+                    Hashtbl.replace at key e;
+                    (* Arm the straggler timeout when this accumulation
+                       opens: if a failed branch never shows up, merge
+                       what did arrive rather than wedge the packet (the
+                       drop policy still applies to arrived nils). *)
+                    if merge_timeout_ns > 0.0 then
+                      Nfp_sim.Engine.schedule engine ~delay:merge_timeout_ns (fun () ->
+                          match Hashtbl.find_opt at key with
+                          | Some e' when e' == e ->
+                              Hashtbl.remove at key;
+                              if armed then Hashtbl.replace done_tbl key ();
+                              incr merge_timeouts;
+                              let missing =
+                                ((1 lsl m.m_expected) - 1) land lnot e.c_arrived_mask
+                              in
+                              drive
+                                (complete m d.d_ctx ~nil_mask:e.c_nil_mask
+                                   ~skip_mask:(e.c_nil_mask lor missing))
+                          | _ -> ());
+                    e
+              in
+              entry.c_received <- entry.c_received + 1;
+              if d.d_branch >= 0 then
+                entry.c_arrived_mask <- entry.c_arrived_mask lor (1 lsl d.d_branch);
+              if d.d_nil && d.d_branch >= 0 then
+                entry.c_nil_mask <- entry.c_nil_mask lor (1 lsl d.d_branch);
+              if entry.c_received < m.m_expected then const_true
+              else begin
+                Hashtbl.remove at key;
+                if armed then Hashtbl.replace done_tbl key ();
+                complete m d.d_ctx ~nil_mask:entry.c_nil_mask ~skip_mask:entry.c_nil_mask
+              end
             end
           in
           let name = Printf.sprintf "merger#%d" index in
@@ -1065,7 +1232,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                         match next with
                         | Some core -> fun () -> Nfp_sim.Server.offer core job
                         | None ->
-                            deliver_out ~pid pkt;
+                            deliver_out ~version:1 ~pid pkt;
                             const_true)
                     | Nfp_nf.Nf.Dropped ->
                         incr nf_drops;
@@ -1106,6 +1273,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         let prev_stalled = Array.make n 0.0 in
         let last_progress = Array.make n 0.0 in
         let active = ref false in
+        let next_ckpt = ref infinity in
         let mark_progress i (p : probe) now =
           prev_processed.(i) <- p.pr_processed ();
           prev_stalled.(i) <- p.pr_stalled ();
@@ -1116,8 +1284,15 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let restart_core ~on_up () =
             wstate.(i) <- `Restarting;
             p.pr_kill ();
-            Nfp_sim.Engine.schedule engine ~delay:fc.restart_ns (fun () ->
-                ignore (p.pr_revive ());
+            (* Lossless restart: restore the last checkpoint and replay
+               the input log before the core comes back — the replay
+               time extends the outage — then re-admit the reclaimed
+               casualties instead of flushing them. *)
+            let replay_ns = if lossless then p.pr_replay () else 0.0 in
+            Nfp_sim.Engine.schedule engine ~delay:(fc.restart_ns +. replay_ns)
+              (fun () ->
+                if lossless then salvaged := !salvaged + p.pr_casualties ();
+                ignore (p.pr_revive ~flush:(not lossless));
                 incr restarts;
                 wstate.(i) <- `Up;
                 mark_progress i p (Nfp_sim.Engine.now engine);
@@ -1144,15 +1319,30 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         in
         let rec check () =
           let now = Nfp_sim.Engine.now engine in
+          (* Periodic checkpoint tick: snapshot every live core's NF
+             state and truncate its input log. Rides the watchdog's
+             wake/sleep cycle, so an idle system takes no checkpoints. *)
+          if lossless && now >= !next_ckpt then begin
+            Array.iteri
+              (fun i p -> if wstate.(i) = `Up then p.pr_checkpoint ())
+              probe_arr;
+            next_ckpt := now +. fc.checkpoint_interval_ns
+          end;
           let pending = ref false in
           Array.iteri
             (fun i p ->
               let pc = p.pr_processed () and st = p.pr_stalled () in
               if pc > prev_processed.(i) || st > prev_stalled.(i) then
                 mark_progress i p now
+              else if p.pr_queue () = 0 then
+                (* An idle core is healthy. Keeping its baseline fresh
+                   makes the deadline clock start when work is queued,
+                   not when it last processed — otherwise a burst
+                   landing on a long-idle core (e.g. merge timeouts
+                   releasing a wedge) trips an instant false kill. *)
+                last_progress.(i) <- now
               else if
                 wstate.(i) = `Up
-                && p.pr_queue () > 0
                 && now -. last_progress.(i) > fc.watchdog_deadline_ns
               then recover i p;
               (match wstate.(i) with
@@ -1172,8 +1362,10 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           if not !active then begin
             active := true;
             (* Reset the heartbeats on wake-up: idle time must not
-               count against the deadline. *)
+               count against the deadline. The checkpoint clock restarts
+               with the watchdog for the same reason. *)
             let now = Nfp_sim.Engine.now engine in
+            if lossless then next_ckpt := now +. fc.checkpoint_interval_ns;
             Array.iteri (fun i p -> mark_progress i p now) probe_arr;
             Nfp_sim.Engine.schedule engine ~delay:fc.watchdog_interval_ns check
           end
@@ -1208,6 +1400,11 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
       bypassed_packets = !bypassed_packets;
       fault_drops = sum (fun (p : probe) -> p.pr_fault_drops ());
       flushed = sum (fun (p : probe) -> p.pr_flushed ());
+      checkpoints = !checkpoints;
+      forced_checkpoints = !forced_checkpoints;
+      replayed = !replayed;
+      deduped = !deduped;
+      salvaged = !salvaged;
     }
   in
   {
@@ -1229,7 +1426,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   | Some head ->
                       if not (Nfp_sim.Server.offer head (pid, pkt)) then
                         incr ring_drops
-                  | None -> deliver_out ~pid pkt)
+                  | None -> deliver_out ~version:1 ~pid pkt)
                 else
                   let ctx = Context.create ~pid ~mid pkt in
                   if not (Nfp_sim.Server.offer classifier ctx) then incr ring_drops));

@@ -48,12 +48,28 @@ type fault_config = {
           versions that did arrive; 0.0 disables the timeout *)
   restart_ns : float;  (** downtime of a Restart / Degrade recovery *)
   recovery_of : string -> recovery;  (** policy per NF instance name *)
+  checkpoint_interval_ns : float;
+      (** period of the per-core NF state checkpoints that arm lossless
+          Restart recovery: a restarting core restores its last
+          snapshot, replays its input log (extending the outage by the
+          replayed packets' service time, output suppressed) and
+          re-admits the work the crash reclaimed instead of flushing
+          it. 0.0 disables checkpointing — Restart falls back to the
+          lossy flush semantics. Only NFs providing both
+          [Nf.snapshot] and [Nf.restore] participate; cores whose NF
+          lacks them recover lossily either way. *)
+  log_capacity : int;
+      (** bound on each core's input log (packets retained since its
+          last checkpoint). A full log forces an early checkpoint —
+          counted in [health.forced_checkpoints] — never silent
+          truncation. *)
 }
 
 val default_fault_config : fault_config
 (** An empty plan, Restart everywhere, 30/120 us watchdog
-    interval/deadline, 250 us merge timeout, and
-    {!Nfp_sim.Cost.default}'s [restart_ns]. *)
+    interval/deadline, 250 us merge timeout,
+    {!Nfp_sim.Cost.default}'s [restart_ns], 100 us checkpoint
+    interval, and a 4096-packet input log. *)
 
 type core_stats = {
   core : string;  (** classifier, mid<k>:<nf>, merger#<i>, merger-agent *)
@@ -127,10 +143,16 @@ val make_multi :
     applies each NF's {!recovery} policy (infrastructure cores always
     restart), mergers time out accumulations a failed branch would
     otherwise wedge, and a sequential twin chain per graph backs the
-    [Degrade] policy. Current counters are exposed through the
-    system's [health] field. A [fault] config whose plan is
-    {!Nfp_sim.Fault.empty} leaves the packet trace byte-identical to a
-    system built without [fault] (the differential test in
-    test/test_fastpath.ml enforces this).
+    [Degrade] policy. When [checkpoint_interval_ns] is positive, NF
+    cores additionally checkpoint their state periodically and log
+    post-classifier input packets, making Restart lossless: restore +
+    deterministic replay + re-admission of reclaimed work, with
+    duplicate emissions suppressed at the mergers and the output (the
+    recovered run's merged output trace is byte-identical to the
+    fault-free run — test/test_recovery.ml proves it differentially).
+    Current counters are exposed through the system's [health] field.
+    A [fault] config whose plan is {!Nfp_sim.Fault.empty} leaves the
+    packet trace byte-identical to a system built without [fault] (the
+    differential test in test/test_fastpath.ml enforces this).
     @raise Invalid_argument on an empty table, a missing NF, or
     [fault] combined with the [`Interpretive] path. *)

@@ -2,11 +2,13 @@ open Nfp_packet
 
 type stats = { hits : unit -> int; misses : unit -> int; entries : unit -> int }
 
+type Nf.state += State of (int, unit) Hashtbl.t * int Queue.t * int * int
+
 let profile = Action.[ Read Field.Sip; Read Field.Dip; Read Field.Payload ]
 
 let create ?(name = "cache") ?(capacity = 4096) () =
-  let table : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
-  let order = Queue.create () in
+  let table : (int, unit) Hashtbl.t ref = ref (Hashtbl.create 1024) in
+  let order = ref (Queue.create ()) in
   let hits = ref 0 and misses = ref 0 in
   let process pkt =
     let key =
@@ -14,25 +16,44 @@ let create ?(name = "cache") ?(capacity = 4096) () =
         (Int32.to_int (Packet.dip pkt))
         (Nfp_algo.Hashing.fnv1a32 (Packet.payload pkt))
     in
-    if Hashtbl.mem table key then incr hits
+    if Hashtbl.mem !table key then incr hits
     else begin
       incr misses;
-      Hashtbl.add table key ();
-      Queue.add key order;
-      if Hashtbl.length table > capacity then
-        match Queue.take_opt order with
-        | Some old -> Hashtbl.remove table old
+      Hashtbl.add !table key ();
+      Queue.add key !order;
+      if Hashtbl.length !table > capacity then
+        match Queue.take_opt !order with
+        | Some old -> Hashtbl.remove !table old
         | None -> ()
     end;
     Nf.Forward
   in
+  (* The digest covers the cache contents, not just its size: a restore
+     that reconstructed the wrong keys (or the wrong FIFO order, which
+     decides future evictions) must be detectable. *)
+  let state_digest () =
+    let acc =
+      Hashtbl.fold
+        (fun key () acc -> Nfp_algo.Hashing.combine acc key)
+        !table
+        (Nfp_algo.Hashing.combine !hits !misses)
+    in
+    Queue.fold Nfp_algo.Hashing.combine acc !order
+  in
+  let snapshot () = State (Hashtbl.copy !table, Queue.copy !order, !hits, !misses) in
+  let restore = function
+    | State (t, q, h, m) ->
+        table := Hashtbl.copy t;
+        order := Queue.copy q;
+        hits := h;
+        misses := m
+    | _ -> invalid_arg "Caching.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"Caching" ~profile
       ~cost_cycles:(fun _ -> 260)
-      ~state_digest:(fun () ->
-        Nfp_algo.Hashing.combine !hits (Nfp_algo.Hashing.combine !misses (Hashtbl.length table)))
-      process,
+      ~state_digest ~snapshot ~restore process,
     {
       hits = (fun () -> !hits);
       misses = (fun () -> !misses);
-      entries = (fun () -> Hashtbl.length table);
+      entries = (fun () -> Hashtbl.length !table);
     } )

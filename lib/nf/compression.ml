@@ -6,6 +6,8 @@ type stats = {
   bytes_saved : unit -> int;
 }
 
+type Nf.state += State of int * int * int
+
 let profile = Action.[ Read Field.Payload; Write Field.Payload; Write Field.Len ]
 
 let create ?(name = "comp") () =
@@ -22,10 +24,18 @@ let create ?(name = "comp") () =
     Nf.Forward
   in
   let cost_cycles pkt = 1200 + (8 * String.length (Packet.payload pkt)) in
+  let snapshot () = State (!compressed, !skipped, !saved) in
+  let restore = function
+    | State (c, sk, sv) ->
+        compressed := c;
+        skipped := sk;
+        saved := sv
+    | _ -> invalid_arg "Compression.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"Compression" ~profile ~cost_cycles
       ~state_digest:(fun () ->
         Nfp_algo.Hashing.combine !compressed (Nfp_algo.Hashing.combine !skipped !saved))
-      process,
+      ~snapshot ~restore process,
     {
       compressed = (fun () -> !compressed);
       skipped = (fun () -> !skipped);

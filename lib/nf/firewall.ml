@@ -51,6 +51,8 @@ let default_acl n =
 
 type stats = { passed : unit -> int; dropped : unit -> int }
 
+type Nf.state += State of int * int
+
 let profile =
   Action.
     [ Read Field.Sip; Read Field.Dip; Read Field.Sport; Read Field.Dport; Drop ]
@@ -68,7 +70,14 @@ let create ?(name = "fw") ?(extra_cycles = 0) ?acl () =
     verdict
   in
   let cost_cycles _ = 190 + extra_cycles in
+  let snapshot () = State (!passed, !dropped) in
+  let restore = function
+    | State (p, d) ->
+        passed := p;
+        dropped := d
+    | _ -> invalid_arg "Firewall.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"Firewall" ~profile ~cost_cycles
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine !passed !dropped)
-      process,
+      ~snapshot ~restore process,
     { passed = (fun () -> !passed); dropped = (fun () -> !dropped) } )

@@ -2,15 +2,17 @@ open Nfp_packet
 
 type stats = { sessions : unit -> int; packets : unit -> int }
 
+type Nf.state += State of (int32 * int32, int) Hashtbl.t * int
+
 let profile = Action.[ Read Field.Sip; Read Field.Dip ]
 
 let create ?(name = "gw") () =
-  let sessions : (int32 * int32, int) Hashtbl.t = Hashtbl.create 256 in
+  let sessions : (int32 * int32, int) Hashtbl.t ref = ref (Hashtbl.create 256) in
   let packets = ref 0 in
   let process pkt =
     let key = (Packet.sip pkt, Packet.dip pkt) in
-    let n = match Hashtbl.find_opt sessions key with Some n -> n | None -> 0 in
-    Hashtbl.replace sessions key (n + 1);
+    let n = match Hashtbl.find_opt !sessions key with Some n -> n | None -> 0 in
+    Hashtbl.replace !sessions key (n + 1);
     incr packets;
     Nf.Forward
   in
@@ -20,7 +22,15 @@ let create ?(name = "gw") () =
         Nfp_algo.Hashing.combine acc
           (Nfp_algo.Hashing.combine (Int32.to_int sip)
              (Nfp_algo.Hashing.combine (Int32.to_int dip) n)))
-      sessions 17
+      !sessions 17
   in
-  ( Nf.make ~name ~kind:"Gateway" ~profile ~cost_cycles:(fun _ -> 150) ~state_digest process,
-    { sessions = (fun () -> Hashtbl.length sessions); packets = (fun () -> !packets) } )
+  let snapshot () = State (Hashtbl.copy !sessions, !packets) in
+  let restore = function
+    | State (s, n) ->
+        sessions := Hashtbl.copy s;
+        packets := n
+    | _ -> invalid_arg "Gateway.restore: foreign state"
+  in
+  ( Nf.make ~name ~kind:"Gateway" ~profile ~cost_cycles:(fun _ -> 150) ~state_digest
+      ~snapshot ~restore process,
+    { sessions = (fun () -> Hashtbl.length !sessions); packets = (fun () -> !packets) } )

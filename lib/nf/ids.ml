@@ -4,6 +4,8 @@ type mode = [ `Detect | `Prevent ]
 
 type stats = { alerts : unit -> int; scanned : unit -> int }
 
+type Nf.state += State of int * int
+
 let default_signatures n =
   List.init n (fun i ->
       (* Snort-style payload tokens; deterministic, length 6-14. *)
@@ -34,8 +36,16 @@ let create ?(name = "ids") ?(mode = `Detect) ?signatures () =
   in
   let profile = match mode with `Detect -> base_profile | `Prevent -> Action.Drop :: base_profile in
   let cost_cycles pkt = 2400 + (5 * String.length (Packet.payload pkt)) in
+  (* The automaton is immutable after build; only the counters move. *)
+  let snapshot () = State (!alerts, !scanned) in
+  let restore = function
+    | State (a, s) ->
+        alerts := a;
+        scanned := s
+    | _ -> invalid_arg "Ids.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:(match mode with `Detect -> "IDS" | `Prevent -> "IPS") ~profile
       ~cost_cycles
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine !alerts !scanned)
-      process,
+      ~snapshot ~restore process,
     { alerts = (fun () -> !alerts); scanned = (fun () -> !scanned) } )

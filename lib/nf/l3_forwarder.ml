@@ -6,6 +6,8 @@ type stats = {
   last_next_hop : unit -> int option;
 }
 
+type Nf.state += State of int * int * int option
+
 let build_table n =
   let table : int Nfp_algo.Lpm.t = Nfp_algo.Lpm.create () in
   for i = 0 to n - 1 do
@@ -31,13 +33,21 @@ let create ?(name = "fwd") ?(routes = 1000) () =
     incr forwarded;
     Nf.Forward
   in
+  let snapshot () = State (!forwarded, !no_route, !last) in
+  let restore = function
+    | State (f, n, l) ->
+        forwarded := f;
+        no_route := n;
+        last := l
+    | _ -> invalid_arg "L3_forwarder.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"Forwarder"
       ~profile:[ Action.Read Field.Dip ]
       ~cost_cycles:(fun _ -> 110)
       ~state_digest:(fun () ->
         Nfp_algo.Hashing.combine !forwarded
           (Nfp_algo.Hashing.combine !no_route (match !last with Some h -> h + 1 | None -> 0)))
-      process,
+      ~snapshot ~restore process,
     {
       forwarded = (fun () -> !forwarded);
       no_route = (fun () -> !no_route);

@@ -2,6 +2,8 @@ open Nfp_packet
 
 type stats = { per_backend : unit -> int array }
 
+type Nf.state += State of int array
+
 let default_backends =
   Array.init 8 (fun i -> Int32.of_int ((172 lsl 24) lor (16 lsl 16) lor (i + 1)))
 
@@ -29,8 +31,13 @@ let create ?(name = "lb") ?(vip = default_vip) ?(backends = default_backends) ()
     Packet.set_sip pkt vip;
     Nf.Forward
   in
+  let snapshot () = State (Array.copy counts) in
+  let restore = function
+    | State saved -> Array.blit saved 0 counts 0 (Array.length counts)
+    | _ -> invalid_arg "Load_balancer.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"LoadBalancer" ~profile
       ~cost_cycles:(fun _ -> 200)
       ~state_digest:(fun () -> Array.fold_left Nfp_algo.Hashing.combine 17 counts)
-      process,
+      ~snapshot ~restore process,
     { per_backend = (fun () -> Array.copy counts) } )

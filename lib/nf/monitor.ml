@@ -8,17 +8,21 @@ type stats = {
   total_packets : unit -> int;
 }
 
+type Nf.state += State of (Flow.t, counter) Hashtbl.t * int
+
 let profile =
   Action.
     [ Read Field.Sip; Read Field.Dip; Read Field.Sport; Read Field.Dport; Read Field.Len ]
 
 let create ?(name = "mon") () =
-  let table : (Flow.t, counter) Hashtbl.t = Hashtbl.create 1024 in
+  let table : (Flow.t, counter) Hashtbl.t ref = ref (Hashtbl.create 1024) in
   let total = ref 0 in
   let process pkt =
     let flow = Packet.flow pkt in
-    let prev = match Hashtbl.find_opt table flow with Some c -> c | None -> { packets = 0; bytes = 0 } in
-    Hashtbl.replace table flow
+    let prev =
+      match Hashtbl.find_opt !table flow with Some c -> c | None -> { packets = 0; bytes = 0 }
+    in
+    Hashtbl.replace !table flow
       { packets = prev.packets + 1; bytes = prev.bytes + Packet.wire_length pkt };
     incr total;
     Nf.Forward
@@ -29,11 +33,19 @@ let create ?(name = "mon") () =
         Nfp_algo.Hashing.combine acc
           (Nfp_algo.Hashing.combine (Flow.hash flow)
              (Nfp_algo.Hashing.combine c.packets c.bytes)))
-      table 17
+      !table 17
   in
-  ( Nf.make ~name ~kind:"Monitor" ~profile ~cost_cycles:(fun _ -> 220) ~state_digest process,
+  let snapshot () = State (Hashtbl.copy !table, !total) in
+  let restore = function
+    | State (t, n) ->
+        table := Hashtbl.copy t;
+        total := n
+    | _ -> invalid_arg "Monitor.restore: foreign state"
+  in
+  ( Nf.make ~name ~kind:"Monitor" ~profile ~cost_cycles:(fun _ -> 220) ~state_digest
+      ~snapshot ~restore process,
     {
-      flows = (fun () -> Hashtbl.length table);
-      lookup = (fun f -> Hashtbl.find_opt table f);
+      flows = (fun () -> Hashtbl.length !table);
+      lookup = (fun f -> Hashtbl.find_opt !table f);
       total_packets = (fun () -> !total);
     } )

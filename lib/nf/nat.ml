@@ -2,6 +2,8 @@ open Nfp_packet
 
 type stats = { active_bindings : unit -> int; exhausted : unit -> int }
 
+type Nf.state += State of (Flow.t, int) Hashtbl.t * int * int
+
 let profile =
   Action.
     [
@@ -20,20 +22,24 @@ let default_public = Int32.of_int ((203 lsl 24) lor (113 lsl 8) lor 7)
 
 let create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000)
     ?(port_count = 10000) () =
-  let bindings : (Flow.t, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* State sits behind a ref so restore can swap in a [Hashtbl.copy] of
+     the checkpoint: the copy preserves bucket structure, which keeps
+     the order-dependent fold in [state_digest] byte-stable across a
+     snapshot/restore/replay cycle. *)
+  let bindings : (Flow.t, int) Hashtbl.t ref = ref (Hashtbl.create 1024) in
   let next_port = ref 0 in
   let exhausted = ref 0 in
   let process pkt =
     let flow = Packet.flow pkt in
     let port =
-      match Hashtbl.find_opt bindings flow with
+      match Hashtbl.find_opt !bindings flow with
       | Some p -> Some p
       | None ->
           if !next_port >= port_count then None
           else begin
             let p = port_base + !next_port in
             incr next_port;
-            Hashtbl.add bindings flow p;
+            Hashtbl.add !bindings flow p;
             Some p
           end
     in
@@ -50,9 +56,20 @@ let create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000)
     Hashtbl.fold
       (fun flow port acc ->
         Nfp_algo.Hashing.combine acc (Nfp_algo.Hashing.combine (Flow.hash flow) port))
-      bindings
+      !bindings
       (Nfp_algo.Hashing.combine !next_port !exhausted)
   in
-  ( Nf.make ~name ~kind:"NAT" ~profile ~cost_cycles:(fun _ -> 240) ~state_digest process,
-    { active_bindings = (fun () -> Hashtbl.length bindings); exhausted = (fun () -> !exhausted) }
-  )
+  let snapshot () = State (Hashtbl.copy !bindings, !next_port, !exhausted) in
+  let restore = function
+    | State (b, np, ex) ->
+        bindings := Hashtbl.copy b;
+        next_port := np;
+        exhausted := ex
+    | _ -> invalid_arg "Nat.restore: foreign state"
+  in
+  ( Nf.make ~name ~kind:"NAT" ~profile ~cost_cycles:(fun _ -> 240) ~state_digest
+      ~snapshot ~restore process,
+    {
+      active_bindings = (fun () -> Hashtbl.length !bindings);
+      exhausted = (fun () -> !exhausted);
+    } )

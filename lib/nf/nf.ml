@@ -2,6 +2,10 @@ open Nfp_packet
 
 type verdict = Forward | Dropped
 
+(* Extensible so every NF module can declare its own checkpoint payload
+   without this module knowing about NAT bindings or cache tables. *)
+type state = ..
+
 type t = {
   name : string;
   kind : string;
@@ -9,10 +13,22 @@ type t = {
   cost_cycles : Packet.t -> int;
   process : Packet.t -> verdict;
   state_digest : unit -> int;
+  snapshot : (unit -> state) option;
+  restore : (state -> unit) option;
 }
 
-let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) process =
-  { name; kind; profile = Action.normalize profile; cost_cycles; process; state_digest }
+let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) ?snapshot
+    ?restore process =
+  {
+    name;
+    kind;
+    profile = Action.normalize profile;
+    cost_cycles;
+    process;
+    state_digest;
+    snapshot;
+    restore;
+  }
 
 let rename t name = { t with name }
 

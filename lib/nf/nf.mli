@@ -12,6 +12,11 @@ type verdict =
   | Forward  (** packet (possibly modified in place) continues *)
   | Dropped  (** NF decided to drop; the runtime emits a nil packet *)
 
+type state = ..
+(** Opaque checkpoint payload. Each NF module extends this with its own
+    constructor; the recovery subsystem only moves values of this type
+    between {!t.snapshot} and {!t.restore}. *)
+
 type t = {
   name : string;  (** instance name, unique within a deployment *)
   kind : string;  (** NF type, e.g. "Firewall" — keys into the registry *)
@@ -21,7 +26,15 @@ type t = {
   process : Packet.t -> verdict;  (** the packet-processing semantics *)
   state_digest : unit -> int;
       (** hash of internal state; the action inspector uses it to detect
-          reads that have no packet-visible effect (e.g. counters) *)
+          reads that have no packet-visible effect (e.g. counters), and
+          the recovery equivalence suite uses it to prove a replayed NF
+          re-converged with the fault-free run *)
+  snapshot : (unit -> state) option;
+      (** capture the NF's internal state as an immutable checkpoint;
+          the returned value must not alias live mutable structures *)
+  restore : (state -> unit) option;
+      (** install a previously captured checkpoint; must copy out of the
+          state value so one checkpoint can be restored repeatedly *)
 }
 
 val make :
@@ -30,9 +43,13 @@ val make :
   profile:Action.t list ->
   cost_cycles:(Packet.t -> int) ->
   ?state_digest:(unit -> int) ->
+  ?snapshot:(unit -> state) ->
+  ?restore:(state -> unit) ->
   (Packet.t -> verdict) ->
   t
-(** Profile is normalized. [state_digest] defaults to a constant. *)
+(** Profile is normalized. [state_digest] defaults to a constant.
+    [snapshot]/[restore] default to [None]: the recovery subsystem only
+    arms checkpoint/replay for NFs that provide both. *)
 
 val rename : t -> string -> t
 (** Same NF type/state sharing the underlying closures under a new

@@ -2,6 +2,8 @@ open Nfp_packet
 
 type stats = { redirected : unit -> int }
 
+type Nf.state += State of int
+
 let profile =
   Action.
     [
@@ -19,8 +21,13 @@ let create ?(name = "proxy") ?(origin = default_origin) ?(via = "Via:nfp-proxy "
     incr redirected;
     Nf.Forward
   in
+  let snapshot () = State !redirected in
+  let restore = function
+    | State r -> redirected := r
+    | _ -> invalid_arg "Proxy.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"Proxy" ~profile
       ~cost_cycles:(fun _ -> 380)
       ~state_digest:(fun () -> !redirected)
-      process,
+      ~snapshot ~restore process,
     { redirected = (fun () -> !redirected) } )

@@ -2,6 +2,8 @@ open Nfp_packet
 
 type stats = { conformed : unit -> int; policed : unit -> int }
 
+type Nf.state += State of (float * int64) * int64 * int * int
+
 let create ?(name = "shaper") ?(rate_bps = 1e9) ?(burst_bytes = 65536) () =
   let bucket = Nfp_algo.Token_bucket.create ~rate_bps ~burst_bytes in
   let now = ref 0L in
@@ -16,10 +18,31 @@ let create ?(name = "shaper") ?(rate_bps = 1e9) ?(burst_bytes = 65536) () =
       Nf.Dropped
     end
   in
+  (* The bucket level and refill timestamp are real NF state: two runs
+     that diverge there will police different packets later, so the
+     digest must see them (the float is hashed by its bit pattern). *)
+  let state_digest () =
+    let tokens, last_ns = Nfp_algo.Token_bucket.snapshot bucket in
+    Nfp_algo.Hashing.combine
+      (Int64.to_int (Int64.bits_of_float tokens))
+      (Nfp_algo.Hashing.combine (Int64.to_int last_ns)
+         (Nfp_algo.Hashing.combine (Int64.to_int !now)
+            (Nfp_algo.Hashing.combine !conformed !policed)))
+  in
+  let snapshot () =
+    State (Nfp_algo.Token_bucket.snapshot bucket, !now, !conformed, !policed)
+  in
+  let restore = function
+    | State (b, n, c, p) ->
+        Nfp_algo.Token_bucket.restore bucket b;
+        now := n;
+        conformed := c;
+        policed := p
+    | _ -> invalid_arg "Traffic_shaper.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"TrafficShaper"
       ~profile:[ Action.Read Field.Len; Action.Drop ]
       ~cost_cycles:(fun _ -> 130)
-      ~state_digest:(fun () -> Nfp_algo.Hashing.combine !conformed !policed)
-      process,
+      ~state_digest ~snapshot ~restore process,
     { conformed = (fun () -> !conformed); policed = (fun () -> !policed) },
     fun t -> now := t )

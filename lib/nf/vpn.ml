@@ -2,6 +2,8 @@ open Nfp_packet
 
 type stats = { encrypted : unit -> int; sequence : unit -> int32 }
 
+type Nf.state += State of int32 * int
+
 let default_key = "nfp-vpn-aes-key!"
 
 let profile =
@@ -40,9 +42,19 @@ let create ?(name = "vpn") ?(key = default_key) ?(spi = 0x1001l) () =
     Nf.Forward
   in
   let cost_cycles pkt = 2000 + (10 * String.length (Packet.payload pkt)) in
+  (* The sequence counter is the security-critical state: replaying the
+     input log after a restore re-issues the exact nonce sequence, so
+     re-encrypted payloads are byte-identical to the fault-free run. *)
+  let snapshot () = State (!seq, !encrypted) in
+  let restore = function
+    | State (s, e) ->
+        seq := s;
+        encrypted := e
+    | _ -> invalid_arg "Vpn.restore: foreign state"
+  in
   ( Nf.make ~name ~kind:"VPN" ~profile ~cost_cycles
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine (Int32.to_int !seq) !encrypted)
-      process,
+      ~snapshot ~restore process,
     { encrypted = (fun () -> !encrypted); sequence = (fun () -> !seq) } )
 
 let decrypt ~key pkt =

@@ -19,6 +19,9 @@ type t = {
   wire_ns : float;
   batch : int;
   restart_ns : float;  (* bringing a crashed NF container back (§7 fault model) *)
+  log_append : int;  (* appending one packet reference to the input log *)
+  checkpoint_cycles : int;  (* snapshotting an NF's state tables *)
+  replay_cycles : int;  (* per-packet dispatch overhead of log replay *)
 }
 
 let default =
@@ -45,6 +48,14 @@ let default =
     (* Container respawn plus ring re-attachment: ~400us, the order of a
        process fork+exec; VM restore would be milliseconds. *)
     restart_ns = 400_000.0;
+    (* Lossless-recovery terms, charged only on deployments that arm
+       checkpointing: one ring-slot write per logged packet, a
+       copy-on-write table snapshot per checkpoint (~4us at 3 GHz), and
+       a dequeue+dispatch per replayed packet on top of the NF's own
+       processing cost. *)
+    log_append = 40;
+    checkpoint_cycles = 12_000;
+    replay_cycles = 60;
   }
 
 (* VM rings (virtio/vhost) pay vmexit-amortized synchronization that

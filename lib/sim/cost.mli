@@ -31,6 +31,15 @@ type t = {
   restart_ns : float;
       (** bringing a crashed NF container back: respawn + ring
           re-attachment (§7 fault model) *)
+  log_append : int;
+      (** appending one packet reference to a core's input log, charged
+          per packet while lossless recovery is armed *)
+  checkpoint_cycles : int;
+      (** snapshotting an NF's state tables at a checkpoint, charged to
+          the NF core ahead of its next batch *)
+  replay_cycles : int;
+      (** per-packet dequeue+dispatch overhead of replaying the input
+          log during recovery, on top of the NF's own processing cost *)
 }
 
 val default : t

@@ -24,6 +24,11 @@ type health = {
   bypassed_packets : int;  (* packets that skipped a bypassed NF *)
   fault_drops : int;  (* jobs vanished by injected Drop faults *)
   flushed : int;  (* in-flight jobs lost to crashes and restart flushes *)
+  checkpoints : int;  (* NF state snapshots taken (periodic + forced) *)
+  forced_checkpoints : int;  (* checkpoints forced by input-log overflow *)
+  replayed : int;  (* packets re-processed from an input log, output-suppressed *)
+  deduped : int;  (* duplicate emissions suppressed after a replay *)
+  salvaged : int;  (* in-flight jobs re-admitted instead of flushed *)
 }
 
 let no_health =
@@ -39,6 +44,11 @@ let no_health =
     bypassed_packets = 0;
     fault_drops = 0;
     flushed = 0;
+    checkpoints = 0;
+    forced_checkpoints = 0;
+    replayed = 0;
+    deduped = 0;
+    salvaged = 0;
   }
 
 (* Combine the health of composed systems (e.g. chained cluster
@@ -56,6 +66,11 @@ let add_health a b =
     bypassed_packets = a.bypassed_packets + b.bypassed_packets;
     fault_drops = a.fault_drops + b.fault_drops;
     flushed = a.flushed + b.flushed;
+    checkpoints = a.checkpoints + b.checkpoints;
+    forced_checkpoints = a.forced_checkpoints + b.forced_checkpoints;
+    replayed = a.replayed + b.replayed;
+    deduped = a.deduped + b.deduped;
+    salvaged = a.salvaged + b.salvaged;
   }
 
 type system = {

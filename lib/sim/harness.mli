@@ -32,6 +32,20 @@ type health = {
   bypassed_packets : int;  (** packets that skipped a bypassed NF *)
   fault_drops : int;  (** jobs vanished by injected Drop faults *)
   flushed : int;  (** in-flight jobs lost to crashes and restart flushes *)
+  checkpoints : int;  (** NF state snapshots taken (periodic + forced) *)
+  forced_checkpoints : int;
+      (** checkpoints forced early by input-log overflow — a full log is
+          never silently truncated *)
+  replayed : int;
+      (** packets re-processed from an input log after a restore, with
+          their output suppressed (the original emissions stand) *)
+  deduped : int;
+      (** duplicate emissions suppressed by the (pid, version) dedup
+          filters, e.g. a replayed branch reaching a merge that a
+          timeout already force-completed *)
+  salvaged : int;
+      (** in-flight jobs of a crashed core re-admitted by a lossless
+          restart instead of being flushed *)
 }
 (** Fault/recovery counters of a whole system plus per-core liveness. *)
 

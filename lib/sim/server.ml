@@ -19,13 +19,34 @@ type 'job t = {
   mutable drop_p : float;
   mutable fault_prng : Nfp_algo.Prng.t option;
   (* [epoch] invalidates in-flight batches: a crash or hang bumps it,
-     and a batch-completion event whose captured epoch no longer
-     matches abandons its jobs (counted in [flushed]) instead of
-     executing them on a core that has since died. *)
+     and a batch-completion or flush-retry event whose captured epoch no
+     longer matches becomes a no-op — [interrupt] has already reclaimed
+     the casualties synchronously (see below). *)
   mutable epoch : int;
   mutable crashes : int;
   mutable fault_drops : int;
   mutable flushed : int;
+  (* Casualty bookkeeping. [inflight] mirrors the batch the core is
+     currently serving; [pending_emits] mirrors the emission thunks a
+     flush loop still owes downstream. [interrupt] moves the former into
+     [limbo] (jobs dequeued but never executed) and the latter into
+     [orphans] (jobs executed whose emissions are pending). The ring,
+     [limbo] and [orphans] model state that survives the crash of the
+     core's NF process — they live in the runtime's shared memory — so
+     a recovery policy chooses what to do with them: [revive ~flush:true]
+     discards the lot into [flushed] (lossy Restart), [revive
+     ~flush:false] re-admits everything in order (lossless recovery),
+     and a [casualty_sink] reroutes them as they fall (Bypass). *)
+  mutable inflight : 'job list;
+  mutable pending_emits : (unit -> bool) list;
+  mutable limbo : 'job list;
+  mutable orphans : (unit -> bool) list;
+  mutable casualty_sink : ('job list -> (unit -> bool) list -> unit) option;
+  mutable pump_armed : bool;
+  (* Management work (e.g. a state checkpoint) charged to this core: the
+     accumulated time is added to the next batch's completion, then
+     reset. 0.0 is a bitwise identity on the service-time sums. *)
+  mutable extra_ns : float;
 }
 
 let jittered t base =
@@ -52,12 +73,37 @@ let run_job t job =
       always
   | _ -> t.execute job
 
-(* Emit the batch's thunks in order; stall and retry on backpressure. *)
-let rec flush t = function
+let stash t jobs emits =
+  if jobs <> [] || emits <> [] then
+    match t.casualty_sink with
+    | Some sink -> sink jobs emits
+    | None ->
+        t.limbo <- t.limbo @ jobs;
+        t.orphans <- t.orphans @ emits
+
+(* Take a job for the next batch: reclaimed limbo first (those were
+   dequeued before anything now in the ring), then the ring. *)
+let next_job t =
+  match t.limbo with
+  | j :: rest ->
+      t.limbo <- rest;
+      Some j
   | [] ->
+      if Nfp_algo.Ring.is_empty t.ring then None
+      else Some (Nfp_algo.Ring.dequeue_exn t.ring)
+
+let has_work t = t.limbo <> [] || not (Nfp_algo.Ring.is_empty t.ring)
+
+(* Emit the batch's thunks in order; stall and retry on backpressure.
+   [pending_emits] shadows the worklist so an interrupt can reclaim it. *)
+let rec flush t thunks =
+  match thunks with
+  | [] ->
+      t.pending_emits <- [];
       t.busy <- false;
       run_batch t
   | thunk :: rest ->
+      t.pending_emits <- thunks;
       if thunk () then begin
         t.processed <- t.processed + 1;
         flush t rest
@@ -66,60 +112,98 @@ let rec flush t = function
         t.stalled_ns <- t.stalled_ns +. t.retry_ns;
         let epoch = t.epoch in
         Engine.schedule t.engine ~delay:t.retry_ns (fun () ->
-            if t.epoch <> epoch then t.flushed <- t.flushed + List.length (thunk :: rest)
-            else flush t (thunk :: rest))
+            if t.epoch = epoch then flush t thunks)
       end
+
+(* Work reclaimed as orphans is emitted before any new batch runs, so
+   downstream still sees this core's packets in processing order. *)
+and pump_orphans t =
+  if not t.down then begin
+    match t.orphans with
+    | [] -> run_batch t
+    | thunk :: rest ->
+        if thunk () then begin
+          t.processed <- t.processed + 1;
+          t.orphans <- rest;
+          pump_orphans t
+        end
+        else begin
+          t.stalled_ns <- t.stalled_ns +. t.retry_ns;
+          if not t.pump_armed then begin
+            t.pump_armed <- true;
+            Engine.schedule t.engine ~delay:t.retry_ns (fun () ->
+                t.pump_armed <- false;
+                pump_orphans t)
+          end
+        end
+  end
 
 (* Pull up to [batch] jobs, work through them back to back, execute and
    flush at batch completion — the rx_burst/tx_burst pattern of a DPDK
    poll loop. *)
 and run_batch t =
-  if (not t.busy) && (not t.down) && not (Nfp_algo.Ring.is_empty t.ring) then begin
+  if (not t.busy) && (not t.down) && t.orphans = [] && has_work t then begin
     t.busy <- true;
     let epoch = t.epoch in
-    let j0 = Nfp_algo.Ring.dequeue_exn t.ring in
-    if t.batch = 1 || Nfp_algo.Ring.is_empty t.ring then begin
+    let extra = t.extra_ns in
+    t.extra_ns <- 0.0;
+    let j0 = match next_job t with Some j -> j | None -> assert false in
+    if t.batch = 1 || not (has_work t) then begin
       (* Single-job burst — the common case under non-saturating load;
          skips the list churn of the general path. *)
-      let finish = jittered t (t.service_ns j0) in
+      t.inflight <- [ j0 ];
+      let finish = extra +. jittered t (t.service_ns j0) in
       t.busy_ns <- t.busy_ns +. finish;
       Engine.schedule t.engine ~delay:finish (fun () ->
-          if t.epoch <> epoch then t.flushed <- t.flushed + 1
-          else flush t [ run_job t j0 ])
+          if t.epoch = epoch then begin
+            t.inflight <- [];
+            flush t [ run_job t j0 ]
+          end)
     end
     else begin
       let rec take acc n =
-        if n = 0 || Nfp_algo.Ring.is_empty t.ring then List.rev acc
-        else take (Nfp_algo.Ring.dequeue_exn t.ring :: acc) (n - 1)
+        if n = 0 then List.rev acc
+        else
+          match next_job t with
+          | None -> List.rev acc
+          | Some j -> take (j :: acc) (n - 1)
       in
       let jobs = j0 :: take [] (t.batch - 1) in
+      t.inflight <- jobs;
       let finish =
         List.fold_left
           (fun offset job -> offset +. jittered t (t.service_ns job))
-          0.0 jobs
+          extra jobs
       in
       t.busy_ns <- t.busy_ns +. finish;
       Engine.schedule t.engine ~delay:finish (fun () ->
-          if t.epoch <> epoch then t.flushed <- t.flushed + List.length jobs
-          else
+          if t.epoch = epoch then begin
+            t.inflight <- [];
             let thunks = List.map (run_job t) jobs in
-            flush t thunks)
+            flush t thunks
+          end)
     end
   end
 
-(* The core stops: no new batches, and the in-flight batch (if any) is
-   lost when its completion event fires against a stale epoch. *)
+(* The core stops. The in-flight batch and any pending emissions are
+   reclaimed synchronously — their completion events, fired against a
+   stale epoch, become no-ops — so no work is silently dropped between
+   the crash and whatever recovery policy runs later. *)
 let interrupt t =
   if not t.down then begin
     t.down <- true;
-    t.epoch <- t.epoch + 1
+    t.epoch <- t.epoch + 1;
+    let jobs = t.inflight and emits = t.pending_emits in
+    t.inflight <- [];
+    t.pending_emits <- [];
+    stash t jobs emits
   end
 
 let resume t =
   if t.down then begin
     t.down <- false;
     t.busy <- false;
-    run_batch t
+    pump_orphans t
   end
 
 let create ~engine ~name ~ring_capacity ~batch ?jitter ?(retry_ns = 150.0) ?fault
@@ -146,6 +230,13 @@ let create ~engine ~name ~ring_capacity ~batch ?jitter ?(retry_ns = 150.0) ?faul
       crashes = 0;
       fault_drops = 0;
       flushed = 0;
+      inflight = [];
+      pending_emits = [];
+      limbo = [];
+      orphans = [];
+      casualty_sink = None;
+      pump_armed = false;
+      extra_ns = 0.0;
     }
   in
   (match fault with
@@ -194,15 +285,35 @@ let drain t =
   in
   go []
 
-(* Bring a down core back. [flush] discards the ring contents that
-   accumulated while it was dead (counted in [flushed], returned), the
-   Restart recovery semantics; [flush:false] resumes with the backlog
-   intact (a hang that was externally cleared). *)
+(* Route casualties to [sink] instead of stashing them — and hand over
+   whatever already stashed, so a sink installed after the kill still
+   sees the in-flight batch the kill reclaimed. *)
+let set_casualty_sink t sink =
+  t.casualty_sink <- Some sink;
+  let jobs = t.limbo and emits = t.orphans in
+  t.limbo <- [];
+  t.orphans <- [];
+  if jobs <> [] || emits <> [] then sink jobs emits
+
+let casualty_counts t = (List.length t.limbo, List.length t.orphans)
+
+let charge t ns = t.extra_ns <- t.extra_ns +. ns
+
+(* Bring a down core back. [flush] discards everything the crash left
+   behind — the backlog that accumulated in the ring plus the reclaimed
+   in-flight jobs and pending emissions (counted in [flushed],
+   returned): lossy Restart semantics. [flush:false] re-admits all of
+   it in order — orphaned emissions drain first, then the reclaimed
+   batch, then the ring backlog — the lossless recovery path. *)
 let revive ?(flush = true) t =
   let lost =
     if flush then begin
-      let n = Nfp_algo.Ring.length t.ring in
+      let n =
+        Nfp_algo.Ring.length t.ring + List.length t.limbo + List.length t.orphans
+      in
       ignore (drain t);
+      t.limbo <- [];
+      t.orphans <- [];
       t.flushed <- t.flushed + n;
       n
     end
@@ -221,7 +332,8 @@ let busy_ns t = t.busy_ns
 
 let stalled_ns t = t.stalled_ns
 
-let queue_length t = Nfp_algo.Ring.length t.ring
+let queue_length t =
+  Nfp_algo.Ring.length t.ring + List.length t.limbo + List.length t.orphans
 
 let is_down t = t.down
 

@@ -31,10 +31,10 @@ val create :
     stall-poll interval (default 150 ns).
 
     [fault] installs this core's share of a {!Fault.plan}: crashes and
-    hangs stop the poll loop (in-flight work is lost, see {!flushed}),
-    slowdowns scale service times, drops vanish individual jobs. With
-    no [fault] the server is bit-for-bit identical to one built before
-    the fault subsystem existed. *)
+    hangs stop the poll loop (in-flight work is reclaimed as
+    casualties, see {!revive}), slowdowns scale service times, drops
+    vanish individual jobs. With no [fault] the server is bit-for-bit
+    identical to one built before the fault subsystem existed. *)
 
 val offer : 'job t -> 'job -> bool
 (** [false] when the input ring is full (caller decides: entry points
@@ -53,28 +53,45 @@ val busy_ns : 'job t -> float
 val stalled_ns : 'job t -> float
 (** Time spent blocked on downstream backpressure. *)
 
-val queue_length : 'job t -> int
-
 (** {2 Fault control surface}
 
     Used by the fault events installed at {!create} and by the
     [Nfp_infra.System] watchdog's recovery policies. *)
 
 val kill : 'job t -> unit
-(** Administrative stop: the core accepts no new batches and its
-    in-flight batch is abandoned (counted in {!flushed}); the input
-    ring keeps accepting jobs — a dead consumer does not unmap the
-    shared-memory ring. Not counted as a crash. *)
+(** Administrative stop: the core accepts no new batches; its in-flight
+    batch and pending emissions are reclaimed as casualties held for
+    the recovery policy (see {!revive}); the input ring keeps accepting
+    jobs — a dead consumer does not unmap the shared-memory ring. Not
+    counted as a crash. *)
 
 val drain : 'job t -> 'job list
-(** Remove and return everything queued, without processing it. *)
+(** Remove and return everything queued in the ring, without processing
+    it (reclaimed casualties are not included; see
+    {!set_casualty_sink}). *)
+
+val set_casualty_sink : 'job t -> ('job list -> (unit -> bool) list -> unit) -> unit
+(** Route this core's casualties — unexecuted jobs and pending emission
+    thunks — to [sink] instead of holding them for {!revive}. Casualties
+    already held are handed to [sink] immediately, so a sink installed
+    after a kill still receives the batch the kill reclaimed. Used by
+    the Bypass recovery to reroute work around a removed core. *)
+
+val casualty_counts : 'job t -> int * int
+(** [(unexecuted jobs, pending emissions)] currently held. *)
+
+val charge : 'job t -> float -> unit
+(** Add [ns] of management work (e.g. a state checkpoint) to this core:
+    it delays the completion of the core's next batch. *)
 
 val revive : ?flush:bool -> 'job t -> int
 (** Bring a down core back and restart its poll loop. [flush] (the
-    default) discards the backlog that accumulated while it was dead —
-    Restart-recovery semantics — returning the number of jobs lost
-    (also added to {!flushed}); [flush:false] resumes with the backlog
-    intact. *)
+    default) discards the backlog that accumulated while it was dead
+    plus any reclaimed casualties — lossy Restart semantics — returning
+    the number of jobs lost (also added to {!flushed}). [flush:false]
+    re-admits everything in processing order — pending emissions drain
+    first, then the reclaimed batch, then the ring backlog — the
+    lossless recovery path. *)
 
 val is_down : 'job t -> bool
 
@@ -87,6 +104,11 @@ val fault_drops : 'job t -> int
 (** Jobs vanished by an injected [Drop] fault. *)
 
 val flushed : 'job t -> int
-(** Jobs lost to crashes, hangs and restart flushes: abandoned
-    in-flight batches, pending emissions of a dead core, and backlogs
-    discarded by [revive ~flush:true]. *)
+(** Jobs lost to lossy recoveries: in-flight batches, pending emissions
+    and backlogs discarded by [revive ~flush:true]. Until a revive (or
+    casualty sink) decides their fate, a dead core's casualties are
+    held, not counted lost. *)
+
+val queue_length : 'job t -> int
+(** Ring occupancy plus reclaimed casualties still awaiting a recovery
+    decision — everything the core would eventually have to process. *)

@@ -814,13 +814,13 @@ let par_bindings = [ ("mon", "Monitor"); ("fw", "Firewall") ]
 
 (* Run [text] under [fault] at a steady 0.5 Mpps, recording delivered
    pids so tests can see whether forwarding resumed after a failure. *)
-let fault_run ?(text = ns_text) ?(bindings = ns_bindings) ~fault ?(rate = 0.5)
-    ?(packets = 2000) () =
+let fault_run ?(text = ns_text) ?(bindings = ns_bindings) ?config ~fault
+    ?(rate = 0.5) ?(packets = 2000) () =
   let o = compile_ok text in
   let plan = plan_of_output o in
   let out_pids = ref [] in
   let make engine ~output =
-    Nfp_infra.System.make ~fault ~plan ~nfs:(instances bindings) engine
+    Nfp_infra.System.make ?config ~fault ~plan ~nfs:(instances bindings) engine
       ~output:(fun ~pid pkt ->
         out_pids := pid :: !out_pids;
         output ~pid pkt)
@@ -845,14 +845,45 @@ let fault_tests =
             plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:vpn" ];
           }
         in
-        let r, pids = fault_run ~fault () in
+        (* A ring deep enough to absorb the outage backlog: lossless
+           recovery protects admitted packets; a full entry ring still
+           refuses new ones, as any finite NIC queue would. *)
+        let config =
+          { Nfp_infra.System.default_config with ring_capacity = 1024 }
+        in
+        let r, pids = fault_run ~config ~fault () in
         let h = r.health in
         check Alcotest.int "one injected crash took effect" 1 h.crashes;
         check Alcotest.int "watchdog detected it" 1 h.detections;
         check Alcotest.int "and restarted the core" 1 h.restarts;
-        check Alcotest.bool "outage lost packets" true (h.flushed > 0);
+        (* The default config checkpoints every 100 us, so Restart is
+           lossless: the core restores its last snapshot, replays its
+           input log and re-admits the reclaimed work — nothing is
+           flushed and every offered packet completes. *)
+        check Alcotest.int "lossless restart flushed nothing" 0 h.flushed;
+        check Alcotest.bool "checkpoints were taken" true (h.checkpoints > 0);
+        check Alcotest.bool "the restore replayed logged packets" true (h.replayed > 0);
         (* The crash hits at packet ~250 of 2000; deliveries of the last
            quarter prove the chain forwards again after the restart. *)
+        check Alcotest.bool "late packets delivered after restart" true
+          (List.exists (fun pid -> pid > 1500L) pids);
+        check Alcotest.int "no packet lost in flight" 0 r.in_flight;
+        check Alcotest.int "every offered packet completed" r.offered r.completed;
+        accounting_closes r);
+    Alcotest.test_case "checkpointing disabled falls back to lossy Restart" `Quick
+      (fun () ->
+        let fault =
+          {
+            Nfp_infra.System.default_fault_config with
+            plan = Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:vpn" ];
+            checkpoint_interval_ns = 0.0;
+          }
+        in
+        let r, pids = fault_run ~fault () in
+        let h = r.health in
+        check Alcotest.int "no checkpoints" 0 h.checkpoints;
+        check Alcotest.int "no replay" 0 h.replayed;
+        check Alcotest.bool "outage lost packets" true (h.flushed > 0);
         check Alcotest.bool "late packets delivered after restart" true
           (List.exists (fun pid -> pid > 1500L) pids);
         check Alcotest.bool "most traffic survived the outage" true

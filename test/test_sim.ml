@@ -191,9 +191,41 @@ let fault_tests =
         List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2; 3; 4 ];
         Engine.run e;
         check Alcotest.int "first batch delivered" 1 !delivered;
-        check Alcotest.int "rest flushed" 3 (Server.flushed s);
+        (* The crash reclaims the batch as casualties: held for the
+           recovery policy to decide, not yet counted lost. *)
+        check Alcotest.int "nothing flushed yet" 0 (Server.flushed s);
+        check
+          Alcotest.(pair int int)
+          "casualties held" (3, 0) (Server.casualty_counts s);
         check Alcotest.int "one crash" 1 (Server.crashes s);
-        check Alcotest.bool "core is down" true (Server.is_down s));
+        check Alcotest.bool "core is down" true (Server.is_down s);
+        (* A lossy revive discards them into [flushed]. *)
+        check Alcotest.int "flush discards them" 3 (Server.revive s);
+        check Alcotest.int "rest flushed" 3 (Server.flushed s));
+    Alcotest.test_case "lossless revive re-admits reclaimed work in order" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let order = ref [] in
+        let fault = core_of (Fault.plan [ Fault.crash ~at_ns:150.0 "s" ]) "s" in
+        let s =
+          Server.create ~engine:e ~name:"s" ~ring_capacity:8 ~batch:4 ~fault
+            ~service_ns:(fun _ -> 100.0)
+            ~execute:(fun j ->
+              fun () ->
+                order := j :: !order;
+                true)
+            ()
+        in
+        List.iter (fun j -> ignore (Server.offer s j)) [ 1; 2; 3; 4 ];
+        (* Backlog lands in the ring while the core is down. *)
+        Engine.schedule e ~delay:200.0 (fun () -> ignore (Server.offer s 5));
+        Engine.schedule e ~delay:400.0 (fun () ->
+            check Alcotest.int "re-admits everything" 0 (Server.revive ~flush:false s));
+        Engine.run e;
+        check Alcotest.(list int) "processing order preserved" [ 1; 2; 3; 4; 5 ]
+          (List.rev !order);
+        check Alcotest.int "nothing flushed" 0 (Server.flushed s);
+        check Alcotest.int "all processed" 5 (Server.processed s));
     Alcotest.test_case "drop fault loses jobs at the configured rate" `Quick (fun () ->
         let run () =
           let e = Engine.create () in
