@@ -68,7 +68,29 @@ let gen_datacenter () =
   in
   memoized (Nfp_traffic.Pktgen.packet g)
 
-type measurement = { mpps : float; latency_us : float; p99_us : float }
+(* Where a sample came from: the scenario/chain label and the execution
+   configuration (path, classifier, batch size) it ran under. Emitted
+   with every JSON measurement so BENCH_*.json rows are self-describing
+   — a sweep over batch sizes or classifier modes is otherwise just an
+   anonymous list of rates. *)
+type provenance = { label : string; path : string; classify : string; batch : int }
+
+let default_prov =
+  {
+    label = "";
+    path = "compiled";
+    classify = "cached";
+    batch = Nfp_sim.Cost.default.batch;
+  }
+
+let prov label = { default_prov with label }
+
+type measurement = {
+  mpps : float;
+  latency_us : float;
+  p99_us : float;
+  prov : provenance;
+}
 
 (* With --json every measurement of the selected experiment is collected
    and dumped to BENCH_<experiment>.json. The mutex makes recording safe
@@ -85,7 +107,7 @@ let record_sample m =
     Mutex.unlock json_mutex
   end
 
-let measure ?(hi = 14.88) ~gen make =
+let measure ?(hi = 14.88) ?(prov = default_prov) ~gen make =
   let mpps =
     Nfp_sim.Harness.max_lossless_mpps ~make ~gen ~packets:search_packets ~hi
       ~iterations:8 ()
@@ -104,6 +126,7 @@ let measure ?(hi = 14.88) ~gen make =
       mpps;
       latency_us = Nfp_algo.Stats.mean r.latency /. 1000.0;
       p99_us = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0;
+      prov;
     }
   in
   record_sample m;
@@ -174,8 +197,23 @@ let run_fig7 () =
   for n = 1 to 5 do
     let kinds = forwarder_kinds n in
     let order = List.map fst kinds in
-    let onvm = measure ~gen (onvm_make ~kinds order) in
-    let nfp = measure ~gen (nfp_make ~kinds (Graph.seq (List.map Graph.nf order))) in
+    let onvm =
+      measure
+        ~prov:
+          {
+            default_prov with
+            label = Printf.sprintf "fig7a:onvm:%dnf" n;
+            path = "onvm";
+            classify = "none";
+          }
+        ~gen (onvm_make ~kinds order)
+    in
+    let nfp =
+      measure
+        ~prov:(prov (Printf.sprintf "fig7a:nfp:%dnf" n))
+        ~gen
+        (nfp_make ~kinds (Graph.seq (List.map Graph.nf order)))
+    in
     note "    %-6d %-22.1f %-22.1f" n onvm.latency_us nfp.latency_us
   done;
   note "";
@@ -193,7 +231,19 @@ let run_fig7 () =
          (fun size () ->
            let gen = gen_of_size size in
            let hi = Nfp_sim.Nic.max_mpps ~frame_bytes:size in
-           let rate n make = (measure ~hi ~gen (make n)).mpps in
+           let rate sys n make =
+             let p =
+               if sys = "nfp" then prov (Printf.sprintf "fig7b:%s:%dnf:%dB" sys n size)
+               else
+                 {
+                   default_prov with
+                   label = Printf.sprintf "fig7b:%s:%dnf:%dB" sys n size;
+                   path = "onvm";
+                   classify = "none";
+                 }
+             in
+             (measure ~hi ~prov:p ~gen (make n)).mpps
+           in
            let nfp n =
              let kinds = forwarder_kinds n in
              nfp_make ~kinds (Graph.seq (List.map Graph.nf (List.map fst kinds)))
@@ -202,10 +252,10 @@ let run_fig7 () =
              let kinds = forwarder_kinds n in
              onvm_make ~kinds (List.map fst kinds)
            in
-           let nfp5 = rate 5 nfp in
-           let onvm1 = rate 1 onvm in
-           let onvm3 = rate 3 onvm in
-           let onvm5 = rate 5 onvm in
+           let nfp5 = rate "nfp" 5 nfp in
+           let onvm1 = rate "onvm" 1 onvm in
+           let onvm3 = rate "onvm" 3 onvm in
+           let onvm5 = rate "onvm" 5 onvm in
            (size, hi, nfp5, onvm1, onvm3, onvm5))
          [ 64; 256; 1024; 1500 ])
   in
@@ -1008,6 +1058,13 @@ let run_classify () =
             mpps = rate;
             latency_us = us;
             p99_us = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0;
+            prov =
+              {
+                default_prov with
+                label = Printf.sprintf "classify:%d-tenants" tenants;
+                classify =
+                  (match classify with `Scan -> "scan" | `Cached -> "cached");
+              };
           };
         (us, counters)
       in
@@ -1020,6 +1077,45 @@ let run_classify () =
       note "  %-8d %-6d %-7d %-11.2f %-11.2f %7.1f%%  %d" tenants tenants
         shapes scan_us cached_us hit_rate c.evictions)
     [ 1; 8; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
+(* batch: breath size sweep on the fig7 forwarder chain                *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch () =
+  section "Batch  Breath size sweep (5-forwarder chain, 64B, NIC cap lifted)";
+  note "(the fig7 rig saturates the 14.88 Mpps line rate at every batch size, so";
+  note " this sweep lifts the NIC cap to expose the engine's own ceiling: Mpps is";
+  note " the max lossless rate, wall is host seconds for the whole measurement.";
+  note " Batch 1 is the per-packet legacy path; the breath engine's dispatch";
+  note " amortization shows up as the throughput step and the wall-clock drop)";
+  let kinds = forwarder_kinds 5 in
+  let names = List.map fst kinds in
+  let profile_of n = Nfp_nf.Registry.profile_of (List.assoc n kinds) in
+  let plan =
+    match Tables.plan ~profile_of (Graph.seq (List.map Graph.nf names)) with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let gen = gen_of_size 64 in
+  note "";
+  note "  %-7s %-9s %-10s %-10s %s" "batch" "Mpps" "mean(us)" "p99(us)" "wall(s)";
+  List.iter
+    (fun batch ->
+      let make engine ~output =
+        Nfp_infra.System.make ~batch_size:batch ~plan ~nfs:(lookup_of kinds ())
+          engine ~output
+      in
+      let t0 = Unix.gettimeofday () in
+      let m =
+        measure ~hi:200.0
+          ~prov:{ (prov (Printf.sprintf "batch:%d" batch)) with batch }
+          ~gen make
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      note "  %-7d %-9.2f %-10.2f %-10.2f %.2f" batch m.mpps m.latency_us m.p99_us
+        wall)
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
 
 (* ------------------------------------------------------------------ *)
 (* faults: availability under crash storms, per recovery policy        *)
@@ -1100,7 +1196,13 @@ let run_faults () =
   in
   List.iter
     (fun (plabel, mlabel, avail, mean_us, p99_us, crashes, detects, mto, lost) ->
-      record_sample { mpps = avail; latency_us = mean_us; p99_us };
+      record_sample
+        {
+          mpps = avail;
+          latency_us = mean_us;
+          p99_us;
+          prov = prov (Printf.sprintf "faults:%s:mtbf-%s" plabel mlabel);
+        };
       note "  %-9s %-8s | %6.2f%% %-9.1f %-9.1f | %-8d %-8d %-8d %d" plabel mlabel
         (100.0 *. avail) mean_us p99_us crashes detects mto lost)
     rows
@@ -1178,7 +1280,13 @@ let run_recovery () =
   in
   List.iter
     (fun (ilabel, mlabel, avail, mean_us, p99_us, ckpts, replayed, salvaged, lost) ->
-      record_sample { mpps = avail; latency_us = mean_us; p99_us };
+      record_sample
+        {
+          mpps = avail;
+          latency_us = mean_us;
+          p99_us;
+          prov = prov (Printf.sprintf "recovery:ckpt-%s:mtbf-%s" ilabel mlabel);
+        };
       note "  %-8s %-8s | %6.2f%% %-9.1f %-9.1f | %-6d %-7d %-8d %d" ilabel mlabel
         (100.0 *. avail) mean_us p99_us ckpts replayed salvaged lost)
     rows
@@ -1206,6 +1314,7 @@ let experiments =
     ("scale", run_scale);
     ("vm", run_vm);
     ("classify", run_classify);
+    ("batch", run_batch);
     ("faults", run_faults);
     ("recovery", run_recovery);
     ("ablation", run_ablation);
@@ -1220,9 +1329,12 @@ let write_json name ~wall_clock_s samples =
   Printf.fprintf oc "  \"measurements\": [";
   List.iteri
     (fun i m ->
-      Printf.fprintf oc "%s\n    { \"mpps\": %.6f, \"latency_us\": %.6f, \"p99_us\": %.6f }"
+      Printf.fprintf oc
+        "%s\n    { \"label\": %S, \"path\": %S, \"classify\": %S, \"batch\": %d,\n\
+        \      \"mpps\": %.6f, \"latency_us\": %.6f, \"p99_us\": %.6f }"
         (if i = 0 then "" else ",")
-        m.mpps m.latency_us m.p99_us)
+        m.prov.label m.prov.path m.prov.classify m.prov.batch m.mpps m.latency_us
+        m.p99_us)
     samples;
   Printf.fprintf oc "%s]\n}\n" (if samples = [] then "" else "\n  ");
   close_out oc;

@@ -64,7 +64,13 @@ let () =
   Format.printf "replay: %d/%d packets identical to sequential execution@."
     outcome.agreements outcome.total;
 
-  (* 4. Measure: NFP graph vs the same NFs chained sequentially. *)
+  (* 4. Measure: NFP graph vs the same NFs chained sequentially. The
+        NFP deployment below runs the default execution configuration —
+        compiled fast path, cached microflow classifier, and the batch
+        "breath" engine at the cost model's burst size ([batch_size] on
+        {!Nfp_infra.System.config} overrides it; 1 is per-packet). *)
+  Format.printf "execution config : path=compiled  classify=cached  batch=%d@."
+    Nfp_infra.System.default_config.batch_size;
   let pkt i = Nfp_traffic.Pktgen.packet gen i in
   let measure label make =
     let mx =

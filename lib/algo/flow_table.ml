@@ -34,37 +34,43 @@ let create ?(capacity = 1 lsl 16) () =
     evictions = 0;
   }
 
-let slot_of t ~sip ~dip ~sport ~dport ~proto =
-  Int64.to_int (Hashing.tuple5_64 sip dip sport dport proto) land t.mask
+(* [Hashing.mix2_int] over the packed limbs is bit-identical to
+   [Int64.to_int (Hashing.tuple5_64 ...)], so packed and 5-tuple entry
+   points agree on slots. *)
+let slot_of_packed t ~a ~b = Hashing.mix2_int a b land t.mask
 
 (* Entries are never deleted individually, so an empty slot inside the
-   probe window proves absence. *)
-let find t ~sip ~dip ~sport ~dport ~proto =
-  let base = slot_of t ~sip ~dip ~sport ~dport ~proto in
-  let a = Hashing.pack_a sip sport proto and b = Hashing.pack_b dip dport in
+   probe window proves absence. [find_packed] is the allocation-free
+   form (no option, no int32 re-packing) the classifier's per-packet
+   hit path uses; [-1] means absent. *)
+let find_packed t ~a ~b =
+  let base = slot_of_packed t ~a ~b in
   let rec go i =
     if i >= probe_window then begin
       t.misses <- t.misses + 1;
-      None
+      -1
     end
     else
       let s = (base + i) land t.mask in
       if t.ka.(s) = a && t.kb.(s) = b then begin
         t.hits <- t.hits + 1;
-        Some t.value.(s)
+        t.value.(s)
       end
       else if t.ka.(s) = empty then begin
         t.misses <- t.misses + 1;
-        None
+        -1
       end
       else go (i + 1)
   in
   go 0
 
-let put t ~sip ~dip ~sport ~dport ~proto v =
-  if v < 0 then invalid_arg "Flow_table.put: negative value";
-  let base = slot_of t ~sip ~dip ~sport ~dport ~proto in
+let find t ~sip ~dip ~sport ~dport ~proto =
   let a = Hashing.pack_a sip sport proto and b = Hashing.pack_b dip dport in
+  match find_packed t ~a ~b with -1 -> None | v -> Some v
+
+let put_packed t ~a ~b v =
+  if v < 0 then invalid_arg "Flow_table.put: negative value";
+  let base = slot_of_packed t ~a ~b in
   let rec go i =
     if i >= probe_window then begin
       (* Window full: rotate the victim slot so one hot bucket does not
@@ -87,6 +93,9 @@ let put t ~sip ~dip ~sport ~dport ~proto v =
       else go (i + 1)
   in
   go 0
+
+let put t ~sip ~dip ~sport ~dport ~proto v =
+  put_packed t ~a:(Hashing.pack_a sip sport proto) ~b:(Hashing.pack_b dip dport) v
 
 let clear t =
   Array.fill t.ka 0 (Array.length t.ka) empty;

@@ -32,3 +32,19 @@ val capacity : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+(** {2 Packed entry points}
+
+    The classifier's per-packet path pre-packs the 5-tuple into the two
+    key limbs ({!Hashing.pack_a} / {!Hashing.pack_b}) straight from
+    packet bytes; these variants take the limbs and allocate nothing —
+    no option on lookup, no int32 boxing. Slots are identical to the
+    5-tuple entry points', which are now wrappers over these. *)
+
+val find_packed : t -> a:int -> b:int -> int
+(** Exact-match lookup on packed limbs; [-1] when absent. Bumps the
+    hit or miss counter exactly as {!find} does. *)
+
+val put_packed : t -> a:int -> b:int -> int -> unit
+(** Insert or overwrite on packed limbs; same eviction behaviour as
+    {!put}. @raise Invalid_argument on a negative value. *)

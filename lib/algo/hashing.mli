@@ -22,6 +22,11 @@ val pack_a : int32 -> int -> int -> int
 val pack_b : int32 -> int -> int
 (** [pack_b dip dport]: second limb. *)
 
+val pack_a_int : int -> int -> int -> int
+val pack_b_int : int -> int -> int
+(** The same limbs from addresses already held as unsigned 32-bit
+    native ints — identical bits to {!pack_a}/{!pack_b}, no int32. *)
+
 val tuple5_64 : int32 -> int32 -> int -> int -> int -> int64
 (** [tuple5_64 sip dip sport dport proto] is the dataplane's one
     5-tuple mixing function: the 104-bit tuple packed into two native
@@ -35,3 +40,13 @@ val tuple5 : int32 -> int32 -> int -> int -> int -> int
 (** [tuple5 sip dip sport dport proto] hashes a 5-tuple to a
     non-negative int, ECMP-style: {!tuple5_64} truncated to the native
     int width. *)
+
+val mix2_int : int -> int -> int
+(** [mix2_int a b] is the low 63 bits of
+    [mix64 (Int64.logxor (mix64 (Int64.of_int a)) (Int64.of_int b))] —
+    i.e. [Int64.to_int (tuple5_64 ...)] given the already-packed key
+    limbs [a] = {!pack_a} and [b] = {!pack_b} — computed entirely in
+    native ints. Bit-identical to the Int64 form (test_algo proves it
+    exhaustively against {!tuple5_64}); exists because the Int64 form
+    boxes every intermediate on a non-flambda compiler and the
+    microflow cache hashes on the classifier's per-packet hit path. *)

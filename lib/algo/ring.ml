@@ -52,6 +52,47 @@ let dequeue_exn t =
 
 let dequeue t = if t.size = 0 then None else Some (dequeue_exn t)
 
+(* Burst dequeue for the breath loop: drain up to [max] elements into
+   [dst.(0) .. dst.(n-1)] without options or per-element dispatch.
+   Wrap-around is handled the same way single dequeues handle it (the
+   head index wraps modulo capacity); dequeued slots keep their stale
+   reference, as above. *)
+let dequeue_into t dst pos max =
+  if pos < 0 || pos > Array.length dst then
+    invalid_arg "Ring.dequeue_into: destination position out of range";
+  let n = min (min t.size max) (Array.length dst - pos) in
+  let data = t.data in
+  let head = ref t.head in
+  for i = 0 to n - 1 do
+    dst.(pos + i) <- data.(!head);
+    let h = !head + 1 in
+    head := if h = t.capacity then 0 else h
+  done;
+  t.head <- !head;
+  t.size <- t.size - n;
+  n
+
+(* Burst enqueue: append elements of [src.(pos) .. src.(pos+len-1)]
+   until the ring fills; returns how many were accepted. Partial
+   acceptance counts one rejection per refused element, matching a
+   loop of single enqueues exactly. *)
+let enqueue_burst t src pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length src then
+    invalid_arg "Ring.enqueue_burst: range overruns source";
+  let accepted = min len (t.capacity - t.size) in
+  if accepted > 0 then begin
+    if Array.length t.data = 0 then t.data <- Array.make t.capacity src.(pos);
+    for i = 0 to accepted - 1 do
+      let tail = t.head + t.size + i in
+      let tail = if tail >= t.capacity then tail - t.capacity else tail in
+      t.data.(tail) <- src.(pos + i)
+    done;
+    t.size <- t.size + accepted;
+    t.enqueued <- t.enqueued + accepted
+  end;
+  t.rejected <- t.rejected + (len - accepted);
+  accepted
+
 let peek t = if t.size = 0 then None else Some t.data.(t.head)
 
 let clear t =

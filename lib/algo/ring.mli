@@ -24,6 +24,21 @@ val enqueue : 'a t -> 'a -> bool
 
 val dequeue : 'a t -> 'a option
 
+val dequeue_into : 'a t -> 'a array -> int -> int -> int
+(** [dequeue_into t dst pos max] drains up to [max] elements (bounded
+    by the ring's occupancy and the room left in [dst] from [pos]) into
+    [dst.(pos) ..], in FIFO order, and returns how many it moved — the
+    breath loop's rx burst. Equivalent to that many {!dequeue_exn}
+    calls; allocates nothing. @raise Invalid_argument when [pos] is
+    outside [dst]. *)
+
+val enqueue_burst : 'a t -> 'a array -> int -> int -> int
+(** [enqueue_burst t src pos len] appends [src.(pos) .. src.(pos+len-1)]
+    until the ring fills, returning how many were accepted; refused
+    elements count into {!rejected_total} exactly as per-element
+    {!enqueue} calls would. @raise Invalid_argument when the range
+    overruns [src]. *)
+
 val dequeue_exn : 'a t -> 'a
 (** Like {!dequeue} without the option box — for poll loops that
     already checked {!is_empty}. @raise Invalid_argument when empty. *)

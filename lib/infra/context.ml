@@ -1,12 +1,19 @@
 open Nfp_packet
 
-type t = { pid : int64; mid : int; slots : Packet.t option array }
+(* [slots] starts with room for version 1 only and grows to the full 17
+   slots the first time a copy materializes a higher version: most
+   packets of most service graphs (every pure chain) never hold more
+   than one version, and a context is allocated per packet on the
+   dataplane's hot path — a 2-slot array is 15 words cheaper than the
+   full table. Growth is a one-time cost charged only to packets whose
+   graph actually copies. *)
+type t = { pid : int64; mid : int; mutable slots : Packet.t option array }
 
 let max_versions = 16
 
 let create ~pid ~mid pkt =
-  let slots = Array.make (max_versions + 1) None in
-  Packet.set_meta pkt (Meta.make ~mid ~pid ~version:1);
+  let slots = Array.make 2 None in
+  Packet.stamp pkt ~mid ~pid ~version:1;
   slots.(1) <- Some pkt;
   { pid; mid; slots }
 
@@ -14,10 +21,15 @@ let pid t = t.pid
 
 let mid t = t.mid
 
-let get t v = if v < 1 || v > max_versions then None else t.slots.(v)
+let get t v = if v < 1 || v >= Array.length t.slots then None else t.slots.(v)
 
 let set t v pkt =
   if v < 1 || v > max_versions then invalid_arg "Context.set: version out of range";
+  if v >= Array.length t.slots then begin
+    let grown = Array.make (max_versions + 1) None in
+    Array.blit t.slots 0 grown 0 (Array.length t.slots);
+    t.slots <- grown
+  end;
   t.slots.(v) <- Some pkt
 
 let copy t ~src ~dst ~full =
@@ -27,7 +39,7 @@ let copy t ~src ~dst ~full =
       let copy =
         if full then begin
           let c = Packet.full_copy pkt in
-          Packet.set_meta c (Meta.with_version (Packet.meta pkt) dst);
+          Packet.set_version c dst;
           c
         end
         else Packet.header_only_copy pkt ~version:dst
@@ -37,7 +49,7 @@ let copy t ~src ~dst ~full =
 
 let versions t =
   let acc = ref [] in
-  for v = max_versions downto 1 do
+  for v = Array.length t.slots - 1 downto 1 do
     match t.slots.(v) with Some p -> acc := (v, p) :: !acc | None -> ()
   done;
   !acc

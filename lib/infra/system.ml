@@ -11,10 +11,18 @@ type config = {
   mergers : int;
   jitter : float;
   seed : int64;
+  batch_size : int;  (* poll-loop breath size on every core; 1 = per-packet legacy *)
 }
 
 let default_config =
-  { cost = Nfp_sim.Cost.default; ring_capacity = 128; mergers = 1; jitter = 0.05; seed = 7L }
+  {
+    cost = Nfp_sim.Cost.default;
+    ring_capacity = 128;
+    mergers = 1;
+    jitter = 0.05;
+    seed = 7L;
+    batch_size = Nfp_sim.Cost.default.batch;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Fault tolerance: injection plan, watchdog, recovery policies        *)
@@ -219,13 +227,19 @@ let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
 let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
 
 let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_config)
-    ?fault ?stats ~graphs engine ~output =
+    ?batch_size ?fault ?stats ~graphs engine ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
   (match (fault, path) with
   | Some _, `Interpretive ->
       invalid_arg "System.make_multi: fault injection requires the `Compiled path"
   | _ -> ());
   let cost = config.cost in
+  (* Breath size for every core's poll loop; 1 restores per-packet
+     (legacy) execution exactly. Both execution paths get the same
+     value and the same per-breath amortization, so the
+     interpretive/compiled differential is undisturbed at any size. *)
+  let batch = max 1 (match batch_size with Some b -> b | None -> config.batch_size) in
+  let burst_saving_ns = Nfp_sim.Cost.ns_of_cycles cost cost.burst_saving in
   (* Faults are resolved per core by name; [None] everywhere when no
      fault config is given, and [Server.create ?fault:None] is exactly
      the pre-fault server. *)
@@ -466,7 +480,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
             let core =
               Nfp_sim.Server.create ~engine
                 ~name:(Printf.sprintf "mid%d:%s" mid entry.nf)
-                ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
                 ~jitter:(jitter_for ()) ~service_ns ~execute ()
             in
             Hashtbl.replace nf_cores (mid, entry.nf) core)
@@ -569,7 +583,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           in
           Nfp_sim.Server.create ~engine
             ~name:(Printf.sprintf "merger#%d" index)
-            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+            ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns ~jitter:(jitter_for ())
             ~service_ns ~execute ()
         in
         merger_cores := Array.init (max 1 config.mergers) make_merger;
@@ -587,7 +601,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           agent_core :=
             Some
               (Nfp_sim.Server.create ~engine ~name:"merger-agent"
-                 ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                 ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
                  ~jitter:(jitter_for ()) ~service_ns ~execute ())
         end;
         let classifier =
@@ -600,7 +614,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               (plan_of_mid (Context.mid ctx)).classifier_actions
           in
           Nfp_sim.Server.create ~engine ~name:"classifier"
-            ~ring_capacity:config.ring_capacity ~batch:cost.batch ~jitter:(jitter_for ())
+            ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns ~jitter:(jitter_for ())
             ~service_ns ~execute ()
         in
         let sampler () =
@@ -946,7 +960,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               let name = Printf.sprintf "mid%d:%s" mid entry.nf in
               let server =
                 Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
-                  ~batch:cost.batch ~jitter:(jitter_for ()) ?fault:(fault_for name)
+                  ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?fault:(fault_for name)
                   ~service_ns ~execute ()
               in
               (match recovery with
@@ -1100,7 +1114,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let name = Printf.sprintf "merger#%d" index in
           let server =
             Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
-              ~batch:cost.batch ~jitter:(jitter_for ()) ?fault:(fault_for name)
+              ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?fault:(fault_for name)
               ~service_ns ~execute ()
           in
           register_probe server;
@@ -1119,7 +1133,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           in
           let agent =
             Nfp_sim.Server.create ~engine ~name:"merger-agent"
-              ~ring_capacity:config.ring_capacity ~batch:cost.batch
+              ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
               ~jitter:(jitter_for ()) ?fault:(fault_for "merger-agent") ~service_ns
               ~execute ()
           in
@@ -1140,7 +1154,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let execute ctx = exec_prog classifier_progs.(Context.mid ctx - 1) ctx in
           let clf =
             Nfp_sim.Server.create ~engine ~name:"classifier"
-              ~ring_capacity:config.ring_capacity ~batch:cost.batch
+              ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
               ~jitter:(jitter_for ()) ?fault:(fault_for "classifier") ~service_ns
               ~execute ()
           in
@@ -1165,20 +1179,25 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
      model) as added delay ahead of the classifier core. *)
   let ct = Array.map (fun (m, _, _) -> m) table in
   let clf = Nfp_packet.Classifier.create ct in
-  let classify_flow flow =
+  (* [classify_pkt] resolves the MID (0 = no rule matches) and leaves
+     the structural cycle charge in [classify_cycles] (an int ref, so
+     storing it never allocates). The [`Cached] arm reads the 5-tuple
+     straight from packet bytes and is allocation-free on a microflow
+     hit; [`Scan] is the reference path and keeps its boxed forms. *)
+  let classify_cycles = ref 0 in
+  let classify_pkt pkt =
     match classify with
     | `Cached ->
-        let result, outcome = Nfp_packet.Classifier.classify clf flow in
-        let cycles =
-          match outcome with
-          | Nfp_packet.Classifier.Hit -> cost.classify_hit
-          | Nfp_packet.Classifier.Miss probed ->
-              cost.classify_hit + (cost.classify_group * probed)
-        in
-        (result, cycles)
-    | `Scan ->
-        let result, examined = Nfp_packet.Classifier.scan ct flow in
-        (result, cost.classify_rule * examined)
+        let mid = Nfp_packet.Classifier.classify_packet clf pkt in
+        let probed = Nfp_packet.Classifier.last_probes clf in
+        classify_cycles :=
+          (if probed < 0 then cost.classify_hit
+           else cost.classify_hit + (cost.classify_group * probed));
+        mid
+    | `Scan -> (
+        let result, examined = Nfp_packet.Classifier.scan ct (Packet.flow pkt) in
+        classify_cycles := cost.classify_rule * examined;
+        match result with Some m -> m | None -> 0)
   in
   (match stats with None -> () | Some cell -> cell := sampler);
   (* ---------------------------------------------------------------- *)
@@ -1241,7 +1260,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   let cname = Printf.sprintf "seq:mid%d:%s" mid name in
                   let core =
                     Nfp_sim.Server.create ~engine ~name:cname
-                      ~ring_capacity:config.ring_capacity ~batch:cost.batch
+                      ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
                       ~jitter:(config.jitter, Nfp_algo.Prng.split twin_prng)
                       ?fault:(fault_for cname) ~service_ns ~execute ()
                   in
@@ -1341,6 +1360,14 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                    landing on a long-idle core (e.g. merge timeouts
                    releasing a wedge) trips an instant false kill. *)
                 last_progress.(i) <- now
+              else if p.pr_busy () && not (p.pr_down ()) then
+                (* A core mid-breath is healthy: its completion event is
+                   already on the calendar. With large batches a single
+                   breath can legally outlast the deadline while the
+                   processed counter stands still — only a *down* core
+                   (crashed or hung, which [interrupt] marks) may have a
+                   frozen heartbeat counted against it. *)
+                last_progress.(i) <- now
               else if
                 wstate.(i) = `Up
                 && now -. last_progress.(i) > fc.watchdog_deadline_ns
@@ -1411,25 +1438,23 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     Nfp_sim.Harness.inject =
       (fun ~pid pkt ->
         wd_kick ();
-        let mid, cycles = classify_flow (Packet.flow pkt) in
+        let mid = classify_pkt pkt in
         Nfp_sim.Engine.schedule engine
-          ~delay:(wire_delay +. Nfp_sim.Cost.ns_of_cycles cost cycles)
+          ~delay:(wire_delay +. Nfp_sim.Cost.ns_of_cycles cost !classify_cycles)
           (fun () ->
-            match mid with
-            | None -> incr unmatched
-            | Some mid ->
-                if degraded.(mid - 1) then (
-                  (* Sequential fallback: tag the packet as the
-                     classifier would and run the twin chain. *)
-                  Packet.set_meta pkt (Meta.make ~mid ~pid ~version:1);
-                  match twin_heads.(mid - 1) with
-                  | Some head ->
-                      if not (Nfp_sim.Server.offer head (pid, pkt)) then
-                        incr ring_drops
-                  | None -> deliver_out ~version:1 ~pid pkt)
-                else
-                  let ctx = Context.create ~pid ~mid pkt in
-                  if not (Nfp_sim.Server.offer classifier ctx) then incr ring_drops));
+            if mid = 0 then incr unmatched
+            else if degraded.(mid - 1) then (
+              (* Sequential fallback: tag the packet as the
+                 classifier would and run the twin chain. *)
+              Packet.stamp pkt ~mid ~pid ~version:1;
+              match twin_heads.(mid - 1) with
+              | Some head ->
+                  if not (Nfp_sim.Server.offer head (pid, pkt)) then
+                    incr ring_drops
+              | None -> deliver_out ~version:1 ~pid pkt)
+            else
+              let ctx = Context.create ~pid ~mid pkt in
+              if not (Nfp_sim.Server.offer classifier ctx) then incr ring_drops));
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> !unmatched);
@@ -1443,7 +1468,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     health;
   }
 
-let make ?path ?classify ?config ?fault ?stats ~plan ~nfs engine ~output =
-  make_multi ?path ?classify ?config ?fault ?stats
+let make ?path ?classify ?config ?batch_size ?fault ?stats ~plan ~nfs engine ~output =
+  make_multi ?path ?classify ?config ?batch_size ?fault ?stats
     ~graphs:[ (Flow_match.any, plan, nfs) ]
     engine ~output

@@ -15,6 +15,12 @@ type config = {
   mergers : int;  (** merger instances; > 1 adds the agent core *)
   jitter : float;  (** ± fractional service jitter per core *)
   seed : int64;
+  batch_size : int;
+      (** breath size of every core's poll loop (jobs inhaled per
+          burst); default {!Nfp_sim.Cost.default}'s [batch]. 1 restores
+          per-packet (legacy) execution bit-for-bit. Output is
+          batch-size invariant — only timing moves (test_batch proves
+          it differentially). *)
 }
 
 val default_config : config
@@ -84,6 +90,7 @@ val make :
   ?path:[ `Compiled | `Interpretive ] ->
   ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
+  ?batch_size:int ->
   ?fault:fault_config ->
   ?stats:(unit -> core_stats list) ref ->
   plan:Nfp_core.Tables.plan ->
@@ -99,6 +106,7 @@ val make_multi :
   ?path:[ `Compiled | `Interpretive ] ->
   ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
+  ?batch_size:int ->
   ?fault:fault_config ->
   ?stats:(unit -> core_stats list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
@@ -127,6 +135,9 @@ val make_multi :
     {!Nfp_sim.Cost.classified}) are added as delay ahead of the
     classifier core, so measured latency reflects the lookup structure
     when those terms are enabled.
+
+    [batch_size] overrides [config.batch_size] for this deployment —
+    the knob the batch bench sweeps without rebuilding configs.
 
     [path] selects the execution strategy. [`Compiled] (the default)
     translates every plan once, at deployment time, into a preresolved

@@ -33,6 +33,10 @@ type t = {
   groups : group array;  (* ascending by g_min_index *)
   cache : Nfp_algo.Flow_table.t;
   rules : int;
+  (* Probe count of the most recent [classify_packet]: -1 for a cache
+     hit, otherwise the number of tuple-space groups probed. Out-of-band
+     so the allocation-free entry point can stay int-valued. *)
+  mutable last_probes : int;
 }
 
 type outcome = Hit | Miss of int
@@ -110,7 +114,12 @@ let create ?(cache_capacity = 1 lsl 16) rules =
     |> List.sort (fun a b -> compare a.g_min_index b.g_min_index)
     |> Array.of_list
   in
-  { groups; cache = Nfp_algo.Flow_table.create ~capacity:cache_capacity (); rules = Array.length rules }
+  {
+    groups;
+    cache = Nfp_algo.Flow_table.create ~capacity:cache_capacity ();
+    rules = Array.length rules;
+    last_probes = -1;
+  }
 
 (* Linear first-match scan: the executable reference the tuple space is
    held to. Returns the 1-based MID and the number of rules examined. *)
@@ -157,6 +166,33 @@ let classify t (f : Flow.t) =
         ~dport:f.dport ~proto:f.proto
         (match result with Some mid -> mid | None -> 0);
       (result, Miss probed)
+
+(* Allocation-free classification for the dataplane front end: a
+   cache hit packs the 5-tuple straight from packet bytes into the two
+   key limbs and probes the microflow cache without building a Flow.t,
+   an option or an outcome — no allocation at all. Only a miss (which
+   pays a tuple-space walk anyway) materializes the flow. Returns the
+   resolved 1-based MID, 0 when no rule matches; probe accounting is
+   read back through [last_probes]. Counters move exactly as
+   [classify]'s do. *)
+let classify_packet t pkt =
+  let a =
+    Nfp_algo.Hashing.pack_a_int (Packet.sip_int pkt) (Packet.sport pkt) (Packet.proto pkt)
+  in
+  let b = Nfp_algo.Hashing.pack_b_int (Packet.dip_int pkt) (Packet.dport pkt) in
+  match Nfp_algo.Flow_table.find_packed t.cache ~a ~b with
+  | -1 ->
+      let f = Packet.flow pkt in
+      let result, probed = lookup_groups t f in
+      let mid = match result with Some mid -> mid | None -> 0 in
+      Nfp_algo.Flow_table.put_packed t.cache ~a ~b mid;
+      t.last_probes <- probed;
+      mid
+  | mid ->
+      t.last_probes <- -1;
+      mid
+
+let last_probes t = t.last_probes
 
 let group_count t = Array.length t.groups
 let rule_count t = t.rules

@@ -36,6 +36,19 @@ val classify : t -> Flow.t -> int option * outcome
 (** First-match lookup: [Some mid] is the 1-based rule position, [None]
     means no rule matches. Negative results are cached too. *)
 
+val classify_packet : t -> Packet.t -> int
+(** Allocation-free form of {!classify} for the per-packet front end:
+    reads the 5-tuple straight from [pkt]'s bytes, and a microflow-cache
+    hit allocates nothing (no Flow.t, no option, no outcome). Returns
+    the resolved 1-based MID, 0 when no rule matches; identical result
+    and counter movement to {!classify} on the packet's flow. The probe
+    accounting {!classify} returns in its outcome is read back through
+    {!last_probes}. *)
+
+val last_probes : t -> int
+(** Tuple-space groups probed by the most recent {!classify_packet}:
+    [-1] for a cache hit. *)
+
 val scan : Flow_match.t array -> Flow.t -> int option * int
 (** Reference linear scan; also returns the number of rules examined
     (for cost accounting). *)

@@ -14,6 +14,16 @@ val version_bits : int
 val make : mid:int -> pid:int64 -> version:int -> t
 (** @raise Invalid_argument when any component exceeds its bit width. *)
 
+val check : mid:int -> pid:int64 -> version:int -> unit
+(** {!make}'s validation alone — for callers that keep the components
+    flat (e.g. {!Packet.stamp}) and must reject exactly what [make]
+    rejects, without building the record.
+    @raise Invalid_argument when any component exceeds its bit width. *)
+
+val check_version : int -> unit
+(** The version-width check alone ({!Packet.set_version}).
+    @raise Invalid_argument outside the 4-bit range. *)
+
 val with_version : t -> int -> t
 (** Same MID/PID, different version (how [copy] tags a new copy). *)
 

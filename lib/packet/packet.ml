@@ -5,10 +5,18 @@
    innermost protocol, L4 offset) that every field accessor needs, so
    accessors don't re-parse the buffer per call. The cache is refreshed
    only where the geometry can change: construction, [add_ah],
-   [remove_ah], [set_inner_proto] and [set_payload]. *)
+   [remove_ah], [set_inner_proto] and [set_payload].
+
+   The NFP metadata lives flat in [m_mid]/[m_pid]/[m_version] rather
+   than as a [Meta.t] field: stamping and copy-tagging happen per
+   packet on the dataplane's hot path, and keeping the components
+   unboxed makes both plain int stores (the pid limb shares its box
+   across copies). [Meta.t] is materialized only on demand ([meta]). *)
 type t = {
   mutable buf : bytes;
-  mutable meta : Meta.t;
+  mutable m_mid : int;
+  mutable m_pid : int64;
+  mutable m_version : int;
   mutable g_ah : bool;
   mutable g_proto : int;
   mutable g_l4_off : int;
@@ -54,8 +62,8 @@ let refresh_geom t =
   t.g_proto <- (if ah then get_u8 t.buf (ip_off + ip_len) else outer);
   t.g_l4_off <- (ip_off + ip_len + if ah then ah_len else 0)
 
-let of_buf buf meta =
-  let t = { buf; meta; g_ah = false; g_proto = 0; g_l4_off = 0 } in
+let of_buf buf =
+  let t = { buf; m_mid = 0; m_pid = 0L; m_version = 0; g_ah = false; g_proto = 0; g_l4_off = 0 } in
   refresh_geom t;
   t
 
@@ -187,7 +195,7 @@ let create ?(dmac = default_dmac) ?(smac = default_smac) ?(ttl = 64) ?(tos = 0)
     set_u16 buf (l4o + 4) (udp_len + String.length payload)
   end;
   Bytes.blit_string payload 0 buf (eth_len + ip_len + l4) (String.length payload);
-  let t = of_buf buf Meta.zero in
+  let t = of_buf buf in
   refresh_ip_checksum t;
   refresh_l4_checksum t;
   t
@@ -201,16 +209,35 @@ let of_bytes b =
     let total = get_u16 b (ip_off + 2) in
     if eth_len + total <> len then Error "IPv4 total length disagrees with frame length"
     else begin
-      let t = of_buf (Bytes.copy b) Meta.zero in
+      let t = of_buf (Bytes.copy b) in
       let need = header_length t in
       if len < need then Error "frame truncates the transport header" else Ok t
     end
 
 let to_bytes t = Bytes.copy t.buf
 
-let meta t = t.meta
+let meta t = Meta.make ~mid:t.m_mid ~pid:t.m_pid ~version:t.m_version
 
-let set_meta t m = t.meta <- m
+let set_meta t (m : Meta.t) =
+  t.m_mid <- m.mid;
+  t.m_pid <- m.pid;
+  t.m_version <- m.version
+
+let mid t = t.m_mid
+
+let pid t = t.m_pid
+
+let version t = t.m_version
+
+let stamp t ~mid ~pid ~version =
+  Meta.check ~mid ~pid ~version;
+  t.m_mid <- mid;
+  t.m_pid <- pid;
+  t.m_version <- version
+
+let set_version t version =
+  Meta.check_version version;
+  t.m_version <- version
 
 (* IPv4 field getters/setters. *)
 let sip t = get_u32 t.buf (ip_off + 12)
@@ -270,6 +297,13 @@ let set_dport t p =
 
 let flow t =
   Flow.make ~sip:(sip t) ~dip:(dip t) ~sport:(sport t) ~dport:(dport t) ~proto:(proto t)
+
+(* Unsigned native-int address reads: [sip]/[dip] box an int32 per
+   call, and the classifier's microflow-cache hit path reads both per
+   packet. Bit pattern matches [Int32.to_int (sip t) land 0xffffffff]. *)
+let sip_int t = (get_u16 t.buf (ip_off + 12) lsl 16) lor get_u16 t.buf (ip_off + 14)
+
+let dip_int t = (get_u16 t.buf (ip_off + 16) lsl 16) lor get_u16 t.buf (ip_off + 18)
 
 let payload t =
   let off = payload_off t in
@@ -390,13 +424,30 @@ let set_field t field s =
   | Field.Payload -> set_payload t s
 
 let full_copy t =
-  { buf = Bytes.copy t.buf; meta = t.meta; g_ah = t.g_ah; g_proto = t.g_proto; g_l4_off = t.g_l4_off }
+  {
+    buf = Bytes.copy t.buf;
+    m_mid = t.m_mid;
+    m_pid = t.m_pid;
+    m_version = t.m_version;
+    g_ah = t.g_ah;
+    g_proto = t.g_proto;
+    g_l4_off = t.g_l4_off;
+  }
 
 let header_only_copy t ~version =
+  Meta.check_version version;
   let hlen = header_length t in
   let buf = Bytes.sub t.buf 0 hlen in
   let copy =
-    { buf; meta = Meta.with_version t.meta version; g_ah = t.g_ah; g_proto = t.g_proto; g_l4_off = t.g_l4_off }
+    {
+      buf;
+      m_mid = t.m_mid;
+      m_pid = t.m_pid;
+      m_version = version;
+      g_ah = t.g_ah;
+      g_proto = t.g_proto;
+      g_l4_off = t.g_l4_off;
+    }
   in
   (* The copy must parse as a valid packet: its IP total length now
      covers only the headers (paper §4.2). *)
@@ -410,7 +461,7 @@ let equal_wire a b = Bytes.equal a.buf b.buf
 let pp fmt t =
   Format.fprintf fmt "@[<h>%a len=%dB%s ttl=%d tos=%d [%a]@]" Flow.pp (flow t) (wire_length t)
     (if has_ah t then " +AH" else "")
-    (ttl t) (tos t) Meta.pp t.meta
+    (ttl t) (tos t) Meta.pp (meta t)
 
 let pp_hex fmt t =
   let b = t.buf in

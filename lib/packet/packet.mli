@@ -42,8 +42,28 @@ val wire_length : t -> int
 (** {1 Metadata} *)
 
 val meta : t -> Meta.t
+(** Materializes a {!Meta.t} from the flat components; prefer {!mid} /
+    {!pid} / {!version} on hot paths (this allocates, those do not). *)
 
 val set_meta : t -> Meta.t -> unit
+
+val mid : t -> int
+(** The metadata Match ID, read flat (no allocation). *)
+
+val pid : t -> int64
+(** The metadata Packet ID; returns the stored box, allocating nothing. *)
+
+val version : t -> int
+(** The metadata copy version, read flat (no allocation). *)
+
+val stamp : t -> mid:int -> pid:int64 -> version:int -> unit
+(** Set all three metadata components without building a {!Meta.t} —
+    what the classifier does per packet.
+    @raise Invalid_argument exactly when {!Meta.make} would. *)
+
+val set_version : t -> int -> unit
+(** Retag the copy version only.
+    @raise Invalid_argument outside the 4-bit range. *)
 
 (** {1 Field access}
 
@@ -57,6 +77,11 @@ val set_sip : t -> int32 -> unit
 
 val dip : t -> int32
 val set_dip : t -> int32 -> unit
+
+val sip_int : t -> int
+val dip_int : t -> int
+(** Unsigned native-int forms of {!sip}/{!dip} (the int32 forms box
+    their result; the classifier's per-packet cache probe uses these). *)
 
 val sport : t -> int
 (** 0 when the packet has no TCP/UDP header. *)

@@ -28,6 +28,13 @@ type t = {
   rtc_call : int;  (** per-NF function-call overhead in the RTC model *)
   wire_ns : float;  (** generator + NIC round trip, nanoseconds *)
   batch : int;  (** poll-mode batch size (DPDK rx burst) *)
+  burst_saving : int;
+      (** per-job dispatch cycles the second and later jobs of one
+          poll-loop breath do not repay (ring-dequeue synchronization +
+          run-to-completion dispatch — amortized across the burst, as
+          in DPDK/BESS). {!Nfp_sim.Server} deducts them from follower
+          service times; breaths of one job always pay full price, so a
+          batch size of 1 reproduces per-packet charging exactly. *)
   restart_ns : float;
       (** bringing a crashed NF container back: respawn + ring
           re-attachment (§7 fault model) *)

@@ -1,32 +1,39 @@
+(* The clock lives in a single-field all-float record: OCaml stores
+   such records flat, so advancing time is a plain store. As a mutable
+   float field of the mixed record below it would box a fresh float on
+   every event — the simulator's single hottest write. *)
+type clock = { mutable ns : float }
+
 type t = {
   queue : (unit -> unit) Nfp_algo.Heap.Timed.t;
-  mutable clock : float;
+  clock : clock;
   mutable next_seq : int;
 }
 
-let create () = { queue = Nfp_algo.Heap.Timed.create (); clock = 0.0; next_seq = 0 }
+let create () = { queue = Nfp_algo.Heap.Timed.create (); clock = { ns = 0.0 }; next_seq = 0 }
 
-let now t = t.clock
+let now t = t.clock.ns
 
 let schedule_at t time action =
-  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  if time < t.clock.ns then invalid_arg "Engine.schedule_at: time is in the past";
   Nfp_algo.Heap.Timed.push t.queue ~time ~seq:t.next_seq action;
   t.next_seq <- t.next_seq + 1
 
 let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t (t.clock +. delay) action
+  schedule_at t (t.clock.ns +. delay) action
 
 let run ?until ?(max_events = max_int) t =
   let deadline = match until with Some u -> u | None -> infinity in
   let queue = t.queue in
+  let clock = t.clock in
   let rec go remaining =
     if remaining > 0 && not (Nfp_algo.Heap.Timed.is_empty queue) then begin
       let time = Nfp_algo.Heap.Timed.min_time queue in
-      if time > deadline then t.clock <- deadline
+      if time > deadline then clock.ns <- deadline
       else begin
         let action = Nfp_algo.Heap.Timed.pop_exn queue in
-        t.clock <- time;
+        clock.ns <- time;
         action ();
         go (remaining - 1)
       end

@@ -1,52 +1,78 @@
+(* Mutable floats of a mixed record box a fresh float on every store,
+   so the per-breath counters live in their own all-float record (OCaml
+   stores those flat): busy/stall accounting and the fault scalings are
+   written on the hottest path. *)
+type fstate = {
+  mutable busy_ns : float;
+  mutable stalled_ns : float;
+  (* Management work (e.g. a state checkpoint) charged to this core:
+     the accumulated time is added to the next breath's completion,
+     then reset. 0.0 is a bitwise identity on the service-time sums. *)
+  mutable extra_ns : float;
+  (* Fault scalings (Fault.core). The defaults are exact identities —
+     [slow] of 1.0, drop probability 0.0 — so an unfaulted server
+     behaves bit-for-bit as before the fault subsystem existed. *)
+  mutable slow : float;
+  mutable drop_p : float;
+}
+
 type 'job t = {
   engine : Engine.t;
   name : string;
   ring : 'job Nfp_algo.Ring.t;
   batch : int;
+  (* Per-breath dispatch cycles the second and later jobs of one breath
+     do not pay again (dequeue synchronization, run-to-completion
+     dispatch): the breath's first job is charged its full legacy
+     service time, followers are charged [service_ns j - burst_saving_ns]
+     (floored at zero) before jitter. 0.0 — and any breath of one job,
+     hence any [batch] of 1 — is bit-for-bit the legacy per-packet
+     charging. *)
+  burst_saving_ns : float;
   jitter : (float * Nfp_algo.Prng.t) option;
   retry_ns : float;
   service_ns : 'job -> float;
   execute : 'job -> unit -> bool;
+  f : fstate;
   mutable busy : bool;
   mutable processed : int;
-  mutable busy_ns : float;
-  mutable stalled_ns : float;
-  (* Fault state (Fault.core). The defaults are exact identities —
-     [down] never set, [slow] of 1.0, no drop PRNG — so an unfaulted
-     server behaves bit-for-bit as before the fault subsystem existed. *)
   mutable down : bool;
-  mutable slow : float;
-  mutable drop_p : float;
   mutable fault_prng : Nfp_algo.Prng.t option;
-  (* [epoch] invalidates in-flight batches: a crash or hang bumps it,
-     and a batch-completion or flush-retry event whose captured epoch no
-     longer matches becomes a no-op — [interrupt] has already reclaimed
-     the casualties synchronously (see below). *)
+  (* [epoch] invalidates in-flight breaths: a crash or hang bumps it,
+     and a breath-completion or flush-retry event whose captured epoch
+     no longer matches becomes a no-op — [interrupt] has already
+     reclaimed the casualties synchronously (see below). *)
   mutable epoch : int;
   mutable crashes : int;
   mutable fault_drops : int;
   mutable flushed : int;
-  (* Casualty bookkeeping. [inflight] mirrors the batch the core is
-     currently serving; [pending_emits] mirrors the emission thunks a
-     flush loop still owes downstream. [interrupt] moves the former into
-     [limbo] (jobs dequeued but never executed) and the latter into
-     [orphans] (jobs executed whose emissions are pending). The ring,
-     [limbo] and [orphans] model state that survives the crash of the
-     core's NF process — they live in the runtime's shared memory — so
-     a recovery policy chooses what to do with them: [revive ~flush:true]
-     discards the lot into [flushed] (lossy Restart), [revive
-     ~flush:false] re-admits everything in order (lossless recovery),
-     and a [casualty_sink] reroutes them as they fall (Bypass). *)
-  mutable inflight : 'job list;
-  mutable pending_emits : (unit -> bool) list;
+  (* Breath scratch, reused across breaths so the steady state
+     allocates nothing per packet. [jobs.(0 .. n_inflight-1)] mirrors
+     the burst the core is currently serving (allocated lazily at the
+     first breath, Ring-style, because ['job] has no default value);
+     [emits.(emit_cursor .. n_emits-1)] mirrors the emission thunks a
+     flush still owes downstream. Consumed slots keep a stale reference
+     until the next breath overwrites them — bounded by [batch], same
+     retention policy as the flat [Ring]. *)
+  mutable jobs : 'job array;
+  mutable n_inflight : int;
+  emits : (unit -> bool) array;
+  mutable n_emits : int;
+  mutable emit_cursor : int;
+  (* Casualty bookkeeping (cold path, plain lists). [interrupt] moves
+     the in-flight breath into [limbo] (jobs dequeued but never
+     executed) and the pending emissions into [orphans] (jobs executed
+     whose emissions are pending). The ring, [limbo] and [orphans]
+     model state that survives the crash of the core's NF process —
+     they live in the runtime's shared memory — so a recovery policy
+     chooses what to do with them: [revive ~flush:true] discards the
+     lot into [flushed] (lossy Restart), [revive ~flush:false]
+     re-admits everything in order (lossless recovery), and a
+     [casualty_sink] reroutes them as they fall (Bypass). *)
   mutable limbo : 'job list;
   mutable orphans : (unit -> bool) list;
   mutable casualty_sink : ('job list -> (unit -> bool) list -> unit) option;
   mutable pump_armed : bool;
-  (* Management work (e.g. a state checkpoint) charged to this core: the
-     accumulated time is added to the next batch's completion, then
-     reset. 0.0 is a bitwise identity on the service-time sums. *)
-  mutable extra_ns : float;
 }
 
 let jittered t base =
@@ -59,7 +85,7 @@ let jittered t base =
   in
   (* *. 1.0 is bitwise identity, so the multiply is free of behavioral
      change when no slowdown fault is installed. *)
-  base *. t.slow
+  base *. t.f.slow
 
 let always () = true
 
@@ -68,7 +94,7 @@ let always () = true
    heartbeats keep beating, only the work is lost. *)
 let run_job t job =
   match t.fault_prng with
-  | Some prng when t.drop_p > 0.0 && Nfp_algo.Prng.float prng < t.drop_p ->
+  | Some prng when t.f.drop_p > 0.0 && Nfp_algo.Prng.float prng < t.f.drop_p ->
       t.fault_drops <- t.fault_drops + 1;
       always
   | _ -> t.execute job
@@ -81,41 +107,34 @@ let stash t jobs emits =
         t.limbo <- t.limbo @ jobs;
         t.orphans <- t.orphans @ emits
 
-(* Take a job for the next batch: reclaimed limbo first (those were
-   dequeued before anything now in the ring), then the ring. *)
-let next_job t =
-  match t.limbo with
-  | j :: rest ->
-      t.limbo <- rest;
-      Some j
-  | [] ->
-      if Nfp_algo.Ring.is_empty t.ring then None
-      else Some (Nfp_algo.Ring.dequeue_exn t.ring)
-
 let has_work t = t.limbo <> [] || not (Nfp_algo.Ring.is_empty t.ring)
 
-(* Emit the batch's thunks in order; stall and retry on backpressure.
-   [pending_emits] shadows the worklist so an interrupt can reclaim it. *)
-let rec flush t thunks =
-  match thunks with
-  | [] ->
-      t.pending_emits <- [];
-      t.busy <- false;
-      run_batch t
-  | thunk :: rest ->
-      t.pending_emits <- thunks;
-      if thunk () then begin
-        t.processed <- t.processed + 1;
-        flush t rest
-      end
-      else begin
-        t.stalled_ns <- t.stalled_ns +. t.retry_ns;
-        let epoch = t.epoch in
-        Engine.schedule t.engine ~delay:t.retry_ns (fun () ->
-            if t.epoch = epoch then flush t thunks)
-      end
+(* Emit the breath's thunks in order; stall and retry on backpressure.
+   [emits.(emit_cursor ..)] shadows the worklist so an interrupt can
+   reclaim it. *)
+let rec flush t =
+  if t.emit_cursor >= t.n_emits then begin
+    t.n_emits <- 0;
+    t.emit_cursor <- 0;
+    t.busy <- false;
+    run_batch t
+  end
+  else if t.emits.(t.emit_cursor) () then begin
+    (* Scrub the consumed slot so the closure (and whatever packet
+       context it captured) is not retained until the next breath. *)
+    t.emits.(t.emit_cursor) <- always;
+    t.emit_cursor <- t.emit_cursor + 1;
+    t.processed <- t.processed + 1;
+    flush t
+  end
+  else begin
+    t.f.stalled_ns <- t.f.stalled_ns +. t.retry_ns;
+    let epoch = t.epoch in
+    Engine.schedule t.engine ~delay:t.retry_ns (fun () ->
+        if t.epoch = epoch then flush t)
+  end
 
-(* Work reclaimed as orphans is emitted before any new batch runs, so
+(* Work reclaimed as orphans is emitted before any new breath runs, so
    downstream still sees this core's packets in processing order. *)
 and pump_orphans t =
   if not t.down then begin
@@ -128,7 +147,7 @@ and pump_orphans t =
           pump_orphans t
         end
         else begin
-          t.stalled_ns <- t.stalled_ns +. t.retry_ns;
+          t.f.stalled_ns <- t.f.stalled_ns +. t.retry_ns;
           if not t.pump_armed then begin
             t.pump_armed <- true;
             Engine.schedule t.engine ~delay:t.retry_ns (fun () ->
@@ -138,54 +157,84 @@ and pump_orphans t =
         end
   end
 
-(* Pull up to [batch] jobs, work through them back to back, execute and
-   flush at batch completion — the rx_burst/tx_burst pattern of a DPDK
-   poll loop. *)
+(* One breath: inhale up to [batch] jobs (reclaimed limbo first — those
+   were dequeued before anything now in the ring — then an rx burst
+   from the ring), charge their service back to back, execute and
+   exhale at completion — the rx_burst/tx_burst pattern of a DPDK poll
+   loop, with all per-breath state in reused scratch arrays. *)
 and run_batch t =
   if (not t.busy) && (not t.down) && t.orphans = [] && has_work t then begin
     t.busy <- true;
     let epoch = t.epoch in
-    let extra = t.extra_ns in
-    t.extra_ns <- 0.0;
-    let j0 = match next_job t with Some j -> j | None -> assert false in
-    if t.batch = 1 || not (has_work t) then begin
-      (* Single-job burst — the common case under non-saturating load;
-         skips the list churn of the general path. *)
-      t.inflight <- [ j0 ];
-      let finish = extra +. jittered t (t.service_ns j0) in
-      t.busy_ns <- t.busy_ns +. finish;
-      Engine.schedule t.engine ~delay:finish (fun () ->
-          if t.epoch = epoch then begin
-            t.inflight <- [];
-            flush t [ run_job t j0 ]
-          end)
-    end
-    else begin
-      let rec take acc n =
-        if n = 0 then List.rev acc
-        else
-          match next_job t with
-          | None -> List.rev acc
-          | Some j -> take (j :: acc) (n - 1)
-      in
-      let jobs = j0 :: take [] (t.batch - 1) in
-      t.inflight <- jobs;
-      let finish =
-        List.fold_left
-          (fun offset job -> offset +. jittered t (t.service_ns job))
-          extra jobs
-      in
-      t.busy_ns <- t.busy_ns +. finish;
-      Engine.schedule t.engine ~delay:finish (fun () ->
-          if t.epoch = epoch then begin
-            t.inflight <- [];
-            let thunks = List.map (run_job t) jobs in
-            flush t thunks
-          end)
-    end
+    let extra = t.f.extra_ns in
+    t.f.extra_ns <- 0.0;
+    let j0 =
+      match t.limbo with
+      | j :: rest ->
+          t.limbo <- rest;
+          j
+      | [] -> Nfp_algo.Ring.dequeue_exn t.ring
+    in
+    if Array.length t.jobs = 0 then t.jobs <- Array.make t.batch j0
+    else t.jobs.(0) <- j0;
+    let n = ref 1 in
+    let rec take_limbo () =
+      if !n < t.batch then
+        match t.limbo with
+        | j :: rest ->
+            t.limbo <- rest;
+            t.jobs.(!n) <- j;
+            incr n;
+            take_limbo ()
+        | [] -> ()
+    in
+    take_limbo ();
+    if !n < t.batch then
+      n := !n + Nfp_algo.Ring.dequeue_into t.ring t.jobs !n (t.batch - !n);
+    let n = !n in
+    t.n_inflight <- n;
+    let finish = ref (extra +. jittered t (t.service_ns t.jobs.(0))) in
+    for i = 1 to n - 1 do
+      finish :=
+        !finish
+        +. jittered t (Float.max 0.0 (t.service_ns t.jobs.(i) -. t.burst_saving_ns))
+    done;
+    let finish = !finish in
+    t.f.busy_ns <- t.f.busy_ns +. finish;
+    Engine.schedule t.engine ~delay:finish (fun () ->
+        if t.epoch = epoch then begin
+          let n = t.n_inflight in
+          t.n_inflight <- 0;
+          for i = 0 to n - 1 do
+            t.emits.(i) <- run_job t t.jobs.(i)
+          done;
+          t.n_emits <- n;
+          t.emit_cursor <- 0;
+          flush t
+        end)
   end
 
-(* The core stops. The in-flight batch and any pending emissions are
+(* The casualties of an interrupt, as lists (cold path): the in-flight
+   breath's unexecuted jobs and the pending emission thunks. *)
+let reclaim_inflight t =
+  let jobs = ref [] in
+  for i = t.n_inflight - 1 downto 0 do
+    jobs := t.jobs.(i) :: !jobs
+  done;
+  t.n_inflight <- 0;
+  !jobs
+
+let reclaim_emits t =
+  let emits = ref [] in
+  for i = t.n_emits - 1 downto t.emit_cursor do
+    emits := t.emits.(i) :: !emits;
+    t.emits.(i) <- always
+  done;
+  t.n_emits <- 0;
+  t.emit_cursor <- 0;
+  !emits
+
+(* The core stops. The in-flight breath and any pending emissions are
    reclaimed synchronously — their completion events, fired against a
    stale epoch, become no-ops — so no work is silently dropped between
    the crash and whatever recovery policy runs later. *)
@@ -193,9 +242,7 @@ let interrupt t =
   if not t.down then begin
     t.down <- true;
     t.epoch <- t.epoch + 1;
-    let jobs = t.inflight and emits = t.pending_emits in
-    t.inflight <- [];
-    t.pending_emits <- [];
+    let jobs = reclaim_inflight t and emits = reclaim_emits t in
     stash t jobs emits
   end
 
@@ -206,37 +253,38 @@ let resume t =
     pump_orphans t
   end
 
-let create ~engine ~name ~ring_capacity ~batch ?jitter ?(retry_ns = 150.0) ?fault
-    ~service_ns ~execute () =
+let create ~engine ~name ~ring_capacity ~batch ?(burst_saving_ns = 0.0) ?jitter
+    ?(retry_ns = 150.0) ?fault ~service_ns ~execute () =
+  let batch = max 1 batch in
   let t =
     {
       engine;
       name;
       ring = Nfp_algo.Ring.create ~capacity:ring_capacity;
-      batch = max 1 batch;
+      batch;
+      burst_saving_ns;
       jitter;
       retry_ns;
       service_ns;
       execute;
+      f = { busy_ns = 0.0; stalled_ns = 0.0; extra_ns = 0.0; slow = 1.0; drop_p = 0.0 };
       busy = false;
       processed = 0;
-      busy_ns = 0.0;
-      stalled_ns = 0.0;
       down = false;
-      slow = 1.0;
-      drop_p = 0.0;
       fault_prng = None;
       epoch = 0;
       crashes = 0;
       fault_drops = 0;
       flushed = 0;
-      inflight = [];
-      pending_emits = [];
+      jobs = [||];
+      n_inflight = 0;
+      emits = Array.make batch always;
+      n_emits = 0;
+      emit_cursor = 0;
       limbo = [];
       orphans = [];
       casualty_sink = None;
       pump_armed = false;
-      extra_ns = 0.0;
     }
   in
   (match fault with
@@ -255,8 +303,8 @@ let create ~engine ~name ~ring_capacity ~batch ?jitter ?(retry_ns = 150.0) ?faul
               Engine.schedule engine ~delay:at_ns (fun () -> interrupt t);
               Engine.schedule engine ~delay:(at_ns +. duration_ns) (fun () -> resume t)
           | Fault.Slowdown { at_ns; factor } ->
-              Engine.schedule engine ~delay:at_ns (fun () -> t.slow <- t.slow *. factor)
-          | Fault.Drop { probability } -> t.drop_p <- min 1.0 (t.drop_p +. probability))
+              Engine.schedule engine ~delay:at_ns (fun () -> t.f.slow <- t.f.slow *. factor)
+          | Fault.Drop { probability } -> t.f.drop_p <- min 1.0 (t.f.drop_p +. probability))
         f.events);
   t
 
@@ -297,7 +345,7 @@ let set_casualty_sink t sink =
 
 let casualty_counts t = (List.length t.limbo, List.length t.orphans)
 
-let charge t ns = t.extra_ns <- t.extra_ns +. ns
+let charge t ns = t.f.extra_ns <- t.f.extra_ns +. ns
 
 (* Bring a down core back. [flush] discards everything the crash left
    behind — the backlog that accumulated in the ring plus the reclaimed
@@ -328,9 +376,9 @@ let processed t = t.processed
 
 let rejected t = Nfp_algo.Ring.rejected_total t.ring
 
-let busy_ns t = t.busy_ns
+let busy_ns t = t.f.busy_ns
 
-let stalled_ns t = t.stalled_ns
+let stalled_ns t = t.f.stalled_ns
 
 let queue_length t =
   Nfp_algo.Ring.length t.ring + List.length t.limbo + List.length t.orphans

@@ -1,10 +1,14 @@
 (** A simulated CPU core running a poll-mode packet loop.
 
     Jobs arrive into a bounded input ring; the core drains them in
-    batches of up to [batch] (DPDK rx-burst style). Each job is charged
-    its service time; at batch completion the core {e executes} each
-    job once (the side-effecting semantics: NF processing, table
-    bookkeeping) and then {e emits} its results. Emission is retryable:
+    breaths of up to [batch] (DPDK rx-burst style), through reused
+    scratch arrays — the steady-state poll loop allocates nothing per
+    job. Each job is charged its service time, the breath's first job
+    at the full legacy rate and followers with [burst_saving_ns]
+    subtracted (the per-breath dispatch work a burst pays once); at
+    breath completion the core {e executes} each job once (the
+    side-effecting semantics: NF processing, table bookkeeping) and
+    then {e emits} its results. Emission is retryable:
     when a downstream ring is full the emit thunk returns [false] and
     the core stalls, retrying until space frees — shared-memory NFV's
     backpressure. A stalled core's own ring fills, propagating the
@@ -18,6 +22,7 @@ val create :
   name:string ->
   ring_capacity:int ->
   batch:int ->
+  ?burst_saving_ns:float ->
   ?jitter:float * Nfp_algo.Prng.t ->
   ?retry_ns:float ->
   ?fault:Fault.core ->
@@ -29,6 +34,15 @@ val create :
     emit thunk; the thunk is called until it returns [true] (it must
     remember any targets it already delivered to). [retry_ns] is the
     stall-poll interval (default 150 ns).
+
+    [burst_saving_ns] (default 0.0) is the batch cost model: the
+    nanoseconds of per-job dispatch work that the second and later jobs
+    of one breath do not repay (ring-dequeue synchronization,
+    run-to-completion dispatch). Followers are charged
+    [max 0 (service_ns j - burst_saving_ns)], jittered as usual; the
+    first job of every breath pays full price, so a [batch] of 1 — a
+    breath of one job — is bit-for-bit the legacy per-packet charging
+    regardless of this value.
 
     [fault] installs this core's share of a {!Fault.plan}: crashes and
     hangs stop the poll loop (in-flight work is reclaimed as

@@ -126,6 +126,104 @@ let ring_tests =
                 let expected = Queue.take_opt model in
                 got = expected)
           ops);
+    (* Burst operations (the breath loop's dequeue_into/enqueue_burst)
+       across the wrap-around seam and the full/empty boundaries. *)
+    Alcotest.test_case "dequeue_into drains across the wrap seam" `Quick (fun () ->
+        let r = Ring.create ~capacity:4 in
+        List.iter (fun x -> ignore (Ring.enqueue r x)) [ 1; 2; 3 ];
+        ignore (Ring.dequeue r);
+        ignore (Ring.dequeue r);
+        ignore (Ring.enqueue r 4);
+        ignore (Ring.enqueue r 5);
+        (* head is now at slot 2; elements 3,4,5 straddle the seam *)
+        let dst = Array.make 4 0 in
+        check Alcotest.int "drained" 3 (Ring.dequeue_into r dst 0 4);
+        check Alcotest.(list int) "order" [ 3; 4; 5 ] (Array.to_list (Array.sub dst 0 3));
+        check Alcotest.bool "empty after" true (Ring.is_empty r));
+    Alcotest.test_case "dequeue_into on empty ring is a no-op" `Quick (fun () ->
+        let r = Ring.create ~capacity:4 in
+        check Alcotest.int "none" 0 (Ring.dequeue_into r (Array.make 2 0) 0 2));
+    Alcotest.test_case "dequeue_into respects max and dst room" `Quick (fun () ->
+        let r = Ring.create ~capacity:8 in
+        List.iter (fun x -> ignore (Ring.enqueue r x)) [ 1; 2; 3; 4; 5 ];
+        let dst = Array.make 4 0 in
+        check Alcotest.int "max-bound" 2 (Ring.dequeue_into r dst 0 2);
+        check Alcotest.int "dst-bound" 2 (Ring.dequeue_into r dst 2 9);
+        check Alcotest.(list int) "contents" [ 1; 2; 3; 4 ] (Array.to_list dst);
+        check Alcotest.int "left behind" 1 (Ring.length r));
+    Alcotest.test_case "dequeue_into rejects bad positions" `Quick (fun () ->
+        let r = Ring.create ~capacity:2 in
+        Alcotest.check_raises "oob"
+          (Invalid_argument "Ring.dequeue_into: destination position out of range")
+          (fun () -> ignore (Ring.dequeue_into r (Array.make 2 0) 3 1)));
+    Alcotest.test_case "enqueue_burst fills to capacity and counts rejections"
+      `Quick (fun () ->
+        let r = Ring.create ~capacity:3 in
+        ignore (Ring.enqueue r 0);
+        check Alcotest.int "partial" 2 (Ring.enqueue_burst r [| 1; 2; 3; 4 |] 0 4);
+        check Alcotest.bool "full" true (Ring.is_full r);
+        check Alcotest.int "rejected" 2 (Ring.rejected_total r);
+        check Alcotest.int "enqueued" 3 (Ring.enqueued_total r);
+        check Alcotest.(option int) "fifo head" (Some 0) (Ring.dequeue r);
+        check Alcotest.(option int) "then burst" (Some 1) (Ring.dequeue r));
+    Alcotest.test_case "enqueue_burst into a full ring rejects everything" `Quick
+      (fun () ->
+        let r = Ring.create ~capacity:2 in
+        ignore (Ring.enqueue r 1);
+        ignore (Ring.enqueue r 2);
+        check Alcotest.int "none" 0 (Ring.enqueue_burst r [| 3; 4 |] 0 2);
+        check Alcotest.int "rejected" 2 (Ring.rejected_total r));
+    Alcotest.test_case "enqueue_burst wraps around the seam" `Quick (fun () ->
+        let r = Ring.create ~capacity:4 in
+        List.iter (fun x -> ignore (Ring.enqueue r x)) [ 9; 9; 9 ];
+        ignore (Ring.dequeue r);
+        ignore (Ring.dequeue r);
+        ignore (Ring.dequeue r);
+        (* head at slot 3, empty: a burst of 3 must wrap *)
+        check Alcotest.int "all in" 3 (Ring.enqueue_burst r [| 1; 2; 3 |] 0 3);
+        let dst = Array.make 3 0 in
+        ignore (Ring.dequeue_into r dst 0 3);
+        check Alcotest.(list int) "fifo across seam" [ 1; 2; 3 ] (Array.to_list dst));
+    Alcotest.test_case "enqueue_burst validates its range" `Quick (fun () ->
+        let r = Ring.create ~capacity:2 in
+        Alcotest.check_raises "overrun"
+          (Invalid_argument "Ring.enqueue_burst: range overruns source") (fun () ->
+            ignore (Ring.enqueue_burst r [| 1; 2 |] 1 2)));
+    qtest "burst ops behave like loops of single ops"
+      QCheck.(
+        pair (int_range 1 8)
+          (small_list (pair bool (pair (int_range 0 9) small_int))))
+      (fun (capacity, ops) ->
+        (* (true, (n, x)) = enqueue_burst of [x; x+1; ..] length n;
+           (false, (n, _)) = dequeue_into of up to n. The model runs the
+           same op as single enqueues/dequeues on a Queue; acceptance
+           counts, rejection stats, and drained prefixes must agree. *)
+        let r = Ring.create ~capacity in
+        let model = Queue.create () in
+        let rejected = ref 0 in
+        List.for_all
+          (fun (is_enq, (n, x)) ->
+            if is_enq then begin
+              let src = Array.init n (fun i -> x + i) in
+              let accepted = Ring.enqueue_burst r src 0 n in
+              let model_accepted = min n (capacity - Queue.length model) in
+              for i = 0 to model_accepted - 1 do
+                Queue.add src.(i) model
+              done;
+              rejected := !rejected + (n - model_accepted);
+              accepted = model_accepted && Ring.rejected_total r = !rejected
+            end
+            else begin
+              let dst = Array.make (max n 1) (-1) in
+              let got = Ring.dequeue_into r dst 0 n in
+              let expected = min n (Queue.length model) in
+              got = expected
+              && List.for_all
+                   (fun i -> Queue.pop model = dst.(i))
+                   (List.init expected Fun.id)
+            end)
+          ops
+        && Ring.length r = Queue.length model);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -374,6 +472,30 @@ let hashing_tests =
       QCheck.(int_range 0 100000)
       (fun i ->
         Hashing.mix64 (Int64.of_int i) <> Hashing.mix64 (Int64.of_int (i + 1)));
+    qtest "mix2_int equals the Int64 reference on random 5-tuples"
+      QCheck.(
+        pair
+          (pair (int_bound 0xffffffff) (int_bound 0xffffffff))
+          (pair (int_bound 0xffff) (pair (int_bound 0xffff) (int_bound 255))))
+      (fun ((sip, dip), (sport, (dport, proto))) ->
+        (* The limb-arithmetic hash on the classifier's hit path must be
+           bit-identical to the boxed Int64 pipeline it replaces. *)
+        let a = Hashing.pack_a_int sip sport proto
+        and b = Hashing.pack_b_int dip dport in
+        let reference =
+          Int64.to_int
+            (Hashing.mix64
+               (Int64.logxor (Hashing.mix64 (Int64.of_int a)) (Int64.of_int b)))
+        in
+        Hashing.mix2_int a b = reference);
+    Alcotest.test_case "packed limbs agree with the int32 forms" `Quick (fun () ->
+        let sip = 0xc0a80001l and dip = 0x0a000037l in
+        check Alcotest.int "pack_a"
+          (Hashing.pack_a sip 12000 6)
+          (Hashing.pack_a_int (Int32.to_int sip land 0xffffffff) 12000 6);
+        check Alcotest.int "pack_b"
+          (Hashing.pack_b dip 443)
+          (Hashing.pack_b_int (Int32.to_int dip land 0xffffffff) 443));
     Alcotest.test_case "tuple5 is the truncation of tuple5_64" `Quick (fun () ->
         let h64 = Hashing.tuple5_64 0x0a000102l 0x0a080304l 12000 443 6 in
         check Alcotest.int "low bits"
