@@ -64,6 +64,22 @@ let () =
   Format.printf "replay: %d/%d packets identical to sequential execution@."
     outcome.agreements outcome.total;
 
+  (* 3b. Replication analysis: what each NF's state-access profile
+         allows, and how many instances an illustrative replicas=2
+         deployment would give it ([replicas] on
+         {!Nfp_infra.System.config}, or [?replicas] on [System.make];
+         the default 1 keeps today's single-instance layout). *)
+  let lookup = instances () in
+  Format.printf "@.replication analysis (replicas=2 would deploy):@.";
+  List.iter
+    (fun name ->
+      let nf = lookup name in
+      let shardable = Replication.shardable ~plan ~nf_of:lookup name in
+      Format.printf "  %-4s %-13s %-19s -> %d instance(s)@." name nf.Nfp_nf.Nf.kind
+        (Replication.to_string (Replication.derive nf))
+        (if shardable then 2 else 1))
+    [ "fw"; "mon"; "lb" ];
+
   (* 4. Measure: NFP graph vs the same NFs chained sequentially. The
         NFP deployment below runs the default execution configuration —
         compiled fast path, cached microflow classifier, and the batch

@@ -108,3 +108,20 @@ let mix2_int a b =
   let hi = mh lxor (mh lsr 31) in
   let lo = ml lxor ((ml lsr 31) lor ((mh lsl 1) land mask32)) in
   ((hi land 0x7fffffff) lsl 32) lor lo
+
+(* RSS shard selection draws from its own hash stream: the key limbs
+   are offset by fixed seeds before entering the SplitMix64 finaliser
+   chain, so for any 5-tuple the shard hash and the microflow-cache
+   bucket hash ([mix2_int] unseeded, see [Flow_table.slot_of_packed])
+   are samples of two unrelated avalanche streams. Without the seeds a
+   replica choice of [h mod n] and a bucket choice of [h land mask]
+   would be functions of the same value — e.g. every flow in one cache
+   bucket landing on the same replica. The constants are the first
+   Blowfish pi digits (arbitrary, odd-ish, and 62-bit safe). *)
+let rss_seed_a = 0x243f6a8885a308d3
+let rss_seed_b = 0x13198a2e03707344
+
+(* [mix2_int] keeps 63 bits, so its top bit is the OCaml int sign bit;
+   mask it off — shard selection is [h mod n], which must never see a
+   negative hash. *)
+let rss2_int a b = mix2_int (a lxor rss_seed_a) (b lxor rss_seed_b) land max_int

@@ -1,0 +1,102 @@
+open Nfp_nf
+
+type strategy = Shared_nothing | Replicated_readonly | Sequential
+
+let to_string = function
+  | Shared_nothing -> "shared-nothing"
+  | Replicated_readonly -> "replicated-readonly"
+  | Sequential -> "sequential"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+(* The safety argument, component by component:
+   - a Global General write can observe (and be observed by) every
+     other flow's packets, so any partitioning reorders it → Sequential;
+   - a Per_flow General write is confined to its flow's partition, and
+     the RSS stage pins each flow to one replica → shardable;
+   - Commutative writes merge regardless of scope (the NF never reads
+     them into packet-visible behaviour, and the writes sum);
+   - all-Read_only state needs no merging at all: each replica carries
+     an identical copy. *)
+let of_profile (comps : State_access.t) =
+  let open State_access in
+  if List.exists (fun c -> c.scope = Global && c.mode = General) comps then
+    Sequential
+  else if List.exists (fun c -> c.mode <> Read_only) comps then Shared_nothing
+  else Replicated_readonly
+
+let derive (nf : Nf.t) =
+  match nf.state_access with None -> Sequential | Some comps -> of_profile comps
+
+let eligible (nf : Nf.t) =
+  match derive nf with
+  | Sequential -> false
+  | Replicated_readonly -> nf.fresh <> None
+  | Shared_nothing ->
+      nf.fresh <> None && nf.merge <> None && nf.snapshot <> None
+      && nf.restore <> None
+
+(* Direct NF successors of an NF in a compiled plan: the To_nf hops of
+   its forwarding-table actions, with merger hops resolved through the
+   merge table (a merged packet continues into the merger's [next]
+   actions, possibly through further mergers). The nil-target merger
+   counts too — a dropping NF's nil still completes that merge and
+   releases its continuation. *)
+let successors (plan : Tables.plan) =
+  let merges = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Tables.merge_spec) -> Hashtbl.replace merges m.id m)
+    plan.merges;
+  fun name ->
+    match List.find_opt (fun (e : Tables.nf_entry) -> e.nf = name) plan.nf_entries with
+    | None -> []
+    | Some e ->
+        let seen_mergers = Hashtbl.create 4 in
+        let acc = ref [] in
+        let rec hop = function
+          | Tables.To_nf n -> acc := n :: !acc
+          | Tables.Deliver -> ()
+          | Tables.To_merger id ->
+              if not (Hashtbl.mem seen_mergers id) then begin
+                Hashtbl.add seen_mergers id ();
+                match Hashtbl.find_opt merges id with
+                | Some (m : Tables.merge_spec) -> actions m.next
+                | None -> ()
+              end
+        and actions l =
+          List.iter
+            (function
+              | Tables.Copy _ -> ()
+              | Tables.Distribute { targets; _ } -> List.iter hop targets)
+            l
+        in
+        actions e.actions;
+        (match e.nil_target with Some id -> hop (Tables.To_merger id) | None -> ());
+        !acc
+
+(* Sharding preserves per-flow order but not the cross-flow
+   interleaving, so every core downstream of a sharded NF observes a
+   different global arrival order. Shared_nothing and
+   Replicated_readonly consumers are insensitive to that by declaration
+   (per-flow, commutative or immutable state); a Sequential NF is not —
+   a FIFO cache evicts different keys, a sequence counter stamps
+   different nonces, a token bucket polices different packets. An NF
+   may therefore only shard when no Sequential-strategy NF is reachable
+   downstream of it in its service graph. *)
+let shardable ~(plan : Tables.plan) ~nf_of name =
+  eligible (nf_of name)
+  &&
+  let succ = successors plan in
+  let seen = Hashtbl.create 8 in
+  let ok = ref true in
+  let rec go n =
+    List.iter
+      (fun m ->
+        if !ok && not (Hashtbl.mem seen m) then begin
+          Hashtbl.add seen m ();
+          if derive (nf_of m) = Sequential then ok := false else go m
+        end)
+      (succ n)
+  in
+  go name;
+  !ok

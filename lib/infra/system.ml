@@ -12,6 +12,10 @@ type config = {
   jitter : float;
   seed : int64;
   batch_size : int;  (* poll-loop breath size on every core; 1 = per-packet legacy *)
+  replicas : int;
+      (* target replica count for NFs whose state-access profile makes
+         them safe to shard (Replication.eligible); ineligible NFs
+         always keep a single instance. 1 = bit-identical legacy *)
 }
 
 let default_config =
@@ -22,6 +26,7 @@ let default_config =
     jitter = 0.05;
     seed = 7L;
     batch_size = Nfp_sim.Cost.default.batch;
+    replicas = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -126,6 +131,25 @@ let stats_of_server (type a) (s : a Nfp_sim.Server.t) =
     queue = Nfp_sim.Server.queue_length s;
   }
 
+(* What the replication analysis decided for one NF of the deployment,
+   plus per-replica observables: the differential suite checks the
+   merged digest against an unreplicated run's, and the ledger tests
+   check the per-replica processed counts. *)
+type replica_report = {
+  rr_mid : int;
+  rr_nf : string;
+  rr_kind : string;
+  rr_strategy : Replication.strategy;
+  rr_replicas : int;
+  rr_processed : int list;  (* per replica, in shard order *)
+  rr_merged_digest : int;
+      (* replicas = 1: the instance digest. Shared_nothing: all replica
+         snapshots merged, restored into a fresh scratch instance, and
+         digested — equal to a sequential run's digest when the merge
+         is faithful. Replicated_readonly: replica 0's digest (all
+         replicas are identical by construction). *)
+}
+
 (* Shared no-op completion thunk: the common "nothing left to emit"
    result costs no allocation. *)
 let const_true () = true
@@ -227,12 +251,19 @@ let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
 let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
 
 let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_config)
-    ?batch_size ?fault ?stats ~graphs engine ~output =
+    ?batch_size ?replicas ?fault ?stats ?replication ~graphs engine ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
   (match (fault, path) with
   | Some _, `Interpretive ->
       invalid_arg "System.make_multi: fault injection requires the `Compiled path"
   | _ -> ());
+  (* Replica target for strategy-eligible NFs; 1 (the default) keeps
+     the deployment bit-identical to the pre-replication system. *)
+  let replicas_knob =
+    max 1 (match replicas with Some r -> r | None -> config.replicas)
+  in
+  if replicas_knob > 1 && path = `Interpretive then
+    invalid_arg "System.make_multi: replicas require the `Compiled path";
   let cost = config.cost in
   (* Breath size for every core's poll loop; 1 restores per-packet
      (legacy) execution exactly. Both execution paths get the same
@@ -275,6 +306,21 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
   let plan_of_mid mid : Tables.plan =
     let _, p, _ = table.(mid - 1) in
     p
+  in
+  (* Shard only NFs the profile analysis clears within their graph:
+     {!Replication.shardable} additionally vetoes any NF with an
+     order-sensitive (Sequential-strategy) NF downstream, since
+     sharding changes the cross-flow arrival order those cores see. *)
+  let replica_count mid name =
+    if
+      replicas_knob > 1
+      && Replication.shardable ~plan:(plan_of_mid mid)
+           ~nf_of:(fun n ->
+             let _, _, nfs = table.(mid - 1) in
+             nfs n)
+           name
+    then replicas_knob
+    else 1
   in
   (* Resolve every plan's NF implementations up front. *)
   let nf_impls =
@@ -353,6 +399,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         pr_replay = replay;
       }
       :: !probes
+  in
+  (* Per-NF replica layout, filled in by whichever execution path
+     builds the cores: (mid, entry, replica NF instances, per-replica
+     processed counters). The [?replication] report reads it. *)
+  let replica_layout :
+      (int * Tables.nf_entry * Nfp_nf.Nf.t array * (unit -> int) array) list ref =
+    ref []
   in
   let bypassed_packets = ref 0 and merge_timeouts = ref 0 in
   (* Run a retryable emission to completion off-core: used where no
@@ -483,6 +536,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                 ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
                 ~jitter:(jitter_for ()) ~service_ns ~execute ()
             in
+            replica_layout :=
+              (mid, entry, [| nf |], [| (fun () -> Nfp_sim.Server.processed core) |])
+              :: !replica_layout;
             Hashtbl.replace nf_cores (mid, entry.nf) core)
           nf_impls;
         (* Merger instances: shared across service graphs (paper §5.3: "a
@@ -627,13 +683,43 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         (classifier, sampler)
     | `Compiled ->
         (* ----------------- compiled construction ------------------- *)
-        let nf_servers : Context.t Nfp_sim.Server.t array ref = ref [||] in
-        (* Bypass state: a [true] slot routes around the NF — its
-           packets skip processing but still execute its compiled
-           action program (kept in [nf_cprogs]) so downstream cores and
-           mergers see every expected branch. *)
-        let bypassed = ref [||] in
+        (* One server array per NF slot: index 0 is the historical
+           single instance, further indices are RSS shards added by the
+           replicas knob for strategy-eligible NFs. *)
+        let nf_servers : Context.t Nfp_sim.Server.t array array ref = ref [||] in
+        (* Bypass state, per slot and replica: a [true] cell routes
+           around that replica — its packets skip processing but still
+           execute the slot's compiled action program (kept in
+           [nf_cprogs]) so downstream cores and mergers see every
+           expected branch. *)
+        let bypassed : bool array array ref = ref [||] in
         let nf_cprogs : cprog array ref = ref [||] in
+        (* RSS shard steering: the packet version each slot's NF reads,
+           so the send site can hash the 5-tuple that replica will
+           observe. The hash runs on its own seeded stream
+           ([Hashing.rss2_int]) — never correlated with the microflow
+           cache's bucket hash — and is skipped entirely for
+           single-replica slots, keeping the replicas=1 hot path (and
+           trace) bit-identical to the pre-replication system. Upstream
+           5-tuple rewrites (NAT, LB) are flow-deterministic, so every
+           packet of a flow hashes alike and lands on the same replica. *)
+        let nf_version_of =
+          Array.of_list
+            (List.map (fun (_, (e : Tables.nf_entry), _) -> e.Tables.version) nf_impls)
+        in
+        let shard_of ctx slot n =
+          match Context.get ctx nf_version_of.(slot) with
+          | None -> 0
+          | Some pkt ->
+              let a =
+                Nfp_algo.Hashing.pack_a_int (Packet.sip_int pkt) (Packet.sport pkt)
+                  (Packet.proto pkt)
+              in
+              let b =
+                Nfp_algo.Hashing.pack_b_int (Packet.dip_int pkt) (Packet.dport pkt)
+              in
+              Nfp_algo.Hashing.rss2_int a b mod n
+        in
         let merger_cores : cdelivery Nfp_sim.Server.t array ref = ref [||] in
         let agent_core : cdelivery Nfp_sim.Server.t option ref = ref None in
         let route_merge (d : cdelivery) =
@@ -794,12 +880,17 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   let ok =
                     match sends.(i) with
                     | S_nf slot ->
-                        if Array.length !bypassed > 0 && !bypassed.(slot) then begin
+                        let reps = !nf_servers.(slot) in
+                        let r =
+                          if Array.length reps < 2 then 0
+                          else shard_of ctx slot (Array.length reps)
+                        in
+                        if Array.length !bypassed > 0 && !bypassed.(slot).(r) then begin
                           incr bypassed_packets;
                           drive (exec_prog !nf_cprogs.(slot) ctx);
                           true
                         end
-                        else Nfp_sim.Server.offer !nf_servers.(slot) ctx
+                        else Nfp_sim.Server.offer reps.(r) ctx
                     | S_merge { merge; branch; nil } ->
                         route_merge { d_ctx = ctx; d_merge = merge; d_branch = branch; d_nil = nil }
                     | S_deliver v ->
@@ -839,11 +930,14 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
             !acc
           end
         in
-        (* NF cores, one per entry, in nf_impls order (the same PRNG
-           split order as the interpretive path). *)
+        (* NF cores, one array per entry, in nf_impls order (replica 0
+           first — at replicas=1 the same PRNG split order as the
+           interpretive path). Replica 0 is the caller's NF instance;
+           further replicas are fresh instances from [Nf.fresh], each
+           with its own state, recovery cell, fault stream and probe. *)
         let servers =
           List.mapi
-            (fun slot (mid, (entry : Tables.nf_entry), (nf : Nfp_nf.Nf.t)) ->
+            (fun slot (mid, (entry : Tables.nf_entry), (nf0 : Nfp_nf.Nf.t)) ->
               let prog = compile_actions ~mid ~self:(Tables.D_nf entry.nf) entry.actions in
               let nil_sends =
                 match entry.nil_target with
@@ -859,6 +953,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                         };
                     |]
               in
+              let n_replicas = replica_count mid entry.nf in
+              let make_replica r (nf : Nfp_nf.Nf.t) =
               (* Lossless-recovery cell, armed when checkpointing is on
                  and the NF can snapshot/restore its state: the last
                  checkpoint, plus a bounded log of pre-processing packet
@@ -957,7 +1053,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                           const_true
                         end)
               in
-              let name = Printf.sprintf "mid%d:%s" mid entry.nf in
+              (* Replica 0 keeps the historical core name; shards get an
+                 @r suffix, so fault plans can target (and crash) each
+                 replica independently. *)
+              let name =
+                if r = 0 then Printf.sprintf "mid%d:%s" mid entry.nf
+                else Printf.sprintf "mid%d:%s@%d" mid entry.nf r
+              in
               let server =
                 Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
                   ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?fault:(fault_for name)
@@ -966,13 +1068,14 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               (match recovery with
               | Some (_, _, _, charge) -> charge := Nfp_sim.Server.charge server
               | None -> ());
-              (* Bypass recovery: mark the slot, reroute this core's
+              (* Bypass recovery: mark the replica, reroute this core's
                  casualties (the in-flight batch its kill reclaimed, and
                  any pending emissions) plus the queued backlog through
                  its action program, so every packet lands in exactly
-                 one ledger bucket and no merger waits on this branch. *)
+                 one ledger bucket and no merger waits on this branch.
+                 Other replicas of the slot keep processing. *)
               let drain () =
-                !bypassed.(slot) <- true;
+                !bypassed.(slot).(r) <- true;
                 Nfp_sim.Server.set_casualty_sink server (fun jobs emits ->
                     List.iter
                       (fun ctx ->
@@ -1002,13 +1105,41 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   | Some (_, _, replay, _) -> Some replay
                   | None -> None)
                 server;
-              (server, prog))
+              server
+              in
+              let replica_nfs =
+                Array.init n_replicas (fun r ->
+                    if r = 0 then nf0
+                    else
+                      match nf0.Nfp_nf.Nf.fresh with
+                      | Some fresh -> fresh ()
+                      | None -> assert false (* replica_count guarantees fresh *))
+              in
+              (* Build replicas in index order: each creation splits the
+                 jitter PRNG, and the replicas=1 trace must keep the
+                 historical split sequence. *)
+              let reps = Array.make n_replicas None in
+              Array.iteri
+                (fun r nf -> reps.(r) <- Some (make_replica r nf))
+                replica_nfs;
+              let reps = Array.map Option.get reps in
+              replica_layout :=
+                ( mid,
+                  entry,
+                  replica_nfs,
+                  Array.map
+                    (fun s () -> Nfp_sim.Server.processed s)
+                    reps )
+                :: !replica_layout;
+              (reps, prog))
             nf_impls
         in
         let servers, progs = List.split servers in
         nf_servers := Array.of_list servers;
         nf_cprogs := Array.of_list progs;
-        bypassed := Array.make (List.length nf_impls) false;
+        bypassed :=
+          Array.of_list
+            (List.map (fun reps -> Array.make (Array.length reps) false) servers);
         (* Merge completion, shared by the full-arrival path and the
            timeout path. [nil_mask] decides the drop policy; [skip_mask]
            marks branches whose versions must not feed the merge ops —
@@ -1163,7 +1294,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         in
         let sampler () =
           stats_of_server classifier
-          :: (List.map stats_of_server servers
+          :: (List.concat_map
+                (fun reps -> Array.to_list (Array.map stats_of_server reps))
+                servers
              |> List.sort (fun a b -> compare a.core b.core))
           @ Array.to_list (Array.map stats_of_server !merger_cores)
           @ (match !agent_core with Some a -> [ stats_of_server a ] | None -> [])
@@ -1200,6 +1333,48 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         match result with Some m -> m | None -> 0)
   in
   (match stats with None -> () | Some cell -> cell := sampler);
+  (* Replication report: strategy, replica fan-out and per-replica
+     processed counts for every NF, plus the merged state digest. Call
+     it after a run drains — the digest reads live NF state. *)
+  let replication_report () =
+    List.rev_map
+      (fun (mid, (entry : Tables.nf_entry), nfs_arr, processed_arr) ->
+        let nf0 : Nfp_nf.Nf.t = nfs_arr.(0) in
+        let merged_digest =
+          if Array.length nfs_arr = 1 then nf0.state_digest ()
+          else
+            match (nf0.merge, nf0.fresh) with
+            | Some merge, Some fresh ->
+                let snaps =
+                  Array.to_list
+                    (Array.map
+                       (fun (nf : Nfp_nf.Nf.t) ->
+                         match nf.snapshot with
+                         | Some snap -> snap ()
+                         | None -> assert false (* eligibility requires it *))
+                       nfs_arr)
+                in
+                let scratch = fresh () in
+                (match scratch.restore with
+                | Some restore -> restore (merge snaps)
+                | None -> assert false);
+                scratch.state_digest ()
+            | _ ->
+                (* Replicated_readonly: replicas never diverge. *)
+                nf0.state_digest ()
+        in
+        {
+          rr_mid = mid;
+          rr_nf = entry.nf;
+          rr_kind = nf0.kind;
+          rr_strategy = Replication.derive nf0;
+          rr_replicas = Array.length nfs_arr;
+          rr_processed = Array.to_list (Array.map (fun f -> f ()) processed_arr);
+          rr_merged_digest = merged_digest;
+        })
+      !replica_layout
+  in
+  (match replication with None -> () | Some cell -> cell := replication_report);
   (* ---------------------------------------------------------------- *)
   (* Degrade fallback: one sequential twin chain per service graph,   *)
   (* built from the plan's provably-equivalent serial order. While a  *)
@@ -1468,7 +1643,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     health;
   }
 
-let make ?path ?classify ?config ?batch_size ?fault ?stats ~plan ~nfs engine ~output =
-  make_multi ?path ?classify ?config ?batch_size ?fault ?stats
+let make ?path ?classify ?config ?batch_size ?replicas ?fault ?stats ?replication
+    ~plan ~nfs engine ~output =
+  make_multi ?path ?classify ?config ?batch_size ?replicas ?fault ?stats ?replication
     ~graphs:[ (Flow_match.any, plan, nfs) ]
     engine ~output

@@ -21,6 +21,12 @@ type config = {
           per-packet (legacy) execution bit-for-bit. Output is
           batch-size invariant — only timing moves (test_batch proves
           it differentially). *)
+  replicas : int;
+      (** target replica count for NFs the replication analysis clears
+          ({!Nfp_core.Replication.shardable}: a safe state-access
+          profile and no order-sensitive NF downstream); all other NFs
+          keep a single instance. Default 1 — bit-identical to the
+          pre-replication deployment. *)
 }
 
 val default_config : config
@@ -78,7 +84,9 @@ val default_fault_config : fault_config
     interval, and a 4096-packet input log. *)
 
 type core_stats = {
-  core : string;  (** classifier, mid<k>:<nf>, merger#<i>, merger-agent *)
+  core : string;
+      (** classifier, mid<k>:<nf> (replica 0), mid<k>:<nf>@<r> (RSS
+          shard r ≥ 1), merger#<i>, merger-agent *)
   busy_ns : float;
   stalled_ns : float;  (** time blocked on downstream backpressure *)
   processed : int;
@@ -86,13 +94,34 @@ type core_stats = {
   queue : int;  (** ring occupancy when sampled *)
 }
 
+(** {2 Intra-NF replication} *)
+
+type replica_report = {
+  rr_mid : int;
+  rr_nf : string;  (** plan instance name *)
+  rr_kind : string;
+  rr_strategy : Nfp_core.Replication.strategy;  (** derived, not configured *)
+  rr_replicas : int;  (** instances actually deployed for this NF *)
+  rr_processed : int list;  (** per-replica processed counts, shard order *)
+  rr_merged_digest : int;
+      (** the state digest a single unreplicated instance would hold:
+          replica snapshots combined by [Nf.merge] and restored into a
+          fresh scratch instance (Shared_nothing), or the instance
+          digest directly (single replica / read-only state). Read it
+          after the run drains — it reflects live NF state. *)
+}
+(** One entry per NF of the deployment, from the [?replication] report
+    of {!make}/{!make_multi}. *)
+
 val make :
   ?path:[ `Compiled | `Interpretive ] ->
   ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
   ?batch_size:int ->
+  ?replicas:int ->
   ?fault:fault_config ->
   ?stats:(unit -> core_stats list) ref ->
+  ?replication:(unit -> replica_report list) ref ->
   plan:Nfp_core.Tables.plan ->
   nfs:(string -> Nfp_nf.Nf.t) ->
   Nfp_sim.Engine.t ->
@@ -107,8 +136,10 @@ val make_multi :
   ?classify:[ `Cached | `Scan ] ->
   ?config:config ->
   ?batch_size:int ->
+  ?replicas:int ->
   ?fault:fault_config ->
   ?stats:(unit -> core_stats list) ref ->
+  ?replication:(unit -> replica_report list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
   Nfp_sim.Engine.t ->
   output:(pid:int64 -> Packet.t -> unit) ->
@@ -139,6 +170,24 @@ val make_multi :
     [batch_size] overrides [config.batch_size] for this deployment —
     the knob the batch bench sweeps without rebuilding configs.
 
+    [replicas] overrides [config.replicas] (compiled path only): NFs
+    the replication analysis clears ({!Nfp_core.Replication.shardable}
+    — a safe state-access profile, the [fresh]/[merge] machinery, and
+    no Sequential-strategy NF downstream in the graph) are deployed as
+    that many RSS-sharded instances. A shard stage at
+    every send site steers each flow to a fixed replica by hashing its
+    packed 5-tuple on an independent seeded stream
+    ({!Nfp_algo.Hashing.rss2_int} — uncorrelated with the microflow
+    cache's bucket hash), so per-flow state never splits across
+    replicas; commutative state recombines through [Nf.merge] (see
+    {!replica_report}). Replication composes with batching, fault
+    injection, checkpoints and lossless replay — each replica carries
+    its own recovery cell, probe, and health/ledger counters (core
+    names [mid<k>:<nf>@<r>] are independently targetable by fault
+    plans). The default (1) is bit-identical to the pre-replication
+    deployment. When a [replication] ref is supplied it is filled with
+    a thunk producing the per-NF {!replica_report} list.
+
     [path] selects the execution strategy. [`Compiled] (the default)
     translates every plan once, at deployment time, into a preresolved
     program: merge specs in arrays indexed by merge id, NF and merger
@@ -166,4 +215,4 @@ val make_multi :
     packet trace byte-identical to a system built without [fault] (the
     differential test in test/test_fastpath.ml enforces this).
     @raise Invalid_argument on an empty table, a missing NF, or
-    [fault] combined with the [`Interpretive] path. *)
+    [fault] or [replicas > 1] combined with the [`Interpretive] path. *)

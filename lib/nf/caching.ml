@@ -6,6 +6,18 @@ type Nf.state += State of (int, unit) Hashtbl.t * int Queue.t * int * int
 
 let profile = Action.[ Read Field.Sip; Read Field.Dip; Read Field.Payload ]
 
+(* The FIFO eviction order interleaves keys from every flow: which
+   entry a miss evicts — and therefore which future packets hit —
+   depends on the global arrival order, so the cache is honestly
+   Sequential. *)
+let state_access =
+  State_access.
+    [
+      global General "object-table+fifo";
+      global Commutative "hit-counter";
+      global Commutative "miss-counter";
+    ]
+
 let create ?(name = "cache") ?(capacity = 4096) () =
   let table : (int, unit) Hashtbl.t ref = ref (Hashtbl.create 1024) in
   let order = ref (Queue.create ()) in
@@ -51,7 +63,7 @@ let create ?(name = "cache") ?(capacity = 4096) () =
   in
   ( Nf.make ~name ~kind:"Caching" ~profile
       ~cost_cycles:(fun _ -> 260)
-      ~state_digest ~snapshot ~restore process,
+      ~state_digest ~snapshot ~restore ~state_access process,
     {
       hits = (fun () -> !hits);
       misses = (fun () -> !misses);

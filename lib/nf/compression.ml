@@ -10,7 +10,27 @@ type Nf.state += State of int * int * int
 
 let profile = Action.[ Read Field.Payload; Write Field.Payload; Write Field.Len ]
 
-let create ?(name = "comp") () =
+let state_access =
+  State_access.
+    [
+      global Commutative "compressed-counter";
+      global Commutative "skipped-counter";
+      global Commutative "bytes-saved-counter";
+    ]
+
+let merge states =
+  let compressed = ref 0 and skipped = ref 0 and saved = ref 0 in
+  List.iter
+    (function
+      | State (c, sk, sv) ->
+          compressed := !compressed + c;
+          skipped := !skipped + sk;
+          saved := !saved + sv
+      | _ -> invalid_arg "Compression.merge: foreign state")
+    states;
+  State (!compressed, !skipped, !saved)
+
+let rec create ?(name = "comp") () =
   let compressed = ref 0 and skipped = ref 0 and saved = ref 0 in
   let process pkt =
     let payload = Packet.payload pkt in
@@ -35,7 +55,9 @@ let create ?(name = "comp") () =
   ( Nf.make ~name ~kind:"Compression" ~profile ~cost_cycles
       ~state_digest:(fun () ->
         Nfp_algo.Hashing.combine !compressed (Nfp_algo.Hashing.combine !skipped !saved))
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access
+      ~fresh:(fun () -> fst (create ~name ()))
+      ~merge process,
     {
       compressed = (fun () -> !compressed);
       skipped = (fun () -> !skipped);

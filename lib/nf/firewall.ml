@@ -57,7 +57,26 @@ let profile =
   Action.
     [ Read Field.Sip; Read Field.Dip; Read Field.Sport; Read Field.Dport; Drop ]
 
-let create ?(name = "fw") ?(extra_cycles = 0) ?acl () =
+let state_access =
+  State_access.
+    [
+      global Read_only "acl";
+      global Commutative "passed-counter";
+      global Commutative "dropped-counter";
+    ]
+
+let merge states =
+  let passed = ref 0 and dropped = ref 0 in
+  List.iter
+    (function
+      | State (p, d) ->
+          passed := !passed + p;
+          dropped := !dropped + d
+      | _ -> invalid_arg "Firewall.merge: foreign state")
+    states;
+  State (!passed, !dropped)
+
+let rec create ?(name = "fw") ?(extra_cycles = 0) ?acl () =
   let acl = match acl with Some a -> a | None -> default_acl 100 in
   let passed = ref 0 and dropped = ref 0 in
   let process pkt =
@@ -79,5 +98,7 @@ let create ?(name = "fw") ?(extra_cycles = 0) ?acl () =
   in
   ( Nf.make ~name ~kind:"Firewall" ~profile ~cost_cycles
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine !passed !dropped)
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access
+      ~fresh:(fun () -> fst (create ~name ~extra_cycles ~acl ()))
+      ~merge process,
     { passed = (fun () -> !passed); dropped = (fun () -> !dropped) } )

@@ -6,7 +6,34 @@ type Nf.state += State of (int32 * int32, int) Hashtbl.t * int
 
 let profile = Action.[ Read Field.Sip; Read Field.Dip ]
 
-let create ?(name = "gw") () =
+(* The (sip, dip) session key is coarser than a 5-tuple, so flows from
+   different shards can touch the same entry — but the only write is a
+   commutative increment the NF never reads back, so partial counts sum
+   across replicas. Hence Global/Commutative, not Per_flow. *)
+let state_access =
+  State_access.
+    [
+      global Commutative "session-counters"; global Commutative "packet-counter";
+    ]
+
+let merge states =
+  let sessions = Hashtbl.create 256 and packets = ref 0 in
+  List.iter
+    (function
+      | State (s, n) ->
+          packets := !packets + n;
+          Hashtbl.iter
+            (fun key c ->
+              let prev =
+                match Hashtbl.find_opt sessions key with Some p -> p | None -> 0
+              in
+              Hashtbl.replace sessions key (prev + c))
+            s
+      | _ -> invalid_arg "Gateway.merge: foreign state")
+    states;
+  State (sessions, !packets)
+
+let rec create ?(name = "gw") () =
   let sessions : (int32 * int32, int) Hashtbl.t ref = ref (Hashtbl.create 256) in
   let packets = ref 0 in
   let process pkt =
@@ -16,13 +43,16 @@ let create ?(name = "gw") () =
     incr packets;
     Nf.Forward
   in
+  (* Commutative fold (sum of per-entry hashes) so the digest survives
+     shard merging, which permutes iteration order. *)
   let state_digest () =
     Hashtbl.fold
       (fun (sip, dip) n acc ->
-        Nfp_algo.Hashing.combine acc
-          (Nfp_algo.Hashing.combine (Int32.to_int sip)
-             (Nfp_algo.Hashing.combine (Int32.to_int dip) n)))
-      !sessions 17
+        (acc
+        + Nfp_algo.Hashing.combine (Int32.to_int sip)
+            (Nfp_algo.Hashing.combine (Int32.to_int dip) n))
+        land max_int)
+      !sessions !packets
   in
   let snapshot () = State (Hashtbl.copy !sessions, !packets) in
   let restore = function
@@ -32,5 +62,7 @@ let create ?(name = "gw") () =
     | _ -> invalid_arg "Gateway.restore: foreign state"
   in
   ( Nf.make ~name ~kind:"Gateway" ~profile ~cost_cycles:(fun _ -> 150) ~state_digest
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access
+      ~fresh:(fun () -> fst (create ~name ()))
+      ~merge process,
     { sessions = (fun () -> Hashtbl.length !sessions); packets = (fun () -> !packets) } )

@@ -22,7 +22,29 @@ let base_profile =
       Read Field.Payload;
     ]
 
-let create ?(name = "ids") ?(mode = `Detect) ?signatures () =
+(* The Prevent verdict depends only on the packet's own payload and the
+   immutable automaton, never on the counters, so IDS and IPS are both
+   shardable: replicas reach identical per-packet verdicts. *)
+let state_access =
+  State_access.
+    [
+      global Read_only "signature-automaton";
+      global Commutative "alerts-counter";
+      global Commutative "scanned-counter";
+    ]
+
+let merge states =
+  let alerts = ref 0 and scanned = ref 0 in
+  List.iter
+    (function
+      | State (a, s) ->
+          alerts := !alerts + a;
+          scanned := !scanned + s
+      | _ -> invalid_arg "Ids.merge: foreign state")
+    states;
+  State (!alerts, !scanned)
+
+let rec create ?(name = "ids") ?(mode = `Detect) ?signatures () =
   let signatures = match signatures with Some s -> s | None -> default_signatures 100 in
   let automaton = Nfp_algo.Aho_corasick.build signatures in
   let alerts = ref 0 and scanned = ref 0 in
@@ -47,5 +69,7 @@ let create ?(name = "ids") ?(mode = `Detect) ?signatures () =
   ( Nf.make ~name ~kind:(match mode with `Detect -> "IDS" | `Prevent -> "IPS") ~profile
       ~cost_cycles
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine !alerts !scanned)
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access
+      ~fresh:(fun () -> fst (create ~name ~mode ~signatures ()))
+      ~merge process,
     { alerts = (fun () -> !alerts); scanned = (fun () -> !scanned) } )

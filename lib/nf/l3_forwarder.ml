@@ -20,6 +20,21 @@ let build_table n =
   done;
   table
 
+(* [last] is a last-writer-wins cell read back by telemetry and folded
+   into the digest: its final value depends on which packet the NF saw
+   last across all flows, a global general write. That one cell pins
+   the forwarder to Sequential — an honest cost of keeping the
+   telemetry; a deployment that dropped [last_next_hop] would be
+   Shared_nothing like the firewall. *)
+let state_access =
+  State_access.
+    [
+      global Read_only "fib";
+      global Commutative "forwarded-counter";
+      global Commutative "no-route-counter";
+      global General "last-next-hop";
+    ]
+
 let create ?(name = "fwd") ?(routes = 1000) () =
   let table = build_table routes in
   let forwarded = ref 0 and no_route = ref 0 in
@@ -47,7 +62,7 @@ let create ?(name = "fwd") ?(routes = 1000) () =
       ~state_digest:(fun () ->
         Nfp_algo.Hashing.combine !forwarded
           (Nfp_algo.Hashing.combine !no_route (match !last with Some h -> h + 1 | None -> 0)))
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access process,
     {
       forwarded = (fun () -> !forwarded);
       no_route = (fun () -> !no_route);

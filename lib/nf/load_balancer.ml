@@ -20,7 +20,27 @@ let profile =
       Read Field.Dport;
     ]
 
-let create ?(name = "lb") ?(vip = default_vip) ?(backends = default_backends) () =
+(* The backend pick is a pure function of the flow hash, not of the
+   counters — the counters only tally the choice — so replicas reach
+   identical rewrites and the per-backend counts sum. *)
+let state_access =
+  State_access.[ global Commutative "backend-counters" ]
+
+let merge states =
+  match states with
+  | [] -> invalid_arg "Load_balancer.merge: no states"
+  | State first :: _ ->
+      let counts = Array.make (Array.length first) 0 in
+      List.iter
+        (function
+          | State c ->
+              Array.iteri (fun i n -> counts.(i) <- counts.(i) + n) c
+          | _ -> invalid_arg "Load_balancer.merge: foreign state")
+        states;
+      State counts
+  | _ -> invalid_arg "Load_balancer.merge: foreign state"
+
+let rec create ?(name = "lb") ?(vip = default_vip) ?(backends = default_backends) () =
   if Array.length backends = 0 then invalid_arg "Load_balancer.create: no backends";
   let counts = Array.make (Array.length backends) 0 in
   let process pkt =
@@ -39,5 +59,7 @@ let create ?(name = "lb") ?(vip = default_vip) ?(backends = default_backends) ()
   ( Nf.make ~name ~kind:"LoadBalancer" ~profile
       ~cost_cycles:(fun _ -> 200)
       ~state_digest:(fun () -> Array.fold_left Nfp_algo.Hashing.combine 17 counts)
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access
+      ~fresh:(fun () -> fst (create ~name ~vip ~backends ()))
+      ~merge process,
     { per_backend = (fun () -> Array.copy counts) } )

@@ -14,7 +14,36 @@ let profile =
   Action.
     [ Read Field.Sip; Read Field.Dip; Read Field.Sport; Read Field.Dport; Read Field.Len ]
 
-let create ?(name = "mon") () =
+let state_access =
+  State_access.
+    [
+      per_flow Commutative "flow-counters"; global Commutative "total-packets";
+    ]
+
+(* Shards recombine by summing, so the merged table's iteration order
+   differs from a single instance's — the digest must be a commutative
+   fold (a sum of per-entry hashes), not an order-dependent chain. *)
+let merge states =
+  let table = Hashtbl.create 1024 and total = ref 0 in
+  List.iter
+    (function
+      | State (t, n) ->
+          total := !total + n;
+          Hashtbl.iter
+            (fun flow c ->
+              let prev =
+                match Hashtbl.find_opt table flow with
+                | Some p -> p
+                | None -> { packets = 0; bytes = 0 }
+              in
+              Hashtbl.replace table flow
+                { packets = prev.packets + c.packets; bytes = prev.bytes + c.bytes })
+            t
+      | _ -> invalid_arg "Monitor.merge: foreign state")
+    states;
+  State (table, !total)
+
+let rec create ?(name = "mon") () =
   let table : (Flow.t, counter) Hashtbl.t ref = ref (Hashtbl.create 1024) in
   let total = ref 0 in
   let process pkt =
@@ -30,10 +59,11 @@ let create ?(name = "mon") () =
   let state_digest () =
     Hashtbl.fold
       (fun flow c acc ->
-        Nfp_algo.Hashing.combine acc
-          (Nfp_algo.Hashing.combine (Flow.hash flow)
-             (Nfp_algo.Hashing.combine c.packets c.bytes)))
-      !table 17
+        (acc
+        + Nfp_algo.Hashing.combine (Flow.hash flow)
+            (Nfp_algo.Hashing.combine c.packets c.bytes))
+        land max_int)
+      !table !total
   in
   let snapshot () = State (Hashtbl.copy !table, !total) in
   let restore = function
@@ -43,7 +73,9 @@ let create ?(name = "mon") () =
     | _ -> invalid_arg "Monitor.restore: foreign state"
   in
   ( Nf.make ~name ~kind:"Monitor" ~profile ~cost_cycles:(fun _ -> 220) ~state_digest
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access
+      ~fresh:(fun () -> fst (create ~name ()))
+      ~merge process,
     {
       flows = (fun () -> Hashtbl.length !table);
       lookup = (fun f -> Hashtbl.find_opt !table f);

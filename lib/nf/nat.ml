@@ -20,28 +20,72 @@ let profile =
 
 let default_public = Int32.of_int ((203 lsl 24) lor (113 lsl 8) lor 7)
 
-let create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000)
-    ?(port_count = 10000) () =
+(* The binding table is per-flow, but the default port allocator is a
+   global cursor: which port a flow gets depends on the cross-flow
+   arrival order, so a sharded run could hand out different ports than
+   a sequential one. `Hashed derives the port from the flow itself
+   (collisions between flows are acceptable in this one-way simulator —
+   two flows sharing a public port still translate deterministically),
+   which removes the global write and makes the NAT shardable. *)
+let state_access_of = function
+  | `Sequential ->
+      State_access.
+        [
+          per_flow General "binding-table";
+          global General "port-allocator";
+          global Commutative "exhausted-counter";
+        ]
+  | `Hashed ->
+      State_access.
+        [
+          per_flow General "binding-table"; global Commutative "exhausted-counter";
+        ]
+
+(* Under `Hashed the same flow maps to the same port in every replica,
+   so a duplicate binding (e.g. one left behind by a Degrade twin
+   chain) carries an equal value and the union is conflict-free. *)
+let merge states =
+  let bindings = Hashtbl.create 1024 in
+  let next_port = ref 0 and exhausted = ref 0 in
+  List.iter
+    (function
+      | State (b, np, ex) ->
+          next_port := !next_port + np;
+          exhausted := !exhausted + ex;
+          Hashtbl.iter (fun flow port -> Hashtbl.replace bindings flow port) b
+      | _ -> invalid_arg "Nat.merge: foreign state")
+    states;
+  State (bindings, !next_port, !exhausted)
+
+let rec create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000)
+    ?(port_count = 10000) ?(alloc = `Sequential) () =
   (* State sits behind a ref so restore can swap in a [Hashtbl.copy] of
-     the checkpoint: the copy preserves bucket structure, which keeps
-     the order-dependent fold in [state_digest] byte-stable across a
-     snapshot/restore/replay cycle. *)
+     the checkpoint. *)
   let bindings : (Flow.t, int) Hashtbl.t ref = ref (Hashtbl.create 1024) in
   let next_port = ref 0 in
   let exhausted = ref 0 in
+  let alloc_port flow =
+    match alloc with
+    | `Sequential ->
+        if !next_port >= port_count then None
+        else begin
+          let p = port_base + !next_port in
+          incr next_port;
+          Some p
+        end
+    | `Hashed -> Some (port_base + (Flow.hash flow mod port_count))
+  in
   let process pkt =
     let flow = Packet.flow pkt in
     let port =
       match Hashtbl.find_opt !bindings flow with
       | Some p -> Some p
-      | None ->
-          if !next_port >= port_count then None
-          else begin
-            let p = port_base + !next_port in
-            incr next_port;
-            Hashtbl.add !bindings flow p;
-            Some p
-          end
+      | None -> (
+          match alloc_port flow with
+          | Some p ->
+              Hashtbl.add !bindings flow p;
+              Some p
+          | None -> None)
     in
     match port with
     | None ->
@@ -52,10 +96,13 @@ let create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000)
         Packet.set_sport pkt p;
         Nf.Forward
   in
+  (* Commutative fold (sum of per-entry hashes) so the digest is
+     insensitive to iteration order — both the snapshot/restore/replay
+     cycle and shard merging permute Hashtbl internals. *)
   let state_digest () =
     Hashtbl.fold
       (fun flow port acc ->
-        Nfp_algo.Hashing.combine acc (Nfp_algo.Hashing.combine (Flow.hash flow) port))
+        (acc + Nfp_algo.Hashing.combine (Flow.hash flow) port) land max_int)
       !bindings
       (Nfp_algo.Hashing.combine !next_port !exhausted)
   in
@@ -68,7 +115,10 @@ let create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000)
     | _ -> invalid_arg "Nat.restore: foreign state"
   in
   ( Nf.make ~name ~kind:"NAT" ~profile ~cost_cycles:(fun _ -> 240) ~state_digest
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access:(state_access_of alloc)
+      ~fresh:(fun () ->
+        fst (create ~name ~public_ip ~port_base ~port_count ~alloc ()))
+      ~merge process,
     {
       active_bindings = (fun () -> Hashtbl.length !bindings);
       exhausted = (fun () -> !exhausted);

@@ -9,5 +9,19 @@
 type stats = { active_bindings : unit -> int; exhausted : unit -> int }
 
 val create :
-  ?name:string -> ?public_ip:int32 -> ?port_base:int -> ?port_count:int -> unit -> Nf.t * stats
-(** Packets are dropped when the port pool is exhausted. *)
+  ?name:string ->
+  ?public_ip:int32 ->
+  ?port_base:int ->
+  ?port_count:int ->
+  ?alloc:[ `Sequential | `Hashed ] ->
+  unit ->
+  Nf.t * stats
+(** Packets are dropped when the port pool is exhausted.
+
+    [alloc] picks the port allocator (default [`Sequential], a global
+    cursor — bit-identical to the historical behaviour). The cursor is
+    a global general write, so a sequential-alloc NAT derives the
+    [Sequential] replication strategy; [`Hashed] computes each flow's
+    port from the flow hash instead (distinct flows may share a port),
+    which removes the global write and makes the NAT RSS-shardable
+    ([Shared_nothing]). *)

@@ -15,10 +15,13 @@ type t = {
   state_digest : unit -> int;
   snapshot : (unit -> state) option;
   restore : (state -> unit) option;
+  state_access : State_access.t option;
+  fresh : (unit -> t) option;
+  merge : (state list -> state) option;
 }
 
 let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) ?snapshot
-    ?restore process =
+    ?restore ?state_access ?fresh ?merge process =
   {
     name;
     kind;
@@ -28,6 +31,9 @@ let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) ?snapsh
     state_digest;
     snapshot;
     restore;
+    state_access;
+    fresh;
+    merge;
   }
 
 let rename t name = { t with name }

@@ -35,6 +35,20 @@ type t = {
   restore : (state -> unit) option;
       (** install a previously captured checkpoint; must copy out of the
           state value so one checkpoint can be restored repeatedly *)
+  state_access : State_access.t option;
+      (** declared state-access profile; [None] means the NF makes no
+          claim about its state, which the replication analysis treats
+          as unsafe to replicate (strategy [Sequential]) *)
+  fresh : (unit -> t) option;
+      (** factory for a brand-new instance with the same construction
+          parameters and empty state — the orchestrator calls it once
+          per extra replica when sharding an NF across cores *)
+  merge : (state list -> state) option;
+      (** combine the snapshots of all replicas into the state a single
+          unreplicated instance would hold: per-flow entries are
+          disjoint-unioned, commutative components summed. Must be
+          insensitive to the order of the snapshot list. Required (with
+          [snapshot]/[restore]) for the [Shared_nothing] strategy. *)
 }
 
 val make :
@@ -45,11 +59,16 @@ val make :
   ?state_digest:(unit -> int) ->
   ?snapshot:(unit -> state) ->
   ?restore:(state -> unit) ->
+  ?state_access:State_access.t ->
+  ?fresh:(unit -> t) ->
+  ?merge:(state list -> state) ->
   (Packet.t -> verdict) ->
   t
 (** Profile is normalized. [state_digest] defaults to a constant.
     [snapshot]/[restore] default to [None]: the recovery subsystem only
-    arms checkpoint/replay for NFs that provide both. *)
+    arms checkpoint/replay for NFs that provide both. [state_access],
+    [fresh] and [merge] default to [None]: the replication analysis only
+    shards NFs that declare their state and provide the machinery. *)
 
 val rename : t -> string -> t
 (** Same NF type/state sharing the underlying closures under a new

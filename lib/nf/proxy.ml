@@ -13,7 +13,18 @@ let profile =
 
 let default_origin = Int32.of_int ((198 lsl 24) lor (51 lsl 16) lor (100 lsl 8) lor 10)
 
-let create ?(name = "proxy") ?(origin = default_origin) ?(via = "Via:nfp-proxy ") () =
+let state_access = State_access.[ global Commutative "redirected-counter" ]
+
+let merge states =
+  let redirected = ref 0 in
+  List.iter
+    (function
+      | State r -> redirected := !redirected + r
+      | _ -> invalid_arg "Proxy.merge: foreign state")
+    states;
+  State !redirected
+
+let rec create ?(name = "proxy") ?(origin = default_origin) ?(via = "Via:nfp-proxy ") () =
   let redirected = ref 0 in
   let process pkt =
     Packet.set_dip pkt origin;
@@ -29,5 +40,7 @@ let create ?(name = "proxy") ?(origin = default_origin) ?(via = "Via:nfp-proxy "
   ( Nf.make ~name ~kind:"Proxy" ~profile
       ~cost_cycles:(fun _ -> 380)
       ~state_digest:(fun () -> !redirected)
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access
+      ~fresh:(fun () -> fst (create ~name ~origin ~via ()))
+      ~merge process,
     { redirected = (fun () -> !redirected) } )

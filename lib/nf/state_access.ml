@@ -1,0 +1,25 @@
+type scope = Per_flow | Global
+type mode = Read_only | Commutative | General
+type component = { label : string; scope : scope; mode : mode }
+type t = component list
+
+let component ~label ~scope ~mode = { label; scope; mode }
+let per_flow mode label = { label; scope = Per_flow; mode }
+let global mode label = { label; scope = Global; mode }
+
+let scope_to_string = function Per_flow -> "per-flow" | Global -> "global"
+
+let mode_to_string = function
+  | Read_only -> "read-only"
+  | Commutative -> "commutative-write"
+  | General -> "general-write"
+
+let pp_component fmt c =
+  Format.fprintf fmt "%s:%s/%s" c.label (scope_to_string c.scope) (mode_to_string c.mode)
+
+let pp fmt t =
+  if t = [] then Format.pp_print_string fmt "stateless"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_component fmt t

@@ -4,6 +4,17 @@ type stats = { conformed : unit -> int; policed : unit -> int }
 
 type Nf.state += State of (float * int64) * int64 * int * int
 
+(* The token bucket is drained by every flow and decides per-packet
+   admit/police verdicts: a read-modify-write on shared state that
+   shapes output, the canonical Sequential NF. *)
+let state_access =
+  State_access.
+    [
+      global General "token-bucket";
+      global Commutative "conformed-counter";
+      global Commutative "policed-counter";
+    ]
+
 let create ?(name = "shaper") ?(rate_bps = 1e9) ?(burst_bytes = 65536) () =
   let bucket = Nfp_algo.Token_bucket.create ~rate_bps ~burst_bytes in
   let now = ref 0L in
@@ -43,6 +54,6 @@ let create ?(name = "shaper") ?(rate_bps = 1e9) ?(burst_bytes = 65536) () =
   ( Nf.make ~name ~kind:"TrafficShaper"
       ~profile:[ Action.Read Field.Len; Action.Drop ]
       ~cost_cycles:(fun _ -> 130)
-      ~state_digest ~snapshot ~restore process,
+      ~state_digest ~snapshot ~restore ~state_access process,
     { conformed = (fun () -> !conformed); policed = (fun () -> !policed) },
     fun t -> now := t )

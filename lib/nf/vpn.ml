@@ -21,6 +21,17 @@ let nonce_of ~spi ~seq =
     (Int64.shift_left (Int64.of_int32 spi) 32)
     (Int64.logand (Int64.of_int32 seq) 0xffffffffL)
 
+(* The sequence counter feeds every packet's nonce: ciphertext depends
+   on the exact cross-flow packet order, so sharding would change the
+   bytes on the wire. Sequential. *)
+let state_access =
+  State_access.
+    [
+      global Read_only "aes-key-schedule";
+      global General "sequence-counter";
+      global Commutative "encrypted-counter";
+    ]
+
 let create ?(name = "vpn") ?(key = default_key) ?(spi = 0x1001l) () =
   let aes = Nfp_algo.Aes.expand_key key in
   let seq = ref 0l in
@@ -54,7 +65,7 @@ let create ?(name = "vpn") ?(key = default_key) ?(spi = 0x1001l) () =
   in
   ( Nf.make ~name ~kind:"VPN" ~profile ~cost_cycles
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine (Int32.to_int !seq) !encrypted)
-      ~snapshot ~restore process,
+      ~snapshot ~restore ~state_access process,
     { encrypted = (fun () -> !encrypted); sequence = (fun () -> !seq) } )
 
 let decrypt ~key pkt =

@@ -568,6 +568,46 @@ let hashing_tests =
               true
               (c > expected / 2 && c < expected * 2))
           bins);
+    Alcotest.test_case "rss2_int is deterministic, non-negative and off-stream" `Quick
+      (fun () ->
+        let a = Hashing.pack_a_int 0x0a000102 12000 6
+        and b = Hashing.pack_b_int 0x0a080304 443 in
+        check Alcotest.int "deterministic" (Hashing.rss2_int a b) (Hashing.rss2_int a b);
+        check Alcotest.bool "non-negative" true (Hashing.rss2_int a b >= 0);
+        (* The shard stream must not be the bucket stream in disguise. *)
+        check Alcotest.bool "differs from mix2_int" true
+          (Hashing.rss2_int a b <> Hashing.mix2_int a b));
+    Alcotest.test_case "shard choice is independent of the cache-bucket choice" `Quick
+      (fun () ->
+        (* The RSS stage must not correlate with the microflow cache's
+           bucket hash: over random 5-tuples, every (bucket, shard)
+           cell of the joint 64x4 histogram must stay near uniform. A
+           correlated pair would clump — e.g. every flow of one bucket
+           landing on one replica. *)
+        let prng = Prng.create ~seed:23L in
+        let buckets = 64 and shards = 4 in
+        let joint = Array.make_matrix buckets shards 0 in
+        let n = 32768 in
+        for _ = 1 to n do
+          let r () = Prng.int prng ~bound:(1 lsl 30) in
+          let a = Hashing.pack_a_int (r () land 0xffffffff) (r () land 0xffff) 6
+          and b = Hashing.pack_b_int (r () land 0xffffffff) (r () land 0xffff) in
+          let bucket = Hashing.mix2_int a b land (buckets - 1) in
+          let shard = Hashing.rss2_int a b mod shards in
+          joint.(bucket).(shard) <- joint.(bucket).(shard) + 1
+        done;
+        let expected = n / (buckets * shards) in
+        Array.iteri
+          (fun bk row ->
+            Array.iteri
+              (fun s c ->
+                check Alcotest.bool
+                  (Printf.sprintf "cell (%d,%d) count %d within 2x of %d" bk s c
+                     expected)
+                  true
+                  (c > expected / 2 && c < expected * 2))
+              row)
+          joint);
   ]
 
 (* ------------------------------------------------------------------ *)

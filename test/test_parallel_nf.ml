@@ -1,0 +1,482 @@
+(* Intra-NF replication equivalence: an NF the state-access analysis
+   clears for sharding, deployed as N RSS-steered replicas, must be
+   observationally identical to the single-instance deployment — same
+   delivery multiset (pid, bytes), same completion/drop ledger, and a
+   merged state digest equal to the digest a lone instance would hold.
+   The comparison runs through the [?replication] report so replicated
+   and unreplicated runs are scored on the same footing: the report
+   yields the instance digest at one replica and the merge-restored
+   digest at several. *)
+
+open Nfp_packet
+open Nfp_core
+module Sys = Nfp_infra.System
+
+let check = Alcotest.check
+
+let plan_of text =
+  match Compiler.compile_text text with
+  | Error es -> Alcotest.failf "compile: %s" (String.concat "; " es)
+  | Ok o -> (
+      match Tables.of_output o with Ok p -> p | Error e -> Alcotest.failf "plan: %s" e)
+
+let default_nf kind ~name = Nfp_nf.Registry.instantiate kind ~name
+
+let instances ~make_nf bindings =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (name, kind) ->
+      match make_nf kind ~name with
+      | Some nf -> Hashtbl.replace table name nf
+      | None -> Alcotest.failf "no implementation for %s" kind)
+    bindings;
+  Hashtbl.find table
+
+let traffic () =
+  let g =
+    Nfp_traffic.Pktgen.create
+      { Nfp_traffic.Pktgen.default with sizes = Nfp_traffic.Size_dist.fixed 128; flows = 64 }
+  in
+  Nfp_traffic.Pktgen.packet g
+
+(* Rings deep enough that nothing is refused at entry: the equivalence
+   claim covers every offered packet. *)
+let roomy = { Sys.default_config with ring_capacity = 8192 }
+
+let lossless_fault plan =
+  { Sys.default_fault_config with plan; merge_timeout_ns = 0.0 }
+
+type observation = {
+  outs : (int64 * string) list;
+  completed : int;
+  nf_drops : int;
+  digests : (string * int) list;  (** per NF, merged across replicas *)
+}
+
+let observe ?fault ?replicas ?(make_nf = default_nf) ~plan ~bindings ~rate ~packets () =
+  let lookup = instances ~make_nf bindings in
+  let outs = ref [] in
+  let replication = ref (fun () -> []) in
+  let make engine ~output =
+    Sys.make ?fault ?replicas ~replication ~config:roomy ~plan ~nfs:lookup engine
+      ~output:(fun ~pid pkt ->
+        outs := (pid, Bytes.to_string (Packet.to_bytes pkt)) :: !outs;
+        output ~pid pkt)
+  in
+  let r =
+    Nfp_sim.Harness.run ~make ~gen:(traffic ())
+      ~arrivals:(Nfp_sim.Harness.Uniform rate) ~packets ()
+  in
+  let report = !replication () in
+  let obs =
+    {
+      outs = List.sort compare !outs;
+      completed = r.completed;
+      nf_drops = r.nf_drops;
+      digests =
+        List.sort compare
+          (List.map
+             (fun (rr : Sys.replica_report) -> (rr.rr_nf, rr.rr_merged_digest))
+             report);
+    }
+  in
+  (obs, r, report)
+
+let check_equivalent baseline sharded =
+  check Alcotest.int "completed" baseline.completed sharded.completed;
+  check Alcotest.int "nf drops" baseline.nf_drops sharded.nf_drops;
+  check Alcotest.int "delivery count" (List.length baseline.outs)
+    (List.length sharded.outs);
+  List.iter2
+    (fun (pid_a, bytes_a) (pid_b, bytes_b) ->
+      check Alcotest.int64 "delivered pid" pid_a pid_b;
+      check Alcotest.string "delivered bytes" bytes_a bytes_b)
+    baseline.outs sharded.outs;
+  List.iter2
+    (fun (name_a, d_a) (name_b, d_b) ->
+      check Alcotest.string "digest NF" name_a name_b;
+      check Alcotest.int (Printf.sprintf "merged digest of %s" name_a) d_a d_b)
+    baseline.digests sharded.digests
+
+(* Run unreplicated and replicated (optionally also faulted), compare,
+   and hand back the replicated run's ledger and report. *)
+let equivalence ?fault ?make_nf ~text ~bindings ~replicas ?(rate = 0.5)
+    ?(packets = 2000) () =
+  let plan = plan_of text in
+  let baseline, rb, _ = observe ?make_nf ~plan ~bindings ~rate ~packets () in
+  let sharded, rr, report =
+    observe ?fault ?make_nf ~replicas ~plan ~bindings ~rate ~packets ()
+  in
+  check Alcotest.int "baseline admits everything" 0 rb.ring_drops;
+  check Alcotest.int "sharded admits everything" 0 rr.ring_drops;
+  check Alcotest.int "nothing left in flight" 0 rr.in_flight;
+  check_equivalent baseline sharded;
+  (rr, report)
+
+let find_rr report name =
+  List.find (fun (rr : Sys.replica_report) -> rr.rr_nf = name) report
+
+let strategy = Alcotest.testable Replication.pp ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Strategy derivation over the whole registry                         *)
+(* ------------------------------------------------------------------ *)
+
+let expected_strategies =
+  Replication.
+    [
+      ("Firewall", Shared_nothing, true);
+      ("IDS", Shared_nothing, true);
+      ("IPS", Shared_nothing, true);
+      ("Gateway", Shared_nothing, true);
+      ("LoadBalancer", Shared_nothing, true);
+      ("Monitor", Shared_nothing, true);
+      ("Proxy", Shared_nothing, true);
+      ("Compression", Shared_nothing, true);
+      (* Global general-write state pins these to a single instance. *)
+      ("Caching", Sequential, false);
+      ("VPN", Sequential, false);
+      ("NAT", Sequential, false);
+      ("TrafficShaper", Sequential, false);
+      ("Forwarder", Sequential, false);
+    ]
+
+let strategy_tests =
+  [
+    Alcotest.test_case "every built-in NF derives its expected strategy" `Quick
+      (fun () ->
+        List.iter
+          (fun (kind, want, want_eligible) ->
+            match Nfp_nf.Registry.instantiate kind ~name:"x" with
+            | None -> Alcotest.failf "no implementation for %s" kind
+            | Some nf ->
+                check strategy kind want (Replication.derive nf);
+                check Alcotest.bool
+                  (Printf.sprintf "%s eligible" kind)
+                  want_eligible (Replication.eligible nf))
+          expected_strategies);
+    Alcotest.test_case "hashed port allocation frees NAT to shard" `Quick (fun () ->
+        (* The global port cursor is the only thing pinning NAT down;
+           flow-hashed allocation removes it from the profile. *)
+        let nf, _ = Nfp_nf.Nat.create ~alloc:`Hashed () in
+        check strategy "NAT+hashed" Replication.Shared_nothing (Replication.derive nf);
+        check Alcotest.bool "NAT+hashed eligible" true (Replication.eligible nf));
+    Alcotest.test_case "an undeclared NF is never replicated" `Quick (fun () ->
+        let nf =
+          Nfp_nf.Nf.make ~name:"opaque" ~kind:"Opaque" ~profile:[]
+            ~cost_cycles:(fun _ -> 100)
+            (fun _ -> Nfp_nf.Nf.Forward)
+        in
+        check strategy "no profile" Replication.Sequential (Replication.derive nf);
+        check Alcotest.bool "not eligible" false (Replication.eligible nf));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Merge round-trip at the NF level, no simulator                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Snapshot every shard, merge, restore into a fresh scratch instance —
+   exactly what the orchestrator's report does — and digest. *)
+let merged_digest (nf0 : Nfp_nf.Nf.t) shards =
+  let snaps = List.map (fun (nf : Nfp_nf.Nf.t) -> (Option.get nf.snapshot) ()) shards in
+  let scratch = (Option.get nf0.fresh) () in
+  (Option.get scratch.restore) ((Option.get nf0.merge) snaps);
+  scratch.state_digest ()
+
+let merge_round_trip kind =
+  Alcotest.test_case (Printf.sprintf "%s shards merge to the lone-instance digest" kind)
+    `Quick (fun () ->
+      let inst () = Option.get (Nfp_nf.Registry.instantiate kind ~name:"m") in
+      let lone = inst () in
+      let shards = List.init 3 (fun _ -> inst ()) in
+      (* Two identical packet streams (the generator is seeded): one
+         fed whole to the lone instance, one dealt across the shards.
+         Commutative merges must not care how the deal interleaved. *)
+      let feed gen (nfs : Nfp_nf.Nf.t array) n =
+        for i = 0 to n - 1 do
+          ignore (nfs.(i mod Array.length nfs).process (gen i))
+        done
+      in
+      feed (traffic ()) [| lone |] 600;
+      feed (traffic ()) (Array.of_list shards) 600;
+      check Alcotest.int "merged digest" (lone.state_digest ())
+        (merged_digest lone shards))
+
+let merge_tests =
+  [
+    merge_round_trip "Monitor";
+    merge_round_trip "Gateway";
+    merge_round_trip "LoadBalancer";
+    merge_round_trip "Firewall";
+    merge_round_trip "Compression";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: replicated deployments match unreplicated runs        *)
+(* ------------------------------------------------------------------ *)
+
+let we_text = "NF(ids, IPS)\nNF(mon, Monitor)\nNF(lb, LoadBalancer)\nChain(ids, mon, lb)"
+
+let we_bindings = [ ("ids", "IPS"); ("mon", "Monitor"); ("lb", "LoadBalancer") ]
+
+let ns_text =
+  "NF(vpn, VPN)\nNF(mon, Monitor)\nNF(fw, Firewall)\nNF(lb, LoadBalancer)\n\
+   Chain(vpn, mon, fw, lb)"
+
+let ns_bindings =
+  [ ("vpn", "VPN"); ("mon", "Monitor"); ("fw", "Firewall"); ("lb", "LoadBalancer") ]
+
+let seq_text = "NF(vpn, VPN)\nNF(cache, Caching)\nNF(nat, NAT)\nChain(vpn, cache, nat)"
+
+let seq_bindings = [ ("vpn", "VPN"); ("cache", "Caching"); ("nat", "NAT") ]
+
+let differential_tests =
+  [
+    Alcotest.test_case "four-way sharding preserves trace and merged digests" `Quick
+      (fun () ->
+        let _, report =
+          equivalence ~text:we_text ~bindings:we_bindings ~replicas:4 ()
+        in
+        let mon = find_rr report "mon" in
+        check Alcotest.int "mon deployed 4 replicas" 4 mon.rr_replicas;
+        check strategy "mon strategy" Replication.Shared_nothing mon.rr_strategy;
+        let busy = List.length (List.filter (fun p -> p > 0) mon.rr_processed) in
+        check Alcotest.bool
+          (Printf.sprintf "flows actually spread over shards (%d busy)" busy)
+          true (busy >= 2));
+    Alcotest.test_case "a mixed chain replicates only the eligible NFs" `Quick
+      (fun () ->
+        let _, report =
+          equivalence ~text:ns_text ~bindings:ns_bindings ~replicas:3 ()
+        in
+        check Alcotest.int "vpn stays single" 1 (find_rr report "vpn").rr_replicas;
+        List.iter
+          (fun name ->
+            check Alcotest.int
+              (Printf.sprintf "%s sharded" name)
+              3 (find_rr report name).rr_replicas)
+          [ "mon"; "fw"; "lb" ]);
+    Alcotest.test_case "sequential-strategy NFs are never replicated" `Quick (fun () ->
+        let _, report =
+          equivalence ~text:seq_text ~bindings:seq_bindings ~replicas:4 ()
+        in
+        List.iter
+          (fun (rr : Sys.replica_report) ->
+            check strategy
+              (Printf.sprintf "%s strategy" rr.rr_nf)
+              Replication.Sequential rr.rr_strategy;
+            check Alcotest.int (Printf.sprintf "%s replicas" rr.rr_nf) 1 rr.rr_replicas)
+          report);
+    Alcotest.test_case "an order-sensitive consumer pins its upstream cone" `Quick
+      (fun () ->
+        (* The LB's 5-tuple rewrite forces the cache after it in the
+           compiled graph, and the cache's FIFO eviction depends on the
+           global arrival order: sharding the LB would change the
+           interleaving the cache sees, so the LB must stay single even
+           though its own profile clears it. *)
+        let text = "NF(lb, LoadBalancer)\nNF(cache, Caching)\nChain(lb, cache)" in
+        let bindings = [ ("lb", "LoadBalancer"); ("cache", "Caching") ] in
+        let _, report = equivalence ~text ~bindings ~replicas:4 () in
+        let lb = find_rr report "lb" in
+        check strategy "lb profile still clears it" Replication.Shared_nothing
+          lb.rr_strategy;
+        check Alcotest.int "lb pinned by the downstream cache" 1 lb.rr_replicas);
+    Alcotest.test_case "hashed NAT shards and keeps the trace" `Quick (fun () ->
+        let make_nf kind ~name =
+          if name = "nat" then Some (fst (Nfp_nf.Nat.create ~name ~alloc:`Hashed ()))
+          else default_nf kind ~name
+        in
+        let text = "NF(nat, NAT)\nNF(mon, Monitor)\nChain(nat, mon)" in
+        let bindings = [ ("nat", "NAT"); ("mon", "Monitor") ] in
+        let _, report = equivalence ~make_nf ~text ~bindings ~replicas:3 () in
+        let nat = find_rr report "nat" in
+        check strategy "nat strategy" Replication.Shared_nothing nat.rr_strategy;
+        check Alcotest.int "nat deployed 3 replicas" 3 nat.rr_replicas);
+    Alcotest.test_case "replicas=1 is bit-identical to the default build" `Quick
+      (fun () ->
+        let plan = plan_of we_text in
+        let a, _, _ = observe ~plan ~bindings:we_bindings ~rate:0.5 ~packets:1500 () in
+        let b, _, _ =
+          observe ~replicas:1 ~plan ~bindings:we_bindings ~rate:0.5 ~packets:1500 ()
+        in
+        check Alcotest.bool "identical observation" true (a = b));
+    Alcotest.test_case "interpretive path refuses the replicas knob" `Quick (fun () ->
+        let plan = plan_of we_text in
+        let lookup = instances ~make_nf:default_nf we_bindings in
+        Alcotest.check_raises "invalid_arg"
+          (Invalid_argument "System.make_multi: replicas require the `Compiled path")
+          (fun () ->
+            ignore
+              (Nfp_sim.Harness.run
+                 ~make:(fun engine ~output ->
+                   Sys.make ~path:`Interpretive ~replicas:4 ~plan ~nfs:lookup engine
+                     ~output)
+                 ~gen:(traffic ())
+                 ~arrivals:(Nfp_sim.Harness.Uniform 0.5) ~packets:10 ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Replication composes with faults and lossless recovery              *)
+(* ------------------------------------------------------------------ *)
+
+let fault_tests =
+  [
+    Alcotest.test_case "crash of one shard replica recovers losslessly" `Quick
+      (fun () ->
+        (* mid1:mon@2 is the third RSS shard of the monitor — a core
+           that only exists because of replication. *)
+        let fault =
+          lossless_fault
+            (Nfp_sim.Fault.plan [ Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:mon@2" ])
+        in
+        let rr, _ =
+          equivalence ~fault ~text:we_text ~bindings:we_bindings ~replicas:4 ()
+        in
+        check Alcotest.int "crash took effect" 1 rr.health.crashes;
+        check Alcotest.bool "replay happened" true (rr.health.replayed > 0);
+        check Alcotest.int "nothing flushed" 0 rr.health.flushed);
+    Alcotest.test_case "replica 0 and a shard crash together" `Quick (fun () ->
+        let fault =
+          lossless_fault
+            (Nfp_sim.Fault.plan
+               [
+                 Nfp_sim.Fault.crash ~at_ns:500_000.0 "mid1:mon";
+                 Nfp_sim.Fault.crash ~at_ns:900_000.0 "mid1:lb@1";
+               ])
+        in
+        let rr, _ =
+          equivalence ~fault ~text:we_text ~bindings:we_bindings ~replicas:2 ()
+        in
+        check Alcotest.int "both crashes took effect" 2 rr.health.crashes);
+    Alcotest.test_case "ledger invariant holds under a storm across replicas" `Quick
+      (fun () ->
+        let cores =
+          List.concat_map
+            (fun nf ->
+              List.init 4 (fun r ->
+                  if r = 0 then Printf.sprintf "mid1:%s" nf
+                  else Printf.sprintf "mid1:%s@%d" nf r))
+            [ "ids"; "mon"; "lb" ]
+        in
+        let storm =
+          Nfp_sim.Fault.storm ~seed:11L ~cores ~mtbf_ns:3_000_000.0
+            ~horizon_ns:3_000_000.0 ()
+        in
+        let plan = plan_of we_text in
+        let _, r, report =
+          observe ~fault:(lossless_fault storm) ~replicas:4 ~plan
+            ~bindings:we_bindings ~rate:1.0 ~packets:3000 ()
+        in
+        check Alcotest.bool "storm produced crashes" true (r.health.crashes > 0);
+        check Alcotest.int "no packet wedged in flight" 0 r.in_flight;
+        check Alcotest.int "nothing flushed" 0 r.health.flushed;
+        check Alcotest.int "every packet in exactly one bucket" r.offered
+          (r.completed + r.ring_drops + r.nf_drops + r.unmatched);
+        let mon = find_rr report "mon" in
+        check Alcotest.int "per-replica counts cover all shards" 4
+          (List.length mon.rr_processed));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: random policy x replica count x crash plan converge       *)
+(* ------------------------------------------------------------------ *)
+
+let kind_pool =
+  [| "Monitor"; "Gateway"; "Caching"; "Firewall"; "IDS"; "IPS"; "LoadBalancer";
+     "VPN"; "NAT"; "Proxy"; "Compression"; "Forwarder" |]
+
+let random_case_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 4 in
+    let* kinds = array_size (return n) (int_range 0 (Array.length kind_pool - 1)) in
+    let* edge_bits = array_size (return (n * n)) bool in
+    let* replicas = int_range 2 4 in
+    (* 0-2 crashes on random (NF, replica) cores; naming a replica the
+       strategy never deployed is legal and simply never fires. *)
+    let* crashes =
+      list_size (int_range 0 2)
+        (triple (int_range 0 (n - 1)) (int_range 0 3)
+           (float_range 300_000.0 2_000_000.0))
+    in
+    return (kinds, edge_bits, replicas, crashes))
+
+let random_case_arbitrary =
+  QCheck.make
+    ~print:(fun (kinds, _, replicas, crashes) ->
+      Printf.sprintf "%s; replicas %d; crashes %s"
+        (String.concat "," (Array.to_list (Array.map (fun i -> kind_pool.(i)) kinds)))
+        replicas
+        (String.concat ","
+           (List.map
+              (fun (i, r, t) -> Printf.sprintf "n%d@%d@%.0f" i r t)
+              crashes)))
+    random_case_gen
+
+let build_policy (kinds, edge_bits) =
+  let n = Array.length kinds in
+  let name i = Printf.sprintf "n%d" i in
+  let bindings = List.init n (fun i -> (name i, kind_pool.(kinds.(i)))) in
+  let rules =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               if j > i && edge_bits.((i * n) + j) then
+                 Some (Nfp_policy.Rule.Order (name i, name j))
+               else None)
+             (List.init n Fun.id)))
+  in
+  let rules =
+    if rules = [] then Nfp_policy.Rule.of_chain (List.init n name) else rules
+  in
+  { Nfp_policy.Rule.bindings; rules }
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:10
+         ~name:"sharded + crashed runs converge with the unreplicated fault-free run"
+         random_case_arbitrary
+         (fun (kinds, edge_bits, replicas, crashes) ->
+           let policy = build_policy (kinds, edge_bits) in
+           match Compiler.compile policy with
+           | Error _ -> QCheck.assume_fail ()
+           | Ok out -> (
+               match Tables.of_output out with
+               | Error _ -> false
+               | Ok plan ->
+                   let crash_plan =
+                     Nfp_sim.Fault.plan
+                       (List.map
+                          (fun (i, r, at_ns) ->
+                            let core =
+                              if r = 0 then Printf.sprintf "mid1:n%d" i
+                              else Printf.sprintf "mid1:n%d@%d" i r
+                            in
+                            Nfp_sim.Fault.crash ~at_ns core)
+                          crashes)
+                   in
+                   let bindings = policy.bindings in
+                   let baseline, rb, _ =
+                     observe ~plan ~bindings ~rate:1.0 ~packets:1200 ()
+                   in
+                   let sharded, rr, _ =
+                     observe
+                       ~fault:(lossless_fault crash_plan)
+                       ~replicas ~plan ~bindings ~rate:1.0 ~packets:1200 ()
+                   in
+                   rb.ring_drops = 0 && rr.ring_drops = 0
+                   && rr.health.flushed = 0
+                   && rr.in_flight = 0
+                   && baseline = sharded)));
+  ]
+
+let () =
+  Alcotest.run "nfp_parallel_nf"
+    [
+      ("strategy", strategy_tests);
+      ("merge", merge_tests);
+      ("differential", differential_tests);
+      ("faults", fault_tests);
+      ("property", property_tests);
+    ]
