@@ -818,6 +818,92 @@ let run_partition () =
     [ 6; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Overload rig: three identical firewall chains behind one            *)
+(* classifier, steered by destination port, admitted at classes 0/1/2  *)
+(* (bronze/silver/gold). Shared by loadsweep's per-priority breakdown  *)
+(* and the overload experiment.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let overload_classes = [ (0, "bronze"); (1, "silver"); (2, "gold") ]
+
+let overload_graphs ~extra () =
+  List.map
+    (fun (cls, label) ->
+      let names = [ label ^ "-fw0"; label ^ "-fw1" ] in
+      let graph = Graph.seq (List.map Graph.nf names) in
+      let profile_of _ = Nfp_nf.Registry.profile_of "Firewall" in
+      let plan =
+        match Tables.plan ~profile_of ~priority:cls graph with
+        | Ok p -> p
+        | Error e -> failwith e
+      in
+      let table = Hashtbl.create 4 in
+      List.iter
+        (fun n ->
+          Hashtbl.replace table n
+            (fst (Nfp_nf.Firewall.create ~name:n ~extra_cycles:extra ())))
+        names;
+      ( Nfp_packet.Flow_match.make ~dport_range:(1000 + cls, 1000 + cls) (),
+        plan,
+        Hashtbl.find table ))
+    overload_classes
+
+(* Packet i belongs to chain (i mod 3); one flow per class keeps the
+   microflow cache hot, so classification cost is flat across rates. *)
+let overload_gen =
+  let flows =
+    Array.init 3 (fun cls ->
+        Nfp_packet.Flow.make
+          ~sip:(Option.get (Nfp_packet.Flow.ip_of_string "10.0.0.1"))
+          ~dip:(Option.get (Nfp_packet.Flow.ip_of_string "10.0.0.2"))
+          ~sport:(5000 + cls) ~dport:(1000 + cls) ~proto:6)
+  in
+  fun i ->
+    Nfp_packet.Packet.create ~flow:flows.(i mod 3) ~payload:(String.make 18 'x') ()
+
+let class_of_pid pid = Int64.to_int (Int64.rem pid 3L)
+
+(* One load point on the rig: per-class delivery counts and latency via
+   wrappers around the system's inject/output (the class is recoverable
+   from the pid). Returns the harness result plus per-class delivered
+   counts and latency accumulators. *)
+let overload_run ?overload ~rate ~packets () =
+  let lat = Array.init 3 (fun _ -> Nfp_algo.Stats.create ()) in
+  let delivered = Array.make 3 0 in
+  let t0 = Hashtbl.create 4096 in
+  let make engine ~output =
+    let output ~pid pkt =
+      let c = class_of_pid pid in
+      delivered.(c) <- delivered.(c) + 1;
+      (match Hashtbl.find_opt t0 pid with
+      | Some ts ->
+          Hashtbl.remove t0 pid;
+          Nfp_algo.Stats.add lat.(c) (Nfp_sim.Engine.now engine -. ts)
+      | None -> ());
+      output ~pid pkt
+    in
+    let system =
+      Nfp_infra.System.make_multi ?overload ~graphs:(overload_graphs ~extra:300 ())
+        engine ~output
+    in
+    {
+      system with
+      Nfp_sim.Harness.inject =
+        (fun ~pid pkt ->
+          Hashtbl.replace t0 pid (Nfp_sim.Engine.now engine);
+          system.Nfp_sim.Harness.inject ~pid pkt);
+    }
+  in
+  let r =
+    Nfp_sim.Harness.run ~make ~gen:overload_gen
+      ~arrivals:(Nfp_sim.Harness.Uniform rate) ~packets ()
+  in
+  (r, delivered, lat)
+
+let shed_of_class (drops : Nfp_sim.Harness.drops) c =
+  match List.assoc_opt c drops.shed_by_class with Some n -> n | None -> 0
+
+(* ------------------------------------------------------------------ *)
 (* loadsweep: latency vs offered load (methodology check)              *)
 (* ------------------------------------------------------------------ *)
 
@@ -844,11 +930,12 @@ let run_loadsweep () =
       ~iterations:8 ()
   in
   note "  max lossless rate: %.2f Mpps" mx;
-  note "  %-10s %-12s %-12s %-10s %-10s %s" "load" "mean (us)" "p99 (us)" "drops"
-    "rejected" "stall (us)";
+  note "  %-10s %-12s %-12s %-10s %-10s %s" "load" "mean (us)" "p99 (us)" "ingress"
+    "internal" "stall (us)";
   (* Each load point is an independent simulation; sweep them on the
      domain pool (per-thunk generators and stats cells — both are
      mutable) and print in order once all are collected. *)
+  let fracs = [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ] in
   let rows =
     Nfp_sim.Harness.parallel_runs
       (List.map
@@ -864,13 +951,13 @@ let run_loadsweep () =
                ~arrivals:(Nfp_sim.Harness.Burst (frac *. mx, 32))
                ~packets:latency_packets ()
            in
-           (* Ring refusals and backpressure stall time localize where
-              the knee comes from: rejects at the entry ring show up as
-              drops, stalls inside the graph show where emission waits. *)
+           (* The unified drop taxonomy localizes where the knee comes
+              from: [ingress_rejected] are true losses at the NIC
+              boundary, [internal_rejected] are in-graph backpressure
+              retry events (not losses), and core stall time shows
+              where emission waits. *)
+           let d = r.health.Nfp_sim.Harness.drops in
            let cores = !cell () in
-           let rejected =
-             List.fold_left (fun a c -> a + c.Nfp_infra.System.rejected) 0 cores
-           in
            let stalled_us =
              List.fold_left (fun a c -> a +. c.Nfp_infra.System.stalled_ns) 0.0 cores
              /. 1000.0
@@ -878,15 +965,58 @@ let run_loadsweep () =
            ( frac,
              Nfp_algo.Stats.mean r.latency /. 1000.0,
              Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0,
-             r.ring_drops,
-             rejected,
+             d.Nfp_sim.Harness.ingress_rejected,
+             d.Nfp_sim.Harness.internal_rejected,
              stalled_us ))
-         [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ])
+         fracs)
   in
   List.iter
-    (fun (frac, mean_us, p99_us, drops, rejected, stalled_us) ->
+    (fun (frac, mean_us, p99_us, ingress, internal, stalled_us) ->
       note "  %3.0f%%       %-12.1f %-12.1f %-10d %-10d %.0f" (100.0 *. frac) mean_us
-        p99_us drops rejected stalled_us)
+        p99_us ingress internal stalled_us)
+    rows;
+  (* Per-priority breakdown: the same sweep on the three-class overload
+     rig with the admission controller armed. Below the knee nothing
+     sheds; past it the bronze chain gives way first, then silver, and
+     gold keeps its goodput. *)
+  note "";
+  let oc = Nfp_infra.System.default_overload_config in
+  note "  overload control plane armed (3 admission classes, watermarks %d/%d):"
+    oc.Nfp_infra.System.high_watermark oc.Nfp_infra.System.low_watermark;
+  let rig_make engine ~output =
+    Nfp_infra.System.make_multi ~graphs:(overload_graphs ~extra:300 ()) engine ~output
+  in
+  let mx3 =
+    Nfp_sim.Harness.max_lossless_mpps ~make:rig_make ~gen:overload_gen
+      ~packets:search_packets ~hi:14.88 ~iterations:8 ()
+  in
+  note "  rig knee: %.2f Mpps; per class: delivered (shed)" mx3;
+  note "  %-10s %-18s %-18s %-18s %s" "load" "bronze" "silver" "gold" "p99 (us)";
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.map
+         (fun frac () ->
+           let r, delivered, _lat =
+             overload_run ~overload:Nfp_infra.System.default_overload_config
+               ~rate:(frac *. mx3) ~packets:latency_packets ()
+           in
+           let d = r.health.Nfp_sim.Harness.drops in
+           ( frac,
+             Array.to_list delivered,
+             List.map (shed_of_class d) [ 0; 1; 2 ],
+             Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0 ))
+         [ 0.6; 0.8; 1.0; 1.2; 1.5; 2.0 ])
+  in
+  List.iter
+    (fun (frac, delivered, shed, p99_us) ->
+      match (delivered, shed) with
+      | [ db; ds; dg ], [ sb; ss; sg ] ->
+          note "  %3.0f%%       %-18s %-18s %-18s %.1f" (100.0 *. frac)
+            (Printf.sprintf "%d (%d)" db sb)
+            (Printf.sprintf "%d (%d)" ds ss)
+            (Printf.sprintf "%d (%d)" dg sg)
+            p99_us
+      | _ -> ())
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -1319,6 +1449,95 @@ let run_recovery () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* overload: per-class goodput and tail latency past the knee          *)
+(* ------------------------------------------------------------------ *)
+
+let run_overload () =
+  section "Overload  Per-class goodput and p99 past the knee (3 chains, 64B)";
+  note "(three identical firewall chains at admission classes bronze/silver/gold;";
+  note " past the knee the armed control plane sheds bronze first and preserves";
+  note " gold's goodput and tail, where the unarmed rig degrades uniformly)";
+  let make engine ~output =
+    Nfp_infra.System.make_multi ~graphs:(overload_graphs ~extra:300 ()) engine
+      ~output
+  in
+  let mx =
+    Nfp_sim.Harness.max_lossless_mpps ~make ~gen:overload_gen
+      ~packets:search_packets ~hi:14.88 ~iterations:8 ()
+  in
+  note "  rig knee (unarmed, all classes lossless): %.2f Mpps" mx;
+  let fracs = [ 0.8; 1.0; 1.2; 1.5; 2.0 ] in
+  let variants =
+    [ ("off", None); ("on", Some Nfp_infra.System.default_overload_config) ]
+  in
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.concat_map
+         (fun (vlabel, overload) ->
+           List.map
+             (fun frac () ->
+               let r, delivered, lat =
+                 overload_run ?overload ~rate:(frac *. mx)
+                   ~packets:latency_packets ()
+               in
+               let d = r.health.Nfp_sim.Harness.drops in
+               (* Goodput in Mpps = packets per ns x 1000. *)
+               let per_class =
+                 List.map
+                   (fun (cls, clabel) ->
+                     let goodput =
+                       float_of_int delivered.(cls) /. r.duration_ns *. 1000.0
+                     in
+                     let mean_us, p99_us =
+                       if Nfp_algo.Stats.count lat.(cls) = 0 then (0.0, 0.0)
+                       else
+                         ( Nfp_algo.Stats.mean lat.(cls) /. 1000.0,
+                           Nfp_algo.Stats.percentile lat.(cls) 99.0 /. 1000.0 )
+                     in
+                     (clabel, goodput, mean_us, p99_us, shed_of_class d cls))
+                   overload_classes
+               in
+               (vlabel, frac, per_class, r.health))
+             fracs)
+         variants)
+  in
+  let last = ref "" in
+  List.iter
+    (fun (vlabel, frac, per_class, (h : Nfp_sim.Harness.health)) ->
+      if !last <> vlabel then begin
+        last := vlabel;
+        note "";
+        note "  admission %s: goodput Mpps / p99 us (shed)" vlabel;
+        note "  %-8s %-22s %-22s %-22s %s" "load" "bronze" "silver" "gold"
+          "episodes/degr"
+      end;
+      let cell (_, gp, _, p99, shed) =
+        Printf.sprintf "%.2f/%.1f (%d)" gp p99 shed
+      in
+      (match per_class with
+      | [ b; s; g ] ->
+          note "  %3.0f%%     %-22s %-22s %-22s %d/%d" (100.0 *. frac) (cell b)
+            (cell s) (cell g) h.Nfp_sim.Harness.pressure_episodes
+            h.Nfp_sim.Harness.degrade_switches
+      | _ -> ());
+      (* One sample per class per load point; "mpps" carries the class's
+         goodput, not a lossless-rate search result. *)
+      List.iter
+        (fun (clabel, gp, mean_us, p99_us, _) ->
+          record_sample
+            {
+              mpps = gp;
+              latency_us = mean_us;
+              p99_us;
+              prov =
+                prov
+                  (Printf.sprintf "overload:admission-%s:load-%.1fx:%s" vlabel
+                     frac clabel);
+            })
+        per_class)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1344,6 +1563,7 @@ let experiments =
     ("batch", run_batch);
     ("faults", run_faults);
     ("recovery", run_recovery);
+    ("overload", run_overload);
     ("ablation", run_ablation);
     ("micro", run_micro);
   ]

@@ -11,11 +11,57 @@ type 'a t = {
   mutable size : int;
   mutable enqueued : int;
   mutable rejected : int;
+  (* Occupancy watermarks (0 = disabled). Pressure latches on at
+     [size >= high] and releases only at [size <= low]; the gap is the
+     hysteresis band that keeps a queue oscillating around one level
+     from flapping the upstream backpressure signal. *)
+  mutable high : int;
+  mutable low : int;
+  mutable pressured : bool;
+  mutable episodes : int; (* lifetime count of pressure onsets *)
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { data = [||]; capacity; head = 0; size = 0; enqueued = 0; rejected = 0 }
+  {
+    data = [||];
+    capacity;
+    head = 0;
+    size = 0;
+    enqueued = 0;
+    rejected = 0;
+    high = 0;
+    low = 0;
+    pressured = false;
+    episodes = 0;
+  }
+
+let set_watermarks t ~high ~low =
+  if high <= 0 || high > t.capacity then
+    invalid_arg "Ring.set_watermarks: high must be in 1..capacity";
+  if low < 0 || low >= high then
+    invalid_arg "Ring.set_watermarks: low must be in 0..high-1";
+  t.high <- high;
+  t.low <- low
+
+let clear_watermarks t =
+  t.high <- 0;
+  t.low <- 0;
+  t.pressured <- false
+
+(* Re-evaluate the latch after any size change. Cheap enough for the
+   hot path: one load and branch when watermarks are disabled. *)
+let[@inline] update_pressure t =
+  if t.high > 0 then
+    if t.pressured then (if t.size <= t.low then t.pressured <- false)
+    else if t.size >= t.high then begin
+      t.pressured <- true;
+      t.episodes <- t.episodes + 1
+    end
+
+let pressured t = t.pressured
+
+let pressure_episodes t = t.episodes
 
 let capacity t = t.capacity
 
@@ -37,6 +83,7 @@ let enqueue t x =
     t.data.(tail) <- x;
     t.size <- t.size + 1;
     t.enqueued <- t.enqueued + 1;
+    update_pressure t;
     true
   end
 
@@ -48,6 +95,7 @@ let dequeue_exn t =
   let head = t.head + 1 in
   t.head <- (if head = t.capacity then 0 else head);
   t.size <- t.size - 1;
+  update_pressure t;
   x
 
 let dequeue t = if t.size = 0 then None else Some (dequeue_exn t)
@@ -70,6 +118,7 @@ let dequeue_into t dst pos max =
   done;
   t.head <- !head;
   t.size <- t.size - n;
+  update_pressure t;
   n
 
 (* Burst enqueue: append elements of [src.(pos) .. src.(pos+len-1)]
@@ -88,7 +137,8 @@ let enqueue_burst t src pos len =
       t.data.(tail) <- src.(pos + i)
     done;
     t.size <- t.size + accepted;
-    t.enqueued <- t.enqueued + accepted
+    t.enqueued <- t.enqueued + accepted;
+    update_pressure t
   end;
   t.rejected <- t.rejected + (len - accepted);
   accepted
@@ -98,7 +148,8 @@ let peek t = if t.size = 0 then None else Some t.data.(t.head)
 let clear t =
   t.data <- [||];
   t.head <- 0;
-  t.size <- 0
+  t.size <- 0;
+  update_pressure t
 
 let enqueued_total t = t.enqueued
 

@@ -47,6 +47,26 @@ val peek : 'a t -> 'a option
 
 val clear : 'a t -> unit
 
+val set_watermarks : 'a t -> high:int -> low:int -> unit
+(** [set_watermarks t ~high ~low] arms the occupancy watermarks:
+    {!pressured} latches [true] when [length t >= high] and releases
+    only once [length t <= low]. The [high - low] gap is the hysteresis
+    band that keeps a queue oscillating around one level from flapping
+    the signal. @raise Invalid_argument unless
+    [0 <= low < high <= capacity]. *)
+
+val clear_watermarks : 'a t -> unit
+(** Disarm the watermarks and release any latched pressure. *)
+
+val pressured : 'a t -> bool
+(** Whether the occupancy latch is currently on. Always [false] when
+    watermarks are disarmed (the default). *)
+
+val pressure_episodes : 'a t -> int
+(** Lifetime count of pressure onsets (off-to-on transitions) — a
+    flapping detector: a steady sawtooth inside the hysteresis band
+    must not grow this. *)
+
 val enqueued_total : 'a t -> int
 (** Lifetime count of successful enqueues (for occupancy statistics). *)
 

@@ -64,6 +64,17 @@ let make ?(config = default_config) ~cores ~chain engine ~output =
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> 0);
+    shed = (fun () -> 0);
     classifier = (fun () -> Nfp_sim.Harness.no_classifier_counters);
-    health = (fun () -> Nfp_sim.Harness.no_health);
+    health =
+      (fun () ->
+        {
+          Nfp_sim.Harness.no_health with
+          drops =
+            {
+              Nfp_sim.Harness.no_drops with
+              ingress_rejected = !ring_drops;
+              nf_dropped = !nf_drops;
+            };
+        });
   }

@@ -5,6 +5,7 @@ type output = {
   ir : Ir.t;
   micrographs : Micrograph.t list;
   priority_pairs : (string * string) list;
+  admit_class : int;
   warnings : string list;
 }
 
@@ -84,7 +85,10 @@ let compile ?field_sensitive_write_read policy =
               @ List.concat_map (fun (m : Micrograph.t) -> m.warnings) micrographs
               @ merge_warnings
             in
-            Ok { graph; ir; micrographs; priority_pairs; warnings })
+            let admit_class =
+              Option.value ~default:0 (Rule.admit_class policy.rules)
+            in
+            Ok { graph; ir; micrographs; priority_pairs; admit_class; warnings })
 
 let explain (output : output) =
   let buf = Buffer.create 512 in

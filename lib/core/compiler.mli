@@ -12,6 +12,10 @@ type output = {
   priority_pairs : (string * string) list;
       (** (hi, lo) pairs from Priority rules — the dataplane resolves
           drop conflicts in favour of hi *)
+  admit_class : int;
+      (** the chain's admission priority class from its Admit rule
+          (0 — best effort — when the policy has none): under overload
+          the admission controller sheds lower classes first *)
   warnings : string list;
 }
 

@@ -83,7 +83,7 @@ let transform ?field_sensitive_write_read (policy : Rule.policy) =
                       forced_conflicts ?field_sensitive_write_read (profile_of lo)
                         (profile_of hi);
                   }
-            | Rule.Position _ -> None)
+            | Rule.Position _ | Rule.Admit _ -> None)
           policy.rules
       in
       let mentioned = Rule.nfs_of_rules policy.rules in

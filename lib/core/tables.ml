@@ -36,6 +36,7 @@ type plan = {
   header_copies : int;
   full_copies : int;
   serial_order : string list;
+  priority : int;
 }
 
 exception Plan_error of string
@@ -97,7 +98,7 @@ let branch_needs_copy ~copy_mode index infos info =
              j <> index && intersects info.writes (other.reads @ other.writes))
            (List.mapi (fun j o -> (j, o)) infos)
 
-let plan ?(copy_mode = `Auto) ?(priority_pairs = []) ~profile_of graph =
+let plan ?(copy_mode = `Auto) ?(priority_pairs = []) ?(priority = 0) ~profile_of graph =
   match Graph.well_formed graph with
   | Error e -> Error e
   | Ok () -> (
@@ -271,12 +272,13 @@ let plan ?(copy_mode = `Auto) ?(priority_pairs = []) ~profile_of graph =
             header_copies = !header_copies;
             full_copies = !full_copies;
             serial_order;
+            priority;
           }
       with Plan_error e -> Error e)
 
 let of_output ?copy_mode (output : Compiler.output) =
   plan ?copy_mode ~priority_pairs:output.priority_pairs
-    ~profile_of:output.ir.Ir.profile_of output.graph
+    ~priority:output.admit_class ~profile_of:output.ir.Ir.profile_of output.graph
 
 let find_nf plan name = List.find_opt (fun e -> e.nf = name) plan.nf_entries
 

@@ -70,21 +70,28 @@ type plan = {
           branches act before copy-carrying branches (whose merge
           operations apply last and therefore win). The result
           correctness principle is stated against this serialization. *)
+  priority : int;
+      (** the chain's admission priority class (from the policy's Admit
+          rule; 0 = best effort): under overload the admission
+          controller sheds lower classes first *)
 }
 
 val plan :
   ?copy_mode:[ `Auto | `Copy_all | `Share_all ] ->
   ?priority_pairs:(string * string) list ->
+  ?priority:int ->
   profile_of:(string -> Action.t list) ->
   Graph.t ->
   (plan, string) result
-(** [priority_pairs] are (hi, lo) instance names from Priority rules.
+(** [priority_pairs] are (hi, lo) instance names from Priority rules;
+    [priority] (default 0) is the chain's admission class.
     Errors: malformed graph, unknown NF profile, more than 16 versions
     (the 4-bit metadata limit, paper Fig. 5). *)
 
 val of_output :
   ?copy_mode:[ `Auto | `Copy_all | `Share_all ] -> Compiler.output -> (plan, string) result
-(** Plan for a compiler result, carrying its priority pairs. *)
+(** Plan for a compiler result, carrying its priority pairs and
+    admission class. *)
 
 val find_nf : plan -> string -> nf_entry option
 

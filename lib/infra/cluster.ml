@@ -1,22 +1,25 @@
-let make ?config ?fault ?(link_latency_ns = 2000.0) ~segments engine ~output =
+let make ?config ?fault ?overload ?(link_latency_ns = 2000.0) ~segments engine
+    ~output =
   if segments = [] then invalid_arg "Cluster.make: no segments";
   let ring_drop_fns = ref [] and nf_drop_fns = ref [] and unmatched_fns = ref [] in
-  let classifier_fns = ref [] and health_fns = ref [] in
+  let shed_fns = ref [] and classifier_fns = ref [] and health_fns = ref [] in
   let record (system : Nfp_sim.Harness.system) =
     ring_drop_fns := system.ring_drops :: !ring_drop_fns;
     nf_drop_fns := system.nf_drops :: !nf_drop_fns;
     unmatched_fns := system.unmatched :: !unmatched_fns;
+    shed_fns := system.shed :: !shed_fns;
     classifier_fns := system.classifier :: !classifier_fns;
     health_fns := system.health :: !health_fns
   in
   (* Wire back to front: each server's output crosses the link into the
      next server's NIC. [fault] applies to every segment; plans match
      cores by name, so a pattern like "mid1:*" perturbs the matching
-     core of each segment that has one. *)
+     core of each segment that has one. [overload] likewise arms every
+     segment's watermarks and admission controller. *)
   let rec build = function
     | [] -> assert false
     | [ (plan, nfs) ] ->
-        let system = System.make ?config ?fault ~plan ~nfs engine ~output in
+        let system = System.make ?config ?fault ?overload ~plan ~nfs engine ~output in
         record system;
         system
     | (plan, nfs) :: rest ->
@@ -25,7 +28,9 @@ let make ?config ?fault ?(link_latency_ns = 2000.0) ~segments engine ~output =
           Nfp_sim.Engine.schedule engine ~delay:link_latency_ns (fun () ->
               downstream.Nfp_sim.Harness.inject ~pid pkt)
         in
-        let system = System.make ?config ?fault ~plan ~nfs engine ~output:forward in
+        let system =
+          System.make ?config ?fault ?overload ~plan ~nfs engine ~output:forward
+        in
         record system;
         system
   in
@@ -36,6 +41,7 @@ let make ?config ?fault ?(link_latency_ns = 2000.0) ~segments engine ~output =
     ring_drops = sum ring_drop_fns;
     nf_drops = sum nf_drop_fns;
     unmatched = sum unmatched_fns;
+    shed = sum shed_fns;
     classifier =
       (fun () ->
         List.fold_left
@@ -54,8 +60,8 @@ let make ?config ?fault ?(link_latency_ns = 2000.0) ~segments engine ~output =
           Nfp_sim.Harness.no_health !health_fns);
   }
 
-let of_partition ?config ?fault ?link_latency_ns ~assignments ~profile_of ~nfs engine
-    ~output =
+let of_partition ?config ?fault ?overload ?link_latency_ns ~assignments ~profile_of
+    ~nfs engine ~output =
   let rec plans acc = function
     | [] -> Ok (List.rev acc)
     | (a : Nfp_core.Partition.assignment) :: rest -> (
@@ -65,4 +71,5 @@ let of_partition ?config ?fault ?link_latency_ns ~assignments ~profile_of ~nfs e
   in
   match plans [] assignments with
   | Error e -> Error e
-  | Ok segments -> Ok (make ?config ?fault ?link_latency_ns ~segments engine ~output)
+  | Ok segments ->
+      Ok (make ?config ?fault ?overload ?link_latency_ns ~segments engine ~output)

@@ -12,6 +12,7 @@ open Nfp_packet
 val make :
   ?config:System.config ->
   ?fault:System.fault_config ->
+  ?overload:System.overload_config ->
   ?link_latency_ns:float ->
   segments:(Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
   Nfp_sim.Engine.t ->
@@ -28,6 +29,7 @@ val make :
 val of_partition :
   ?config:System.config ->
   ?fault:System.fault_config ->
+  ?overload:System.overload_config ->
   ?link_latency_ns:float ->
   assignments:Nfp_core.Partition.assignment list ->
   profile_of:(string -> Nfp_nf.Action.t list) ->

@@ -30,6 +30,47 @@ let default_config =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Overload control plane: ring watermarks, priority-aware admission,  *)
+(* pressure-degrade modes.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in: a deployment built without an overload config is bit-for-bit
+   the pre-overload system (no watermarks armed, admission controller
+   absent, every NF at full fidelity). With one, every compiled-path
+   ring arms the high/low watermark latch, the classifier front end
+   sheds low-priority chains first when pressure persists, and NFs
+   that declare a [Nf.degrade] mode coarsen while their own ring sits
+   above the watermark. *)
+type overload_config = {
+  high_watermark : int;
+      (* ring occupancy at which a core raises pressure; must satisfy
+         0 <= low < high <= ring_capacity *)
+  low_watermark : int;  (* occupancy at which pressure releases (hysteresis) *)
+  shed_trickle : int;
+      (* anti-starvation: of every [shed_trickle] consecutive packets
+         of a class the controller is shedding, one is admitted anyway;
+         0 sheds the class outright *)
+  degrade_enabled : bool;
+      (* let NFs with a declared degrade mode coarsen under pressure *)
+  pressure_poll_ns : float;
+      (* minimum interval between shed-level re-evaluations at ingress;
+         the level moves one step per poll (escalate under pressure,
+         relax when it clears), so the ladder cannot flap faster than
+         this cadence *)
+}
+
+(* 3/4 and 3/8 of the default ring capacity; one shed-level step every
+   2 us; a 1-in-16 trickle for shed classes. *)
+let default_overload_config =
+  {
+    high_watermark = 96;
+    low_watermark = 48;
+    shed_trickle = 16;
+    degrade_enabled = true;
+    pressure_poll_ns = 2_000.0;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Fault tolerance: injection plan, watchdog, recovery policies        *)
 (* ------------------------------------------------------------------ *)
 
@@ -68,6 +109,25 @@ type fault_config = {
       (* bound of each core's input log (packets since its last
          checkpoint); a full log forces a checkpoint early rather than
          ever silently losing an entry *)
+  breaker_threshold : int;
+      (* circuit breaker: after this many consecutive watchdog
+         detections of the same NF core without observed progress, stop
+         restarting it and fall to [breaker_fallback]; 0 disables the
+         breaker (and the restart backoff), keeping the pre-breaker
+         recover-forever behavior *)
+  backoff_factor : float;
+      (* restart delay multiplier per consecutive detection: the n-th
+         consecutive restart waits restart_ns * factor^(n-1), capped at
+         [backoff_max_ns] — a restart-looping core backs off instead of
+         thrashing *)
+  backoff_max_ns : float;  (* ceiling of the backed-off restart delay *)
+  breaker_fallback : recovery;
+      (* what a tripped breaker does with the core: [Bypass] removes it
+         from the graph; [Degrade] pins its whole graph to the
+         sequential twin and removes the core. [Restart] is treated as
+         [Bypass] (the breaker exists to stop restarting). Infrastructure
+         cores never trip — they have no bypass semantics — and only
+         back off. *)
 }
 
 let default_fault_config =
@@ -80,6 +140,10 @@ let default_fault_config =
     recovery_of = (fun _ -> Restart);
     checkpoint_interval_ns = 100_000.0;
     log_capacity = 4096;
+    breaker_threshold = 0;
+    backoff_factor = 2.0;
+    backoff_max_ns = 2_000_000.0;
+    breaker_fallback = Bypass;
   }
 
 (* The uniform control surface the watchdog holds over every core,
@@ -98,6 +162,9 @@ type probe = {
   pr_crashes : unit -> int;
   pr_fault_drops : unit -> int;
   pr_flushed : unit -> int;
+  pr_rejected : unit -> int;  (* ring-full offer refusals at this core *)
+  pr_pressured : unit -> bool;  (* watermark latch currently raised *)
+  pr_pressure_episodes : unit -> int;  (* pressure onsets so far *)
   pr_casualties : unit -> int;  (* reclaimed in-flight work awaiting recovery *)
   pr_checkpoint : unit -> unit;  (* NF cores with snapshot support: take one now *)
   pr_replay : unit -> float;
@@ -251,12 +318,41 @@ let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
 let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
 
 let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_config)
-    ?batch_size ?replicas ?fault ?stats ?replication ~graphs engine ~output =
+    ?batch_size ?replicas ?fault ?overload ?stats ?replication ~graphs engine ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
   (match (fault, path) with
   | Some _, `Interpretive ->
       invalid_arg "System.make_multi: fault injection requires the `Compiled path"
   | _ -> ());
+  (match (overload, path) with
+  | Some _, `Interpretive ->
+      invalid_arg "System.make_multi: overload control requires the `Compiled path"
+  | _ -> ());
+  (match overload with
+  | Some (oc : overload_config) ->
+      if
+        not
+          (0 <= oc.low_watermark
+          && oc.low_watermark < oc.high_watermark
+          && oc.high_watermark <= config.ring_capacity)
+      then
+        invalid_arg
+          "System.make_multi: overload watermarks must satisfy 0 <= low < high <= \
+           ring_capacity";
+      if oc.pressure_poll_ns <= 0.0 then
+        invalid_arg "System.make_multi: overload pressure_poll_ns must be positive"
+  | None -> ());
+  (* Watermarks for every compiled-path ring; [None] (no overload
+     config) leaves each ring's latch disarmed — the bit-identity
+     guarantee. *)
+  let wm =
+    match overload with
+    | Some (oc : overload_config) -> Some (oc.high_watermark, oc.low_watermark)
+    | None -> None
+  in
+  let degrade_on =
+    match overload with Some oc -> oc.degrade_enabled | None -> false
+  in
   (* Replica target for strategy-eligible NFs; 1 (the default) keeps
      the deployment bit-identical to the pre-replication system. *)
   let replicas_knob =
@@ -337,6 +433,21 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
          graphs)
   in
   let ring_drops = ref 0 and nf_drops = ref 0 and unmatched = ref 0 in
+  (* Overload counters, shared by the admission controller (built after
+     the cores, next to the watchdog) and the per-NF degrade switches
+     (inside the replica closures below). *)
+  let shed_total = ref 0
+  and degraded_packets = ref 0
+  and degrade_switches = ref 0 in
+  (* Highest admission class any hosted chain declares: the shed ladder
+     never climbs past it, so the top class is never shed (anti-
+     starvation holds even before the trickle). *)
+  let max_class =
+    Array.fold_left
+      (fun acc (_, (p : Tables.plan), _) -> max acc (max 0 p.Tables.priority))
+      0 table
+  in
+  let shed_class = Array.make (max_class + 1) 0 in
   let prng = Nfp_algo.Prng.create ~seed:config.seed in
   let jitter_for () = (config.jitter, Nfp_algo.Prng.split prng) in
   let packet_bytes ctx version =
@@ -391,6 +502,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         pr_crashes = (fun () -> Nfp_sim.Server.crashes s);
         pr_fault_drops = (fun () -> Nfp_sim.Server.fault_drops s);
         pr_flushed = (fun () -> Nfp_sim.Server.flushed s);
+        pr_rejected = (fun () -> Nfp_sim.Server.rejected s);
+        pr_pressured = (fun () -> Nfp_sim.Server.pressured s);
+        pr_pressure_episodes = (fun () -> Nfp_sim.Server.pressure_episodes s);
         pr_casualties =
           (fun () ->
             let jobs, emits = Nfp_sim.Server.casualty_counts s in
@@ -1021,10 +1135,25 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                 cost.ring_dequeue + cost.nf_runtime + prog.p_static
                 + match recovery with Some _ -> cost.log_append | None -> 0
               in
+              (* Pressure-degrade switch: while this replica's own ring
+                 sits above the watermark, an NF that declares a degrade
+                 mode runs its coarsened semantics at its coarsened
+                 cost. The predicate reads the server created below
+                 (through a cell, to break the creation cycle); within
+                 one breath the ring occupancy is constant, so pricing
+                 and execution always agree per breath. Without an
+                 overload config (or without a declared mode) [deg] is
+                 [None] and this entire path is dead code. *)
+              let deg = if degrade_on then nf.Nfp_nf.Nf.degrade else None in
+              let self_pressured = ref (fun () -> false) in
+              let deg_active = ref false in
               let service_ns ctx =
                 let nf_cycles =
                   match Context.get ctx entry.version with
-                  | Some pkt -> nf.cost_cycles pkt
+                  | Some pkt -> (
+                      match deg with
+                      | Some d when !self_pressured () -> d.Nfp_nf.Nf.d_cost_cycles pkt
+                      | _ -> nf.cost_cycles pkt)
                   | None -> 0
                 in
                 Nfp_sim.Cost.ns_of_cycles cost (static + nf_cycles + dyn_cycles prog ctx)
@@ -1036,8 +1165,24 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                     (match recovery with
                     | Some (_, log_packet, _, _) -> log_packet pkt
                     | None -> ());
+                    let degrade_mode =
+                      match deg with
+                      | None -> None
+                      | Some d ->
+                          let p = !self_pressured () in
+                          if p <> !deg_active then begin
+                            deg_active := p;
+                            if p then incr degrade_switches
+                          end;
+                          if p then Some d else None
+                    in
                     let verdict =
-                      try nf.process pkt
+                      try
+                        match degrade_mode with
+                        | Some d ->
+                            incr degraded_packets;
+                            d.Nfp_nf.Nf.d_process pkt
+                        | None -> nf.process pkt
                       with exn ->
                         Log.warn (fun m ->
                             m "NF %s crashed on packet %Ld: %s" entry.nf (Context.pid ctx)
@@ -1062,9 +1207,10 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               in
               let server =
                 Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
-                  ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?fault:(fault_for name)
-                  ~service_ns ~execute ()
+                  ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?watermarks:wm
+                  ?fault:(fault_for name) ~service_ns ~execute ()
               in
+              self_pressured := (fun () -> Nfp_sim.Server.pressured server);
               (match recovery with
               | Some (_, _, _, charge) -> charge := Nfp_sim.Server.charge server
               | None -> ());
@@ -1245,8 +1391,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let name = Printf.sprintf "merger#%d" index in
           let server =
             Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
-              ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?fault:(fault_for name)
-              ~service_ns ~execute ()
+              ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?watermarks:wm
+              ?fault:(fault_for name) ~service_ns ~execute ()
           in
           register_probe server;
           server
@@ -1265,8 +1411,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let agent =
             Nfp_sim.Server.create ~engine ~name:"merger-agent"
               ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
-              ~jitter:(jitter_for ()) ?fault:(fault_for "merger-agent") ~service_ns
-              ~execute ()
+              ~jitter:(jitter_for ()) ?watermarks:wm ?fault:(fault_for "merger-agent")
+              ~service_ns ~execute ()
           in
           register_probe agent;
           agent_core := Some agent
@@ -1286,8 +1432,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let clf =
             Nfp_sim.Server.create ~engine ~name:"classifier"
               ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
-              ~jitter:(jitter_for ()) ?fault:(fault_for "classifier") ~service_ns
-              ~execute ()
+              ~jitter:(jitter_for ()) ?watermarks:wm ?fault:(fault_for "classifier")
+              ~service_ns ~execute ()
           in
           register_probe clf;
           clf
@@ -1437,7 +1583,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                     Nfp_sim.Server.create ~engine ~name:cname
                       ~ring_capacity:config.ring_capacity ~batch ~burst_saving_ns
                       ~jitter:(config.jitter, Nfp_algo.Prng.split twin_prng)
-                      ?fault:(fault_for cname) ~service_ns ~execute ()
+                      ?watermarks:wm ?fault:(fault_for cname) ~service_ns ~execute ()
                   in
                   register_probe core;
                   Some core
@@ -1456,6 +1602,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
   let probe_arr = Array.of_list (List.rev !probes) in
   let detections = ref 0 and restarts = ref 0 and bypasses = ref 0 in
   let degrades = ref 0 and recoveries = ref 0 in
+  let breaker_trips = ref 0 and backoffs = ref 0 in
   let degraded = Array.make (Array.length table) false in
   let wstate = Array.make (Array.length probe_arr) `Up in
   let wd_kick =
@@ -1473,8 +1620,26 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           prev_stalled.(i) <- p.pr_stalled ();
           last_progress.(i) <- now
         in
+        (* Circuit breaker: consecutive watchdog detections of each
+           core since its last observed processed-packet progress. The
+           n-th consecutive restart backs off exponentially; past
+           [breaker_threshold] the breaker trips — an NF core falls to
+           the [breaker_fallback] policy instead of restart-looping
+           forever. A threshold of 0 disables both (the pre-breaker
+           behavior, bit for bit). *)
+        let consec = Array.make n 0 in
+        let breaker_on = fc.breaker_threshold > 0 in
         let recover i (p : probe) =
           incr detections;
+          consec.(i) <- consec.(i) + 1;
+          let restart_delay () =
+            if breaker_on && consec.(i) > 1 then begin
+              incr backoffs;
+              Float.min fc.backoff_max_ns
+                (fc.restart_ns *. (fc.backoff_factor ** float_of_int (consec.(i) - 1)))
+            end
+            else fc.restart_ns
+          in
           let restart_core ~on_up () =
             wstate.(i) <- `Restarting;
             p.pr_kill ();
@@ -1483,7 +1648,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                time extends the outage — then re-admit the reclaimed
                casualties instead of flushing them. *)
             let replay_ns = if lossless then p.pr_replay () else 0.0 in
-            Nfp_sim.Engine.schedule engine ~delay:(fc.restart_ns +. replay_ns)
+            Nfp_sim.Engine.schedule engine ~delay:(restart_delay () +. replay_ns)
               (fun () ->
                 if lossless then salvaged := !salvaged + p.pr_casualties ();
                 ignore (p.pr_revive ~flush:(not lossless));
@@ -1492,24 +1657,39 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                 mark_progress i p (Nfp_sim.Engine.now engine);
                 on_up ())
           in
+          let bypass_core () =
+            wstate.(i) <- `Bypassed;
+            incr bypasses;
+            p.pr_kill ();
+            ignore (p.pr_drain ())
+          in
           match p.pr_nf with
           | None -> restart_core ~on_up:ignore ()
-          | Some (mid, nfname) -> (
-              match fc.recovery_of nfname with
-              | Restart -> restart_core ~on_up:ignore ()
-              | Bypass ->
-                  wstate.(i) <- `Bypassed;
-                  incr bypasses;
-                  p.pr_kill ();
-                  ignore (p.pr_drain ())
-              | Degrade ->
-                  degraded.(mid - 1) <- true;
-                  incr degrades;
-                  restart_core
-                    ~on_up:(fun () ->
-                      degraded.(mid - 1) <- false;
-                      incr recoveries)
-                    ())
+          | Some (mid, nfname) ->
+              if breaker_on && consec.(i) > fc.breaker_threshold then begin
+                incr breaker_trips;
+                match fc.breaker_fallback with
+                | Restart | Bypass -> bypass_core ()
+                | Degrade ->
+                    (* Pin the graph to its sequential twin and remove
+                       the hopeless core; no [on_up] ever clears the
+                       degraded flag. *)
+                    degraded.(mid - 1) <- true;
+                    incr degrades;
+                    bypass_core ()
+              end
+              else (
+                match fc.recovery_of nfname with
+                | Restart -> restart_core ~on_up:ignore ()
+                | Bypass -> bypass_core ()
+                | Degrade ->
+                    degraded.(mid - 1) <- true;
+                    incr degrades;
+                    restart_core
+                      ~on_up:(fun () ->
+                        degraded.(mid - 1) <- false;
+                        incr recoveries)
+                      ())
         in
         let rec check () =
           let now = Nfp_sim.Engine.now engine in
@@ -1526,8 +1706,12 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           Array.iteri
             (fun i p ->
               let pc = p.pr_processed () and st = p.pr_stalled () in
-              if pc > prev_processed.(i) || st > prev_stalled.(i) then
+              if pc > prev_processed.(i) || st > prev_stalled.(i) then begin
+                (* Real processed progress (not just stall retries)
+                   closes the breaker window: the core is alive again. *)
+                if pc > prev_processed.(i) then consec.(i) <- 0;
                 mark_progress i p now
+              end
               else if p.pr_queue () = 0 then
                 (* An idle core is healthy. Keeping its baseline fresh
                    makes the deadline clock start when work is queued,
@@ -1572,6 +1756,48 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
             Nfp_sim.Engine.schedule engine ~delay:fc.watchdog_interval_ns check
           end
   in
+  (* ---------------------------------------------------------------- *)
+  (* Admission controller (overload config only). An escalating shed   *)
+  (* level L with per-poll hysteresis: while any core's watermark      *)
+  (* latch is raised, L climbs one class per poll interval (capped at  *)
+  (* the deployment's highest class, which is therefore never shed);   *)
+  (* when pressure clears, L relaxes one class per poll. A classified  *)
+  (* packet whose chain's admission class is below L is refused at the *)
+  (* NIC boundary — except a deterministic 1-in-K trickle per class,   *)
+  (* so no class ever starves outright.                                *)
+  (* ---------------------------------------------------------------- *)
+  let shed_level = ref 0 in
+  let last_poll = ref neg_infinity in
+  let trickle_seen = Array.make (max_class + 1) 0 in
+  let shed_packet =
+    match overload with
+    | None -> fun _ -> false
+    | Some (oc : overload_config) ->
+        fun mid ->
+          let now = Nfp_sim.Engine.now engine in
+          if now -. !last_poll >= oc.pressure_poll_ns then begin
+            last_poll := now;
+            let pressured =
+              Array.exists (fun (p : probe) -> p.pr_pressured ()) probe_arr
+            in
+            if pressured then begin
+              if !shed_level < max_class then incr shed_level
+            end
+            else if !shed_level > 0 then decr shed_level
+          end;
+          let cls = max 0 (min max_class (plan_of_mid mid).Tables.priority) in
+          if cls >= !shed_level then false
+          else begin
+            trickle_seen.(cls) <- trickle_seen.(cls) + 1;
+            if oc.shed_trickle > 0 && trickle_seen.(cls) mod oc.shed_trickle = 0 then
+              false
+            else begin
+              incr shed_total;
+              shed_class.(cls) <- shed_class.(cls) + 1;
+              true
+            end
+          end
+  in
   let health () =
     let cores =
       Array.to_list
@@ -1590,6 +1816,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
            probe_arr)
     in
     let sum f = Array.fold_left (fun acc p -> acc + f p) 0 probe_arr in
+    let rejected_total = sum (fun (p : probe) -> p.pr_rejected ()) in
     {
       Nfp_sim.Harness.cores;
       detections = !detections;
@@ -1607,6 +1834,30 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
       replayed = !replayed;
       deduped = !deduped;
       salvaged = !salvaged;
+      drops =
+        {
+          Nfp_sim.Harness.ingress_rejected = !ring_drops;
+          (* [ring_drops] counts exactly the NIC-boundary offer
+             refusals (the only [offer] sites outside a server are in
+             [inject]); every other refusal a server ring recorded is a
+             backpressure retry event, not a loss. *)
+          internal_rejected = max 0 (rejected_total - !ring_drops);
+          nf_dropped = !nf_drops;
+          no_match = !unmatched;
+          fault_dropped = sum (fun (p : probe) -> p.pr_fault_drops ());
+          flush_lost = sum (fun (p : probe) -> p.pr_flushed ());
+          merge_timed_out = !merge_timeouts;
+          shed = !shed_total;
+          shed_by_class =
+            (match overload with
+            | None -> []
+            | Some _ -> Array.to_list (Array.mapi (fun c n -> (c, n)) shed_class));
+          degraded = !degraded_packets;
+        };
+      pressure_episodes = sum (fun (p : probe) -> p.pr_pressure_episodes ());
+      breaker_trips = !breaker_trips;
+      backoffs = !backoffs;
+      degrade_switches = !degrade_switches;
     }
   in
   {
@@ -1618,6 +1869,11 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           ~delay:(wire_delay +. Nfp_sim.Cost.ns_of_cycles cost !classify_cycles)
           (fun () ->
             if mid = 0 then incr unmatched
+            else if shed_packet mid then
+              (* Refused by the admission controller: counted (total and
+                 per class) and gone — deliberately, before it can cost
+                 a ring slot or a core cycle. *)
+              ()
             else if degraded.(mid - 1) then (
               (* Sequential fallback: tag the packet as the
                  classifier would and run the twin chain. *)
@@ -1633,6 +1889,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     ring_drops = (fun () -> !ring_drops);
     nf_drops = (fun () -> !nf_drops);
     unmatched = (fun () -> !unmatched);
+    shed = (fun () -> !shed_total);
     classifier =
       (fun () ->
         {
@@ -1643,8 +1900,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     health;
   }
 
-let make ?path ?classify ?config ?batch_size ?replicas ?fault ?stats ?replication
-    ~plan ~nfs engine ~output =
-  make_multi ?path ?classify ?config ?batch_size ?replicas ?fault ?stats ?replication
+let make ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?stats
+    ?replication ~plan ~nfs engine ~output =
+  make_multi ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?stats
+    ?replication
     ~graphs:[ (Flow_match.any, plan, nfs) ]
     engine ~output

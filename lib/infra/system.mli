@@ -75,13 +75,67 @@ type fault_config = {
           last checkpoint). A full log forces an early checkpoint —
           counted in [health.forced_checkpoints] — never silent
           truncation. *)
+  breaker_threshold : int;
+      (** circuit breaker: after this many consecutive watchdog
+          detections of the same NF core with no processed-packet
+          progress in between, stop restarting it and apply
+          [breaker_fallback]. 0 (the default) disables the breaker and
+          the restart backoff — the recover-forever behavior, bit for
+          bit. *)
+  backoff_factor : float;
+      (** exponential restart backoff (armed with the breaker): the
+          n-th consecutive restart of a core waits
+          [restart_ns * backoff_factor^(n-1)], capped at
+          [backoff_max_ns]; each delayed restart is counted in
+          [health.backoffs] *)
+  backoff_max_ns : float;  (** ceiling on the backed-off restart delay *)
+  breaker_fallback : recovery;
+      (** policy for a tripped core: [Bypass] removes it from the
+          graph; [Degrade] pins its graph to the sequential twin and
+          removes it; [Restart] is treated as [Bypass]. Infrastructure
+          cores never trip (they only back off). Trips are counted in
+          [health.breaker_trips]. *)
 }
 
 val default_fault_config : fault_config
 (** An empty plan, Restart everywhere, 30/120 us watchdog
     interval/deadline, 250 us merge timeout,
     {!Nfp_sim.Cost.default}'s [restart_ns], 100 us checkpoint
-    interval, and a 4096-packet input log. *)
+    interval, a 4096-packet input log, and the circuit breaker
+    disabled ([breaker_threshold = 0]; factor 2.0, 2 ms delay cap and
+    a Bypass fallback once enabled). *)
+
+(** {2 Overload control} *)
+
+type overload_config = {
+  high_watermark : int;
+      (** ring occupancy at which a core's pressure latch raises; must
+          satisfy [0 <= low < high <= ring_capacity] *)
+  low_watermark : int;
+      (** occupancy at which the latch releases — the hysteresis band
+          [low..high] keeps a sawtooth queue from flapping the signal *)
+  shed_trickle : int;
+      (** anti-starvation: of every [shed_trickle] consecutive packets
+          of a class being shed, one is admitted anyway (deterministic);
+          0 sheds the class outright *)
+  degrade_enabled : bool;
+      (** let NFs that declare an [Nf.degrade] mode coarsen while their
+          own ring sits above the watermark *)
+  pressure_poll_ns : float;
+      (** minimum interval between shed-level re-evaluations at
+          ingress; the shed ladder moves at most one class per poll *)
+}
+(** Arms the overload control plane (compiled path only): every ring
+    gets the high/low watermark latch, the classifier front end gains
+    the priority-aware admission controller (chains with a lower
+    [Tables.plan.priority] shed first; the deployment's highest class
+    is never shed), and NFs with a declared degrade mode coarsen under
+    their own core's occupancy pressure. A deployment built without an
+    overload config is bit-identical to the pre-overload system. *)
+
+val default_overload_config : overload_config
+(** Watermarks 96/48 (3/4 and 3/8 of the default ring capacity), a
+    1-in-16 trickle, degrade enabled, 2 us poll interval. *)
 
 type core_stats = {
   core : string;
@@ -120,6 +174,7 @@ val make :
   ?batch_size:int ->
   ?replicas:int ->
   ?fault:fault_config ->
+  ?overload:overload_config ->
   ?stats:(unit -> core_stats list) ref ->
   ?replication:(unit -> replica_report list) ref ->
   plan:Nfp_core.Tables.plan ->
@@ -138,6 +193,7 @@ val make_multi :
   ?batch_size:int ->
   ?replicas:int ->
   ?fault:fault_config ->
+  ?overload:overload_config ->
   ?stats:(unit -> core_stats list) ref ->
   ?replication:(unit -> replica_report list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
@@ -214,5 +270,14 @@ val make_multi :
     A [fault] config whose plan is {!Nfp_sim.Fault.empty} leaves the
     packet trace byte-identical to a system built without [fault] (the
     differential test in test/test_fastpath.ml enforces this).
-    @raise Invalid_argument on an empty table, a missing NF, or
-    [fault] or [replicas > 1] combined with the [`Interpretive] path. *)
+
+    [overload] (compiled path only) arms the overload control plane:
+    watermark backpressure latches on every ring, the priority-aware
+    admission controller at the classifier (shed counts exposed
+    through the system's [shed] counter and [health.drops]), and
+    per-NF pressure-degrade modes. Without it — or with watermarks the
+    workload never reaches — the deployment's output is bit-identical
+    to the pre-overload system (test/test_overload.ml enforces this).
+    @raise Invalid_argument on an empty table, a missing NF, invalid
+    overload watermarks, or [fault], [overload] or [replicas > 1]
+    combined with the [`Interpretive] path. *)

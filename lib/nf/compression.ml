@@ -44,6 +44,20 @@ let rec create ?(name = "comp") () =
     Nf.Forward
   in
   let cost_cycles pkt = 1200 + (8 * String.length (Packet.payload pkt)) in
+  (* Pressure-degrade mode: passthrough. Compression is an optimization,
+     not a correctness requirement, so under pressure the NF forwards
+     payloads untouched for a flat token cost (the skipped counter still
+     moves — operators see how much traffic went uncompressed). *)
+  let degrade =
+    {
+      Nf.d_label = "passthrough";
+      d_cost_cycles = (fun _ -> 200);
+      d_process =
+        (fun _ ->
+          incr skipped;
+          Nf.Forward);
+    }
+  in
   let snapshot () = State (!compressed, !skipped, !saved) in
   let restore = function
     | State (c, sk, sv) ->
@@ -57,7 +71,7 @@ let rec create ?(name = "comp") () =
         Nfp_algo.Hashing.combine !compressed (Nfp_algo.Hashing.combine !skipped !saved))
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ()))
-      ~merge process,
+      ~merge ~degrade process,
     {
       compressed = (fun () -> !compressed);
       skipped = (fun () -> !skipped);

@@ -58,6 +58,26 @@ let rec create ?(name = "ids") ?(mode = `Detect) ?signatures () =
   in
   let profile = match mode with `Detect -> base_profile | `Prevent -> Action.Drop :: base_profile in
   let cost_cycles pkt = 2400 + (5 * String.length (Packet.payload pkt)) in
+  (* Pressure-degrade mode: sampled inspection. Every 8th packet gets
+     the full automaton scan; the rest are waved through for the flat
+     dispatch cost. Deterministic (a plain counter, no PRNG) so a
+     degraded run is replayable. *)
+  let tick = ref 0 in
+  let degrade =
+    {
+      Nf.d_label = "sampled-1/8";
+      d_cost_cycles =
+        (fun pkt ->
+          if !tick mod 8 = 0 then 2400 + (5 * String.length (Packet.payload pkt))
+          else 300);
+      d_process =
+        (fun pkt ->
+          let sampled = !tick mod 8 = 0 in
+          incr tick;
+          if sampled then process pkt
+          else Nf.Forward);
+    }
+  in
   (* The automaton is immutable after build; only the counters move. *)
   let snapshot () = State (!alerts, !scanned) in
   let restore = function
@@ -71,5 +91,5 @@ let rec create ?(name = "ids") ?(mode = `Detect) ?signatures () =
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine !alerts !scanned)
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ~mode ~signatures ()))
-      ~merge process,
+      ~merge ~degrade process,
     { alerts = (fun () -> !alerts); scanned = (fun () -> !scanned) } )

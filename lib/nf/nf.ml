@@ -6,6 +6,18 @@ type verdict = Forward | Dropped
    without this module knowing about NAT bindings or cache tables. *)
 type state = ..
 
+(* A cheaper processing mode an NF can fall back to when its core is
+   under occupancy pressure — distinct from the fault-Degrade recovery
+   policy (which swaps the whole graph for a sequential twin). The
+   semantics may coarsen (sampled inspection, passthrough compression)
+   but must stay safe: never corrupt packets, never violate the chain's
+   merge discipline. *)
+type degrade = {
+  d_label : string;  (* e.g. "sampled-1/8", "passthrough" *)
+  d_cost_cycles : Packet.t -> int;
+  d_process : Packet.t -> verdict;
+}
+
 type t = {
   name : string;
   kind : string;
@@ -18,10 +30,11 @@ type t = {
   state_access : State_access.t option;
   fresh : (unit -> t) option;
   merge : (state list -> state) option;
+  degrade : degrade option;
 }
 
 let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) ?snapshot
-    ?restore ?state_access ?fresh ?merge process =
+    ?restore ?state_access ?fresh ?merge ?degrade process =
   {
     name;
     kind;
@@ -34,6 +47,7 @@ let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) ?snapsh
     state_access;
     fresh;
     merge;
+    degrade;
   }
 
 let rename t name = { t with name }

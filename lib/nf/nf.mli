@@ -17,6 +17,19 @@ type state = ..
     constructor; the recovery subsystem only moves values of this type
     between {!t.snapshot} and {!t.restore}. *)
 
+type degrade = {
+  d_label : string;  (** e.g. ["sampled-1/8"], ["passthrough"] *)
+  d_cost_cycles : Packet.t -> int;  (** must be cheaper than the full mode *)
+  d_process : Packet.t -> verdict;  (** the coarsened semantics *)
+}
+(** A cheaper processing mode an NF can fall back to when its core is
+    under occupancy pressure — distinct from the fault-[Degrade]
+    recovery policy (which swaps the whole graph for a sequential
+    twin). The coarsened semantics must stay safe: never corrupt
+    packets, never violate the chain's merge discipline. The runtime
+    marks every packet that took the degraded path so differential
+    tests can separate them from full-fidelity traffic. *)
+
 type t = {
   name : string;  (** instance name, unique within a deployment *)
   kind : string;  (** NF type, e.g. "Firewall" — keys into the registry *)
@@ -49,6 +62,10 @@ type t = {
           disjoint-unioned, commutative components summed. Must be
           insensitive to the order of the snapshot list. Required (with
           [snapshot]/[restore]) for the [Shared_nothing] strategy. *)
+  degrade : degrade option;
+      (** optional pressure-degrade mode; [None] means the NF always
+          runs at full fidelity (overload can only queue or shed around
+          it) *)
 }
 
 val make :
@@ -62,6 +79,7 @@ val make :
   ?state_access:State_access.t ->
   ?fresh:(unit -> t) ->
   ?merge:(state list -> state) ->
+  ?degrade:degrade ->
   (Packet.t -> verdict) ->
   t
 (** Profile is normalized. [state_digest] defaults to a constant.

@@ -63,6 +63,18 @@ let parse_rule line =
       | "last" -> Ok (Rule.Position (a, Rule.Last))
       | _ -> Error "Position expects 'first' or 'last'")
   | "position", _ -> Error "Position expects 'Position(nf, first|last)'"
+  | "admit", [ cls ] -> (
+      (* SLO aliases map onto the numeric ladder; arbitrary non-negative
+         classes are allowed for policies with more than three tiers. *)
+      match String.lowercase_ascii cls with
+      | "bronze" -> Ok (Rule.Admit 0)
+      | "silver" -> Ok (Rule.Admit 1)
+      | "gold" -> Ok (Rule.Admit 2)
+      | s -> (
+          match int_of_string_opt s with
+          | Some c when c >= 0 -> Ok (Rule.Admit c)
+          | _ -> Error "Admit expects 'Admit(bronze|silver|gold|<class>)'"))
+  | "admit", _ -> Error "Admit expects 'Admit(bronze|silver|gold|<class>)'"
   | kw, _ -> Error (Printf.sprintf "unknown rule %S" kw)
 
 type line_item =

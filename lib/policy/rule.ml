@@ -4,12 +4,20 @@ type t =
   | Order of string * string
   | Priority of string * string
   | Position of string * place
+  | Admit of int
 
 type policy = { bindings : (string * string) list; rules : t list }
 
 let nfs_of_rule = function
   | Order (a, b) | Priority (a, b) -> [ a; b ]
   | Position (a, _) -> [ a ]
+  | Admit _ -> []
+
+(* The policy's admission class under overload: the first Admit rule
+   wins (Validate flags disagreeing duplicates). None means the chain
+   never declared an SLO — class 0, best effort. *)
+let admit_class rules =
+  List.find_map (function Admit c -> Some c | _ -> None) rules
 
 let nfs_of_rules rules =
   let seen = Hashtbl.create 16 in
@@ -35,6 +43,7 @@ let pp fmt = function
   | Priority (a, b) -> Format.fprintf fmt "Priority(%s > %s)" a b
   | Position (a, First) -> Format.fprintf fmt "Position(%s, first)" a
   | Position (a, Last) -> Format.fprintf fmt "Position(%s, last)" a
+  | Admit c -> Format.fprintf fmt "Admit(%d)" c
 
 let pp_policy fmt p =
   Format.fprintf fmt "@[<v>";

@@ -13,6 +13,8 @@ type conflict =
   | Position_conflict of { name : string; rules : int * int }
   | Position_order_conflict of { pinned : string; other : string; rule : int }
   | Self_rule of { name : string; rule : int }
+  | Admission_conflict of { classes : int * int; rules : int * int }
+  | Admission_negative of { cls : int; rule : int }
 
 let pp_conflict fmt = function
   | Unknown_nf { name; rule } ->
@@ -33,6 +35,11 @@ let pp_conflict fmt = function
         rule other pinned
   | Self_rule { name; rule } ->
       Format.fprintf fmt "rule #%d relates NF %S to itself" rule name
+  | Admission_conflict { classes = a, b; rules = i, j } ->
+      Format.fprintf fmt
+        "rules #%d and #%d declare conflicting admission classes (%d vs %d)" i j a b
+  | Admission_negative { cls; rule } ->
+      Format.fprintf fmt "rule #%d declares a negative admission class (%d)" rule cls
 
 (* Tarjan's strongly-connected components over the precedence digraph. *)
 let sccs nodes edges =
@@ -99,6 +106,7 @@ let check (policy : Rule.policy) =
         match r with
         | Rule.Order (a, b) | Rule.Priority (a, b) -> [ a; b ]
         | Rule.Position (n, _) -> [ n ]
+        | Rule.Admit _ -> []
       in
       List.iter
         (fun n ->
@@ -114,8 +122,25 @@ let check (policy : Rule.policy) =
       match r with
       | Rule.Order (a, b) | Rule.Priority (a, b) ->
           if a = b then add (Self_rule { name = a; rule = i })
-      | Rule.Position _ -> ())
+      | Rule.Position _ | Rule.Admit _ -> ())
     irules;
+  (* Admission classes: negative classes are malformed; two Admit rules
+     with different classes contradict (the first one wins downstream,
+     so the operator must pick). *)
+  let admits =
+    List.filter_map
+      (fun (i, r) -> match r with Rule.Admit c -> Some (i, c) | _ -> None)
+      irules
+  in
+  List.iter
+    (fun (i, c) -> if c < 0 then add (Admission_negative { cls = c; rule = i }))
+    admits;
+  (match admits with
+  | (i, c) :: rest -> (
+      match List.find_opt (fun (_, c') -> c' <> c) rest with
+      | Some (j, c') -> add (Admission_conflict { classes = (c, c'); rules = (i, j) })
+      | None -> ())
+  | [] -> ());
   (* Priority in both directions. *)
   let prios =
     List.filter_map
@@ -210,3 +235,8 @@ let suggest = function
       Printf.sprintf "either unpin %s or remove rule #%d relating it to %s" pinned rule other
   | Self_rule { name; rule } ->
       Printf.sprintf "remove rule #%d relating %s to itself" rule name
+  | Admission_conflict { classes = _, _; rules = i, j } ->
+      Printf.sprintf "keep a single Admit class for the chain (drop rule #%d or #%d)" i j
+  | Admission_negative { cls = _; rule } ->
+      Printf.sprintf "use a class >= 0 in rule #%d (0 = best effort, higher = more important)"
+        rule

@@ -25,6 +25,10 @@ type conflict =
       (** order rule [rule] contradicts first/last pinning, e.g.
           [Position(a, last)] with [Order(a, before, b)] *)
   | Self_rule of { name : string; rule : int }  (** rule relates an NF to itself *)
+  | Admission_conflict of { classes : int * int; rules : int * int }
+      (** two [Admit] rules declare different admission classes *)
+  | Admission_negative of { cls : int; rule : int }
+      (** an [Admit] rule declares a negative class *)
 
 val pp_conflict : Format.formatter -> conflict -> unit
 

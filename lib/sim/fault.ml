@@ -100,3 +100,67 @@ let storm ?(seed = 1L) ~cores ~mtbf_ns ~horizon_ns () =
 
 let event_count p =
   List.fold_left (fun acc (s : spec) -> acc + List.length s.events) 0 p.specs
+
+(* ------------------------------------------------------------------ *)
+(* Surge plans: offered-load shapes                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Where fault specs perturb cores, surge shapes perturb the *offered
+   load*: a plan evaluates to a rate multiplier over simulated time,
+   and [Harness.run ~arrivals:(Surge s)] re-samples it at every
+   arrival. Multipliers of overlapping shapes compose by product. *)
+type surge_shape =
+  | Step of { at_ns : float; factor : float }
+      (* load multiplies by [factor] from [at_ns] on *)
+  | Spike of { at_ns : float; duration_ns : float; factor : float }
+      (* [factor] inside the window, 1.0 outside *)
+  | Ramp of { from_ns : float; to_ns : float; factor : float }
+      (* linear 1.0 -> [factor] across the window, [factor] after *)
+
+type surge = { base_mpps : float; shapes : surge_shape list }
+
+let surge ~base_mpps shapes =
+  if base_mpps <= 0.0 then invalid_arg "Fault.surge: base_mpps must be positive";
+  List.iter
+    (function
+      | Step { factor; _ } | Spike { factor; _ } | Ramp { factor; _ } ->
+          if factor <= 0.0 then invalid_arg "Fault.surge: factor must be positive")
+    shapes;
+  { base_mpps; shapes }
+
+let shape_factor ~now_ns = function
+  | Step { at_ns; factor } -> if now_ns >= at_ns then factor else 1.0
+  | Spike { at_ns; duration_ns; factor } ->
+      if now_ns >= at_ns && now_ns < at_ns +. duration_ns then factor else 1.0
+  | Ramp { from_ns; to_ns; factor } ->
+      if now_ns <= from_ns then 1.0
+      else if now_ns >= to_ns then factor
+      else 1.0 +. ((factor -. 1.0) *. (now_ns -. from_ns) /. (to_ns -. from_ns))
+
+let surge_rate s ~now_ns =
+  List.fold_left (fun r sh -> r *. shape_factor ~now_ns sh) s.base_mpps s.shapes
+
+(* Seeded random spike train: [spikes] spikes with exponentially
+   distributed start gaps across [horizon_ns], each lasting a uniform
+   fraction of the mean gap, each multiplying the load by a uniform
+   draw in [1, peak_factor]. The same seed always yields the same
+   offered-load curve — surge plans are as replayable as crash plans. *)
+let surge_storm ?(seed = 1L) ~base_mpps ~peak_factor ~horizon_ns ?(spikes = 4) () =
+  if peak_factor < 1.0 then
+    invalid_arg "Fault.surge_storm: peak_factor must be >= 1";
+  if horizon_ns <= 0.0 then
+    invalid_arg "Fault.surge_storm: horizon_ns must be positive";
+  let prng =
+    Nfp_algo.Prng.create ~seed:(seed_for { seed; specs = [] } "surge-storm")
+  in
+  let mean_gap = horizon_ns /. float_of_int (max 1 spikes) in
+  let rec go t n acc =
+    if n = 0 then List.rev acc
+    else
+      let t = t +. Nfp_algo.Prng.exponential prng ~mean:mean_gap in
+      let duration_ns = (0.2 +. (0.6 *. Nfp_algo.Prng.float prng)) *. mean_gap in
+      let factor = 1.0 +. ((peak_factor -. 1.0) *. Nfp_algo.Prng.float prng) in
+      if t >= horizon_ns then List.rev acc
+      else go t (n - 1) (Spike { at_ns = t; duration_ns; factor } :: acc)
+  in
+  surge ~base_mpps (go 0.0 (max 1 spikes) [])

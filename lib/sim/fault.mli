@@ -56,3 +56,43 @@ val storm :
     @raise Invalid_argument when [mtbf_ns <= 0]. *)
 
 val event_count : plan -> int
+
+(** {2 Surge plans}
+
+    Where fault specs perturb cores, surge shapes perturb the {e offered
+    load}: a surge evaluates to a rate multiplier over simulated time
+    and [Harness.run ~arrivals:(Surge s)] re-samples it at every
+    arrival. Multipliers of overlapping shapes compose by product;
+    a surge with no shapes is exactly [Uniform base_mpps]. *)
+
+type surge_shape =
+  | Step of { at_ns : float; factor : float }
+      (** load multiplies by [factor] from [at_ns] on *)
+  | Spike of { at_ns : float; duration_ns : float; factor : float }
+      (** [factor] inside the window, 1.0 outside *)
+  | Ramp of { from_ns : float; to_ns : float; factor : float }
+      (** linear 1.0 -> [factor] across the window, [factor] after *)
+
+type surge = { base_mpps : float; shapes : surge_shape list }
+
+val surge : base_mpps:float -> surge_shape list -> surge
+(** @raise Invalid_argument when [base_mpps <= 0] or any factor
+    [<= 0]. *)
+
+val surge_rate : surge -> now_ns:float -> float
+(** The offered load (Mpps) the plan prescribes at [now_ns]. *)
+
+val surge_storm :
+  ?seed:int64 ->
+  base_mpps:float ->
+  peak_factor:float ->
+  horizon_ns:float ->
+  ?spikes:int ->
+  unit ->
+  surge
+(** A seeded random spike train: up to [spikes] spikes across
+    [horizon_ns], each multiplying the load by a draw in
+    [1, peak_factor]. Deterministic in [seed] — surge plans are as
+    replayable as crash plans.
+    @raise Invalid_argument when [peak_factor < 1] or
+    [horizon_ns <= 0]. *)

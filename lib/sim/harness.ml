@@ -2,6 +2,65 @@ type classifier_counters = { hits : int; misses : int; evictions : int }
 
 let no_classifier_counters = { hits = 0; misses = 0; evictions = 0 }
 
+(* The unified drop taxonomy: every way a packet can fail to reach the
+   output, in one record, so callers stop reconciling counters spread
+   over Server / System / merger internals. [internal_rejected] is the
+   odd one out — in-graph ring-full rejections are backpressure retry
+   events, not losses (the upstream core stalls and re-offers), so it
+   is excluded from every ledger; it is surfaced because a growing
+   value is the signature of a saturated interior hop. *)
+type drops = {
+  ingress_rejected : int;  (* NIC-boundary ring full: packets lost at entry *)
+  internal_rejected : int;  (* in-graph ring-full rejections: retries, not losses *)
+  nf_dropped : int;  (* NF verdict Drop *)
+  no_match : int;  (* no classifier rule matched *)
+  fault_dropped : int;  (* injected Drop faults *)
+  flush_lost : int;  (* in-flight work discarded by lossy restarts *)
+  merge_timed_out : int;  (* merges force-completed without a failed branch *)
+  shed : int;  (* refused by the admission controller under pressure *)
+  shed_by_class : (int * int) list;  (* (priority class, shed count) *)
+  degraded : int;  (* packets that took a pressure-degraded NF path *)
+}
+
+let no_drops =
+  {
+    ingress_rejected = 0;
+    internal_rejected = 0;
+    nf_dropped = 0;
+    no_match = 0;
+    fault_dropped = 0;
+    flush_lost = 0;
+    merge_timed_out = 0;
+    shed = 0;
+    shed_by_class = [];
+    degraded = 0;
+  }
+
+(* Merge per-class shed counts: classes union, counts add, sorted by
+   class so composition is order-insensitive. *)
+let add_by_class a b =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, n) ->
+      Hashtbl.replace tbl c (n + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    (a @ b);
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let add_drops a b =
+  {
+    ingress_rejected = a.ingress_rejected + b.ingress_rejected;
+    internal_rejected = a.internal_rejected + b.internal_rejected;
+    nf_dropped = a.nf_dropped + b.nf_dropped;
+    no_match = a.no_match + b.no_match;
+    fault_dropped = a.fault_dropped + b.fault_dropped;
+    flush_lost = a.flush_lost + b.flush_lost;
+    merge_timed_out = a.merge_timed_out + b.merge_timed_out;
+    shed = a.shed + b.shed;
+    shed_by_class = add_by_class a.shed_by_class b.shed_by_class;
+    degraded = a.degraded + b.degraded;
+  }
+
 (* Per-core liveness as the watchdog sees it, plus the fault/recovery
    counters of the whole system. Systems without fault machinery report
    [no_health]. *)
@@ -29,6 +88,12 @@ type health = {
   replayed : int;  (* packets re-processed from an input log, output-suppressed *)
   deduped : int;  (* duplicate emissions suppressed after a replay *)
   salvaged : int;  (* in-flight jobs re-admitted instead of flushed *)
+  (* Overload control plane (PR 8). *)
+  drops : drops;  (* the unified drop taxonomy *)
+  pressure_episodes : int;  (* ring watermark onsets across all cores *)
+  breaker_trips : int;  (* circuit breaker gave up on a restart-looping core *)
+  backoffs : int;  (* restarts delayed by exponential backoff *)
+  degrade_switches : int;  (* NFs toggled into a pressure-degrade mode *)
 }
 
 let no_health =
@@ -49,6 +114,11 @@ let no_health =
     replayed = 0;
     deduped = 0;
     salvaged = 0;
+    drops = no_drops;
+    pressure_episodes = 0;
+    breaker_trips = 0;
+    backoffs = 0;
+    degrade_switches = 0;
   }
 
 (* Combine the health of composed systems (e.g. chained cluster
@@ -71,6 +141,11 @@ let add_health a b =
     replayed = a.replayed + b.replayed;
     deduped = a.deduped + b.deduped;
     salvaged = a.salvaged + b.salvaged;
+    drops = add_drops a.drops b.drops;
+    pressure_episodes = a.pressure_episodes + b.pressure_episodes;
+    breaker_trips = a.breaker_trips + b.breaker_trips;
+    backoffs = a.backoffs + b.backoffs;
+    degrade_switches = a.degrade_switches + b.degrade_switches;
   }
 
 type system = {
@@ -78,11 +153,16 @@ type system = {
   ring_drops : unit -> int;
   nf_drops : unit -> int;
   unmatched : unit -> int;
+  shed : unit -> int;
   classifier : unit -> classifier_counters;
   health : unit -> health;
 }
 
-type arrivals = Uniform of float | Poisson of float | Burst of float * int
+type arrivals =
+  | Uniform of float
+  | Poisson of float
+  | Burst of float * int
+  | Surge of Fault.surge
 
 type result = {
   latency : Nfp_algo.Stats.t;
@@ -92,6 +172,7 @@ type result = {
   ring_drops : int;
   nf_drops : int;
   unmatched : int;
+  shed : int;  (* refused by the admission controller *)
   in_flight : int;  (* offered but unaccounted at end of run: still queued,
                        wedged at a merger, or lost to injected faults *)
   health : health;
@@ -128,6 +209,12 @@ let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) ?stop () =
     | Burst (mpps, k) ->
         (* k packets back to back, then a gap keeping the mean rate. *)
         if (i + 1) mod k = 0 then float_of_int k *. 1000.0 /. mpps else 0.0
+    | Surge s ->
+        ignore i;
+        (* The plan's rate is re-sampled at every arrival, so steps,
+           spikes and ramps reshape the interarrival gaps as simulated
+           time advances. *)
+        1000.0 /. Fault.surge_rate s ~now_ns:(Engine.now engine)
   in
   let rec arrive i =
     if i < packets then begin
@@ -154,17 +241,19 @@ let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) ?stop () =
   let ring_drops = system.ring_drops () in
   let nf_drops = system.nf_drops () in
   let unmatched = system.unmatched () in
+  let shed = system.shed () in
   (* Accounting must close: every offered packet is either completed
-     (first delivery), counted by exactly one drop counter, or still in
-     the system / lost to faults (in_flight). A negative residual means
-     a packet was double-counted — a dataplane bug, so fail loudly. *)
-  let in_flight = packets - !completed - ring_drops - nf_drops - unmatched in
+     (first delivery), counted by exactly one drop counter, shed by the
+     admission controller, or still in the system / lost to faults
+     (in_flight). A negative residual means a packet was double-counted
+     — a dataplane bug, so fail loudly. *)
+  let in_flight = packets - !completed - ring_drops - nf_drops - unmatched - shed in
   if in_flight < 0 then
     failwith
       (Printf.sprintf
          "Harness.run: accounting does not close: offered %d < completed %d + \
-          ring_drops %d + nf_drops %d + unmatched %d"
-         packets !completed ring_drops nf_drops unmatched);
+          ring_drops %d + nf_drops %d + unmatched %d + shed %d"
+         packets !completed ring_drops nf_drops unmatched shed);
   {
     latency;
     delivered = !delivered;
@@ -173,6 +262,7 @@ let run ~make ~gen ~arrivals ~packets ?warmup ?(seed = 42L) ?stop () =
     ring_drops;
     nf_drops;
     unmatched;
+    shed;
     in_flight;
     health = system.health ();
     duration_ns = duration;

@@ -12,6 +12,37 @@ val no_classifier_counters : classifier_counters
 (** All-zero counters — what systems without a flow classifier (the
     baselines) report. *)
 
+type drops = {
+  ingress_rejected : int;
+      (** NIC-boundary ring full: packets lost at entry — the only
+          ring-full events that are true losses *)
+  internal_rejected : int;
+      (** in-graph ring-full rejections: backpressure retry events
+          (the upstream core stalls and re-offers), {e not} losses, so
+          excluded from every ledger; growth here flags a saturated
+          interior hop *)
+  nf_dropped : int;  (** NF verdict Drop *)
+  no_match : int;  (** no classifier rule matched *)
+  fault_dropped : int;  (** injected Drop faults *)
+  flush_lost : int;  (** in-flight work discarded by lossy restarts *)
+  merge_timed_out : int;
+      (** merges force-completed without a failed branch *)
+  shed : int;  (** refused by the admission controller under pressure *)
+  shed_by_class : (int * int) list;
+      (** per-priority-class shed counts, sorted by class *)
+  degraded : int;  (** packets that took a pressure-degraded NF path *)
+}
+(** The unified drop taxonomy: every way a packet can fail to reach the
+    output, in one record (satellite of the overload control plane —
+    previously these counters lived across Server, System and merger
+    internals). *)
+
+val no_drops : drops
+
+val add_drops : drops -> drops -> drops
+(** Field-wise sum; per-class lists merge by class. [no_drops] is its
+    unit. *)
+
 type core_health = {
   core : string;
   state : string;  (** "up" | "down" | "restarting" | "bypassed" *)
@@ -46,6 +77,17 @@ type health = {
   salvaged : int;
       (** in-flight jobs of a crashed core re-admitted by a lossless
           restart instead of being flushed *)
+  drops : drops;
+      (** the unified drop taxonomy (see {!drops}); subsumes
+          [fault_drops], [flushed] and [merge_timeouts] above, which
+          remain for compatibility *)
+  pressure_episodes : int;
+      (** ring watermark pressure onsets summed across all cores *)
+  breaker_trips : int;
+      (** circuit breaker abandoned Restart on a restart-looping core *)
+  backoffs : int;  (** restarts delayed by exponential backoff *)
+  degrade_switches : int;
+      (** NFs toggled into a pressure-degrade mode (onsets) *)
 }
 (** Fault/recovery counters of a whole system plus per-core liveness. *)
 
@@ -65,6 +107,10 @@ type system = {
   unmatched : unit -> int;
       (** packets no classification-table entry claimed — distinct from
           NF drops: an unmatched packet never entered a service graph *)
+  shed : unit -> int;
+      (** packets refused by the admission controller under pressure —
+          deliberate, priority-ordered refusals, distinct from
+          [ring_drops] (the NIC ran out of buffer) *)
   classifier : unit -> classifier_counters;
       (** current classifier cache counters (see
           {!classifier_counters}) *)
@@ -80,6 +126,10 @@ type arrivals =
   | Burst of float * int
       (** DPDK-generator style: bursts of [k] back-to-back packets at
           this mean Mpps — the shape a tx_burst loop emits *)
+  | Surge of Fault.surge
+      (** time-varying offered load: the plan's rate
+          ({!Fault.surge_rate}) is re-sampled at every arrival, so
+          steps, spikes and ramps reshape the interarrival gaps *)
 
 type result = {
   latency : Nfp_algo.Stats.t;  (** per-packet ns, after warmup *)
@@ -93,11 +143,13 @@ type result = {
   ring_drops : int;
   nf_drops : int;
   unmatched : int;
+  shed : int;  (** refused by the admission controller *)
   in_flight : int;
       (** offered but unaccounted at end of run: still queued, wedged
           at a merger, or lost to injected faults. [run] enforces
           [offered = completed + ring_drops + nf_drops + unmatched +
-          in_flight] with [in_flight >= 0] and fails loudly otherwise. *)
+          shed + in_flight] with [in_flight >= 0] and fails loudly
+          otherwise. *)
   health : health;  (** the system's fault/recovery counters at end of run *)
   duration_ns : float;
   achieved_mpps : float;

@@ -254,13 +254,17 @@ let resume t =
   end
 
 let create ~engine ~name ~ring_capacity ~batch ?(burst_saving_ns = 0.0) ?jitter
-    ?(retry_ns = 150.0) ?fault ~service_ns ~execute () =
+    ?(retry_ns = 150.0) ?watermarks ?fault ~service_ns ~execute () =
   let batch = max 1 batch in
+  let ring = Nfp_algo.Ring.create ~capacity:ring_capacity in
+  (match watermarks with
+  | None -> ()
+  | Some (high, low) -> Nfp_algo.Ring.set_watermarks ring ~high ~low);
   let t =
     {
       engine;
       name;
-      ring = Nfp_algo.Ring.create ~capacity:ring_capacity;
+      ring;
       batch;
       burst_saving_ns;
       jitter;
@@ -375,6 +379,10 @@ let name t = t.name
 let processed t = t.processed
 
 let rejected t = Nfp_algo.Ring.rejected_total t.ring
+
+let pressured t = Nfp_algo.Ring.pressured t.ring
+
+let pressure_episodes t = Nfp_algo.Ring.pressure_episodes t.ring
 
 let busy_ns t = t.f.busy_ns
 

@@ -25,6 +25,7 @@ val create :
   ?burst_saving_ns:float ->
   ?jitter:float * Nfp_algo.Prng.t ->
   ?retry_ns:float ->
+  ?watermarks:int * int ->
   ?fault:Fault.core ->
   service_ns:('job -> float) ->
   execute:('job -> unit -> bool) ->
@@ -44,6 +45,11 @@ val create :
     breath of one job — is bit-for-bit the legacy per-packet charging
     regardless of this value.
 
+    [watermarks] is [(high, low)]: arm the input ring's occupancy
+    watermarks ({!Nfp_algo.Ring.set_watermarks}) so {!pressured}
+    reports hysteretic backpressure. Without it the ring never reports
+    pressure and the server is bit-for-bit the pre-watermark server.
+
     [fault] installs this core's share of a {!Fault.plan}: crashes and
     hangs stop the poll loop (in-flight work is reclaimed as
     casualties, see {!revive}), slowdowns scale service times, drops
@@ -61,6 +67,15 @@ val name : 'job t -> string
 val processed : 'job t -> int
 
 val rejected : 'job t -> int
+
+val pressured : 'job t -> bool
+(** Whether the input ring's occupancy watermark latch is on (always
+    [false] unless [watermarks] was given at {!create}) — the hop-local
+    backpressure signal the overload control plane propagates
+    upstream. *)
+
+val pressure_episodes : 'job t -> int
+(** Lifetime count of pressure onsets on the input ring. *)
 
 val busy_ns : 'job t -> float
 

@@ -379,6 +379,7 @@ let fixed_system ~service_ns ~ring engine ~output =
     ring_drops = (fun () -> !drops);
     nf_drops = (fun () -> 0);
     unmatched = (fun () -> 0);
+    shed = (fun () -> 0);
     classifier = (fun () -> Harness.no_classifier_counters);
     health = (fun () -> Harness.no_health);
   }
