@@ -90,6 +90,9 @@ type measurement = {
   latency_us : float;
   p99_us : float;
   prov : provenance;
+  extra : (string * float) list;
+      (* experiment-specific counters (migrations, aborts, offered
+         load, ...) appended verbatim to the sample's JSON object *)
 }
 
 (* With --json every measurement of the selected experiment is collected
@@ -127,6 +130,7 @@ let measure ?(hi = 14.88) ?(prov = default_prov) ~gen make =
       latency_us = Nfp_algo.Stats.mean r.latency /. 1000.0;
       p99_us = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0;
       prov;
+      extra = [];
     }
   in
   record_sample m;
@@ -904,6 +908,43 @@ let shed_of_class (drops : Nfp_sim.Harness.drops) c =
   match List.assoc_opt c drops.shed_by_class with Some n -> n | None -> 0
 
 (* ------------------------------------------------------------------ *)
+(* Elastic rig: cheap forwarders feed the expensive IDS, whose         *)
+(* read-mostly profile clears it for RSS-sharded replicas and runtime  *)
+(* state migration. The static rig pins the IDS to one core and        *)
+(* saturates at its knee; arming the controller lets the same          *)
+(* deployment scale the IDS out live. Shared by loadsweep's elastic    *)
+(* breakdown and the elastic experiment.                               *)
+(* ------------------------------------------------------------------ *)
+
+let elastic_kinds = forwarder_kinds 2 @ [ ("ids", "IDS") ]
+
+let elastic_plan () =
+  let profile_of n = Nfp_nf.Registry.profile_of (List.assoc n elastic_kinds) in
+  match
+    Tables.plan ~profile_of
+      (Graph.seq (List.map (fun (n, _) -> Graph.nf n) elastic_kinds))
+  with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let elastic_point ?elastic ~rate ~packets () =
+  let plan = elastic_plan () in
+  let make engine ~output =
+    Nfp_infra.System.make ?elastic ~plan ~nfs:(lookup_of elastic_kinds ())
+      engine ~output
+  in
+  Nfp_sim.Harness.run ~make ~gen:(gen_of_size 64)
+    ~arrivals:(Nfp_sim.Harness.Uniform rate) ~packets ()
+
+let elastic_knee () =
+  let plan = elastic_plan () in
+  let make engine ~output =
+    Nfp_infra.System.make ~plan ~nfs:(lookup_of elastic_kinds ()) engine ~output
+  in
+  Nfp_sim.Harness.max_lossless_mpps ~make ~gen:(gen_of_size 64)
+    ~packets:search_packets ~hi:14.88 ~iterations:8 ()
+
+(* ------------------------------------------------------------------ *)
 (* loadsweep: latency vs offered load (methodology check)              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1017,6 +1058,37 @@ let run_loadsweep () =
             (Printf.sprintf "%d (%d)" dg sg)
             p99_us
       | _ -> ())
+    rows;
+  (* Elastic breakdown: the same sweep idea on the scale rig with the
+     elastic controller armed — the migration/abort columns show the
+     controller re-homing RSS buckets as each load point passes the
+     single-IDS knee. *)
+  note "";
+  note "  elastic controller armed (fwd-fwd-ids chain, default policy):";
+  let mxe = elastic_knee () in
+  note "  static knee: %.2f Mpps" mxe;
+  note "  %-10s %-12s %-12s %-8s %-6s %-6s %s" "load" "mean (us)" "p99 (us)"
+    "ingress" "migr" "abort" "replicas out/in";
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.map
+         (fun frac () ->
+           let r =
+             elastic_point
+               ~elastic:Nfp_infra.System.default_elastic_config
+               ~rate:(frac *. mxe) ~packets:latency_packets ()
+           in
+           (frac, r))
+         [ 0.6; 0.9; 1.1; 1.5 ])
+  in
+  List.iter
+    (fun (frac, (r : Nfp_sim.Harness.result)) ->
+      let h = r.health in
+      note "  %3.0f%%       %-12.1f %-12.1f %-8d %-6d %-6d %d/%d" (100.0 *. frac)
+        (Nfp_algo.Stats.mean r.latency /. 1000.0)
+        (Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0)
+        h.drops.ingress_rejected h.migrations h.migration_aborts h.scale_outs
+        h.scale_ins)
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -1085,6 +1157,74 @@ let run_scale () =
         (m.mpps /. !baseline)
         m.p99_us)
     [ 1; 2; 3; 4; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* elastic: offered-load sweep, static rig vs live scale-out           *)
+(* ------------------------------------------------------------------ *)
+
+let run_elastic () =
+  section "Elastic  Riding through the static knee (fwd-fwd-ids chain, 64B)";
+  note "(the static rig pins one IDS replica and saturates at its knee; the";
+  note " elastic rig arms the default scale controller, which shards the IDS";
+  note " across RSS buckets at runtime and migrates per-flow state live --";
+  note " goodput follows the offered load past the static saturation point)";
+  let knee = elastic_knee () in
+  note "  static knee (one IDS replica, lossless): %.2f Mpps" knee;
+  let fracs = [ 0.6; 0.8; 1.0; 1.5; 2.0; 3.0 ] in
+  let variants =
+    [
+      ("static", None);
+      ("elastic", Some Nfp_infra.System.default_elastic_config);
+    ]
+  in
+  let rows =
+    Nfp_sim.Harness.parallel_runs
+      (List.concat_map
+         (fun (vlabel, elastic) ->
+           List.map
+             (fun frac () ->
+               let r =
+                 elastic_point ?elastic ~rate:(frac *. knee)
+                   ~packets:latency_packets ()
+               in
+               (vlabel, frac, r))
+             fracs)
+         variants)
+  in
+  let last = ref "" in
+  List.iter
+    (fun (vlabel, frac, (r : Nfp_sim.Harness.result)) ->
+      if !last <> vlabel then begin
+        last := vlabel;
+        note "";
+        note "  %s rig:" vlabel;
+        note "  %-8s %-10s %-10s %-8s %-6s %-6s %-6s %s" "load" "goodput"
+          "p99 (us)" "ingress" "outs" "ins" "migr" "aborts"
+      end;
+      let h = r.health in
+      let goodput = float_of_int r.completed /. r.duration_ns *. 1000.0 in
+      let p99 = Nfp_algo.Stats.percentile r.latency 99.0 /. 1000.0 in
+      note "  %3.0f%%     %-10.2f %-10.1f %-8d %-6d %-6d %-6d %d"
+        (100.0 *. frac) goodput p99 h.drops.ingress_rejected h.scale_outs
+        h.scale_ins h.migrations h.migration_aborts;
+      record_sample
+        {
+          mpps = goodput;
+          latency_us = Nfp_algo.Stats.mean r.latency /. 1000.0;
+          p99_us = p99;
+          prov = prov (Printf.sprintf "elastic:%s:load-%.1fx" vlabel frac);
+          extra =
+            [
+              ("offered_mpps", frac *. knee);
+              ("ingress_drops", float_of_int h.drops.ingress_rejected);
+              ("scale_outs", float_of_int h.scale_outs);
+              ("scale_ins", float_of_int h.scale_ins);
+              ("migrations", float_of_int h.migrations);
+              ("aborts", float_of_int h.migration_aborts);
+              ("migrated_packets", float_of_int h.migrated_packets);
+            ];
+        })
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* vm: §7 containers vs virtual machines                               *)
@@ -1222,6 +1362,7 @@ let run_classify () =
                 classify =
                   (match classify with `Scan -> "scan" | `Cached -> "cached");
               };
+            extra = [];
           };
         (us, counters)
       in
@@ -1359,6 +1500,7 @@ let run_faults () =
           latency_us = mean_us;
           p99_us;
           prov = prov (Printf.sprintf "faults:%s:mtbf-%s" plabel mlabel);
+          extra = [];
         };
       note "  %-9s %-8s | %6.2f%% %-9.1f %-9.1f | %-8d %-8d %-8d %d" plabel mlabel
         (100.0 *. avail) mean_us p99_us crashes detects mto lost)
@@ -1443,6 +1585,7 @@ let run_recovery () =
           latency_us = mean_us;
           p99_us;
           prov = prov (Printf.sprintf "recovery:ckpt-%s:mtbf-%s" ilabel mlabel);
+          extra = [];
         };
       note "  %-8s %-8s | %6.2f%% %-9.1f %-9.1f | %-6d %-7d %-8d %d" ilabel mlabel
         (100.0 *. avail) mean_us p99_us ckpts replayed salvaged lost)
@@ -1533,6 +1676,7 @@ let run_overload () =
                 prov
                   (Printf.sprintf "overload:admission-%s:load-%.1fx:%s" vlabel
                      frac clabel);
+              extra = [];
             })
         per_class)
     rows
@@ -1558,6 +1702,7 @@ let experiments =
     ("partition", run_partition);
     ("loadsweep", run_loadsweep);
     ("scale", run_scale);
+    ("elastic", run_elastic);
     ("vm", run_vm);
     ("classify", run_classify);
     ("batch", run_batch);
@@ -1578,10 +1723,12 @@ let write_json name ~wall_clock_s samples =
     (fun i m ->
       Printf.fprintf oc
         "%s\n    { \"label\": %S, \"path\": %S, \"classify\": %S, \"batch\": %d,\n\
-        \      \"mpps\": %.6f, \"latency_us\": %.6f, \"p99_us\": %.6f }"
+        \      \"mpps\": %.6f, \"latency_us\": %.6f, \"p99_us\": %.6f"
         (if i = 0 then "" else ",")
         m.prov.label m.prov.path m.prov.classify m.prov.batch m.mpps m.latency_us
-        m.p99_us)
+        m.p99_us;
+      List.iter (fun (k, v) -> Printf.fprintf oc ", \"%s\": %.6f" k v) m.extra;
+      Printf.fprintf oc " }")
     samples;
   Printf.fprintf oc "%s]\n}\n" (if samples = [] then "" else "\n  ");
   close_out oc;

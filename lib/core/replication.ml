@@ -36,6 +36,16 @@ let eligible (nf : Nf.t) =
       nf.fresh <> None && nf.merge <> None && nf.snapshot <> None
       && nf.restore <> None
 
+(* Live migration needs one more half than static sharding: a way to
+   carve the moving flows' state out of the source (extract) on top of
+   the absorb side's merge machinery. Replicated_readonly replicas are
+   interchangeable — nothing moves, a fresh copy suffices. *)
+let migratable (nf : Nf.t) =
+  match derive nf with
+  | Sequential -> false
+  | Replicated_readonly -> nf.fresh <> None
+  | Shared_nothing -> eligible nf && nf.extract <> None
+
 (* Direct NF successors of an NF in a compiled plan: the To_nf hops of
    its forwarding-table actions, with merger hops resolved through the
    merge table (a merged packet continues into the merger's [next]

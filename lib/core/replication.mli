@@ -37,6 +37,15 @@ val eligible : Nfp_nf.Nf.t -> bool
     machinery — [fresh] for both replicating strategies, plus
     [merge]/[snapshot]/[restore] for [Shared_nothing]. *)
 
+val migratable : Nfp_nf.Nf.t -> bool
+(** Whether a replica's per-flow state can be moved to a peer at
+    runtime: {!eligible} plus an [extract] half ([Shared_nothing]), or
+    just [fresh] ([Replicated_readonly], where replicas are
+    interchangeable and nothing needs to move). [Sequential] NFs never
+    migrate. Gates the elastic controller: an NF may only scale
+    out/in live when it is both [shardable] in its plan and
+    [migratable]. *)
+
 val shardable :
   plan:Tables.plan -> nf_of:(string -> Nfp_nf.Nf.t) -> string -> bool
 (** The deployment-time verdict for one NF of a compiled plan:

@@ -1,5 +1,5 @@
-let make ?config ?fault ?overload ?(link_latency_ns = 2000.0) ~segments engine
-    ~output =
+let make ?config ?fault ?overload ?elastic ?(link_latency_ns = 2000.0) ~segments
+    engine ~output =
   if segments = [] then invalid_arg "Cluster.make: no segments";
   let ring_drop_fns = ref [] and nf_drop_fns = ref [] and unmatched_fns = ref [] in
   let shed_fns = ref [] and classifier_fns = ref [] and health_fns = ref [] in
@@ -19,7 +19,9 @@ let make ?config ?fault ?overload ?(link_latency_ns = 2000.0) ~segments engine
   let rec build = function
     | [] -> assert false
     | [ (plan, nfs) ] ->
-        let system = System.make ?config ?fault ?overload ~plan ~nfs engine ~output in
+        let system =
+          System.make ?config ?fault ?overload ?elastic ~plan ~nfs engine ~output
+        in
         record system;
         system
     | (plan, nfs) :: rest ->
@@ -29,7 +31,8 @@ let make ?config ?fault ?overload ?(link_latency_ns = 2000.0) ~segments engine
               downstream.Nfp_sim.Harness.inject ~pid pkt)
         in
         let system =
-          System.make ?config ?fault ?overload ~plan ~nfs engine ~output:forward
+          System.make ?config ?fault ?overload ?elastic ~plan ~nfs engine
+            ~output:forward
         in
         record system;
         system
@@ -60,8 +63,8 @@ let make ?config ?fault ?overload ?(link_latency_ns = 2000.0) ~segments engine
           Nfp_sim.Harness.no_health !health_fns);
   }
 
-let of_partition ?config ?fault ?overload ?link_latency_ns ~assignments ~profile_of
-    ~nfs engine ~output =
+let of_partition ?config ?fault ?overload ?elastic ?link_latency_ns ~assignments
+    ~profile_of ~nfs engine ~output =
   let rec plans acc = function
     | [] -> Ok (List.rev acc)
     | (a : Nfp_core.Partition.assignment) :: rest -> (
@@ -72,4 +75,6 @@ let of_partition ?config ?fault ?overload ?link_latency_ns ~assignments ~profile
   match plans [] assignments with
   | Error e -> Error e
   | Ok segments ->
-      Ok (make ?config ?fault ?overload ?link_latency_ns ~segments engine ~output)
+      Ok
+        (make ?config ?fault ?overload ?elastic ?link_latency_ns ~segments engine
+           ~output)

@@ -13,6 +13,7 @@ val make :
   ?config:System.config ->
   ?fault:System.fault_config ->
   ?overload:System.overload_config ->
+  ?elastic:System.elastic_config ->
   ?link_latency_ns:float ->
   segments:(Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
   Nfp_sim.Engine.t ->
@@ -23,13 +24,19 @@ val make :
     hop) and enters segment [i+1]'s NIC. Drop/loss and health counters
     aggregate across servers. [fault] applies to every segment (plans
     match cores by name, so a pattern perturbs the matching core of
-    each segment that has one). @raise Invalid_argument on an empty
-    segment list. *)
+    each segment that has one). [elastic] arms every segment's scale
+    controller; aggregation is churn-tolerant — cores that retire
+    (scale-in) or have not yet activated report as ["standby"] rather
+    than vanishing from the list, and {!Nfp_sim.Harness.add_health}
+    sums the migration counters and the [migrating] in-flight gauge
+    across segments like any other field. @raise Invalid_argument on
+    an empty segment list. *)
 
 val of_partition :
   ?config:System.config ->
   ?fault:System.fault_config ->
   ?overload:System.overload_config ->
+  ?elastic:System.elastic_config ->
   ?link_latency_ns:float ->
   assignments:Nfp_core.Partition.assignment list ->
   profile_of:(string -> Nfp_nf.Action.t list) ->

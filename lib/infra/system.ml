@@ -71,6 +71,94 @@ let default_overload_config =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Elastic scale-out: runtime replica activation with crash-safe live  *)
+(* NF state migration.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in, like overload: a deployment built without an elastic config
+   is bit-for-bit the pre-elastic system, and one built with a
+   never-triggering config (thresholds no run reaches) must produce the
+   same packet trace — standby replicas draw jitter from an independent
+   PRNG stream and the steering map starts as the identity sharding, so
+   the machinery is invisible until the controller acts. *)
+type elastic_config = {
+  min_replicas : int;  (* scale-in floor (also the initial active count) *)
+  max_replicas : int;
+      (* scale-out ceiling; replicas beyond the static count are built
+         at deployment as standby cores and activated at runtime *)
+  buckets : int;
+      (* steering-map granularity: flows hash into [buckets] RSS
+         buckets, each owned by one replica; migrations re-home whole
+         buckets. Must be >= max_replicas. *)
+  control_interval_ns : float;  (* controller tick period *)
+  scale_out_occupancy : float;
+      (* scale out when any active replica's queue occupancy (fraction
+         of ring capacity) reaches this *)
+  scale_in_occupancy : float;
+      (* scale in when every active replica sits at or below this;
+         must be < scale_out_occupancy (hysteresis) *)
+  migration_batch : int;  (* max buckets re-homed per migration *)
+  transfer_ns : float;
+      (* modeled state-transfer window: the source stays frozen this
+         long between freeze and commit *)
+  migration_deadline_ns : float;
+      (* a migration that cannot commit by freeze-time + this deadline
+         (destination full, party down) aborts and rolls back to the
+         old steering map *)
+  commit_retry_ns : float;
+      (* retry period of a commit blocked on destination ring space *)
+  cooldown_ns : float;  (* minimum time between scale decisions per slot *)
+}
+
+let default_elastic_config =
+  {
+    min_replicas = 1;
+    max_replicas = 4;
+    buckets = 64;
+    control_interval_ns = 20_000.0;
+    scale_out_occupancy = 0.5;
+    scale_in_occupancy = 0.05;
+    migration_batch = 16;
+    transfer_ns = 30_000.0;
+    migration_deadline_ns = 200_000.0;
+    commit_retry_ns = 2_000.0;
+    cooldown_ns = 50_000.0;
+  }
+
+(* One in-flight bucket migration: two-phase. Phase 1 (freeze) pauses
+   the source replica and schedules the commit [transfer_ns] later;
+   phase 2 (commit) either aborts — any party down, or no destination
+   ring space by the deadline — rolling back to the old map with the
+   source unfrozen and nothing observable changed, or atomically (one
+   simulation event): carves the moving flows' state out of the source
+   NF, folds it into the destination, re-homes the frozen in-flight
+   packets, flips the map buckets and bumps the epoch. *)
+type migration = {
+  mg_src : int;
+  mg_dst : int;
+  mg_buckets : int list;
+  mg_deadline : float;
+}
+
+(* Steering state of one scalable NF slot. [st_map.(b)] is the replica
+   index owning bucket [b]; the send sites read it per attempt, so a
+   single-event flip can never race an in-flight packet. *)
+type steer = {
+  mutable st_map : int array;
+  mutable st_epoch : int;  (* bumped at every committed flip *)
+  mutable st_active : int;  (* replicas 0 .. active-1 receive traffic *)
+  mutable st_draining : int;  (* replica being scaled in; -1 = none *)
+  mutable st_last_op : float;  (* cooldown clock *)
+  mutable st_backoff : float;
+  (* no migration may start before this time: set after an abort so the
+     just-unfrozen source drains its backlog before the controller can
+     freeze it again (otherwise a hopeless migration — e.g. a moved set
+     larger than the destination ring — restarts every tick and the
+     source starves forever) *)
+  mutable st_mig : migration option;  (* at most one in flight per slot *)
+}
+
+(* ------------------------------------------------------------------ *)
 (* Fault tolerance: injection plan, watchdog, recovery policies        *)
 (* ------------------------------------------------------------------ *)
 
@@ -156,6 +244,9 @@ type probe = {
   pr_stalled : unit -> float;
   pr_busy : unit -> bool;
   pr_down : unit -> bool;
+  pr_paused : unit -> bool;
+      (* quiesced as a live-migration source: healthy, deliberately
+         frozen — the watchdog must not declare it dead *)
   pr_kill : unit -> unit;
   pr_revive : flush:bool -> int;
   pr_drain : unit -> int;  (* NF cores: reroute the backlog around the core *)
@@ -318,7 +409,8 @@ let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
 let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
 
 let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_config)
-    ?batch_size ?replicas ?fault ?overload ?stats ?replication ~graphs engine ~output =
+    ?batch_size ?replicas ?fault ?overload ?elastic ?stats ?replication ~graphs engine
+    ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
   (match (fault, path) with
   | Some _, `Interpretive ->
@@ -342,6 +434,27 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
       if oc.pressure_poll_ns <= 0.0 then
         invalid_arg "System.make_multi: overload pressure_poll_ns must be positive"
   | None -> ());
+  (match elastic with
+  | Some (ec : elastic_config) ->
+      if path = `Interpretive then
+        invalid_arg "System.make_multi: elastic scale-out requires the `Compiled path";
+      if ec.min_replicas < 1 || ec.max_replicas < ec.min_replicas then
+        invalid_arg
+          "System.make_multi: elastic replica bounds must satisfy 1 <= min <= max";
+      if ec.buckets < ec.max_replicas then
+        invalid_arg "System.make_multi: elastic buckets must be >= max_replicas";
+      if
+        ec.control_interval_ns <= 0.0 || ec.transfer_ns < 0.0
+        || ec.migration_deadline_ns <= 0.0
+        || ec.commit_retry_ns <= 0.0 || ec.cooldown_ns < 0.0
+      then invalid_arg "System.make_multi: elastic periods must be positive";
+      if not (ec.scale_in_occupancy < ec.scale_out_occupancy) then
+        invalid_arg
+          "System.make_multi: elastic occupancy thresholds must satisfy in < out";
+      if ec.migration_batch < 1 then
+        invalid_arg "System.make_multi: elastic migration_batch must be >= 1"
+  | None -> ());
+  let elastic_on = elastic <> None in
   (* Watermarks for every compiled-path ring; [None] (no overload
      config) leaves each ring's latch disarmed — the bit-identity
      guarantee. *)
@@ -389,6 +502,12 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     armed
     && match fault with Some fc -> fc.checkpoint_interval_ns > 0.0 | None -> false
   in
+  (* The (pid, version) dedup filters also arm under elastic: a crash
+     landing mid-migration can re-home a packet whose original emission
+     is still in flight, and exactly-once delivery must hold. Pure
+     bookkeeping — on a duplicate-free run the filters never fire, so
+     the trace is untouched. *)
+  let dedup_on = armed || elastic_on in
   let log_capacity =
     match fault with Some fc -> max 1 fc.log_capacity | None -> 1
   in
@@ -450,6 +569,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
   let shed_class = Array.make (max_class + 1) 0 in
   let prng = Nfp_algo.Prng.create ~seed:config.seed in
   let jitter_for () = (config.jitter, Nfp_algo.Prng.split prng) in
+  (* Standby replicas (indices past the static count) draw jitter from
+     an independent stream, like the degrade twins: building them must
+     not shift the main PRNG and perturb a never-scaling trace. *)
+  let elastic_prng =
+    Nfp_algo.Prng.create ~seed:(Int64.logxor config.seed 0x31a5_71c5L)
+  in
+  let elastic_jitter_for () = (config.jitter, Nfp_algo.Prng.split elastic_prng) in
   let packet_bytes ctx version =
     match Context.get ctx version with Some p -> Packet.wire_length p | None -> 1500
   in
@@ -461,10 +587,10 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
      version), which pass through unfiltered. *)
   let delivered_versions : (int64 * int, unit) Hashtbl.t = Hashtbl.create 64 in
   let deliver_out ?(version = 0) ~pid pkt =
-    if armed && version > 0 && Hashtbl.mem delivered_versions (pid, version) then
+    if dedup_on && version > 0 && Hashtbl.mem delivered_versions (pid, version) then
       incr deduped
     else begin
-      if armed && version > 0 then Hashtbl.replace delivered_versions (pid, version) ();
+      if dedup_on && version > 0 then Hashtbl.replace delivered_versions (pid, version) ();
       Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () -> output ~pid pkt)
     end
   in
@@ -496,6 +622,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         pr_stalled = (fun () -> Nfp_sim.Server.stalled_ns s);
         pr_busy = (fun () -> Nfp_sim.Server.is_busy s);
         pr_down = (fun () -> Nfp_sim.Server.is_down s);
+        pr_paused = (fun () -> Nfp_sim.Server.is_paused s);
         pr_kill = (fun () -> Nfp_sim.Server.kill s);
         pr_revive = (fun ~flush -> Nfp_sim.Server.revive ~flush s);
         pr_drain = drain;
@@ -522,6 +649,21 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     ref []
   in
   let bypassed_packets = ref 0 and merge_timeouts = ref 0 in
+  (* Elastic counters and hooks, bridged out of the compiled arm the
+     same way the probes are: the controller (built with the cores)
+     writes them, [health] and [inject] read them. *)
+  let scale_outs = ref 0
+  and scale_ins = ref 0
+  and migrations = ref 0
+  and migration_aborts = ref 0
+  and migrated_packets = ref 0 in
+  let migrating_gauge = ref (fun () -> 0) in
+  let elastic_kick = ref (fun () -> ()) in
+  (* The controller is itself a crashable party: a fault plan may
+     target the pseudo-core "elastic" — while it is down, no scale
+     decision runs and any commit falling due aborts. *)
+  let controller_down = ref false in
+  let core_state_override : (string -> string option) ref = ref (fun _ -> None) in
   (* Run a retryable emission to completion off-core: used where no
      server owns the emission (bypass reroutes, timed-out merges), with
      the same stall-poll cadence as a core's flush loop. *)
@@ -808,6 +950,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
            expected branch. *)
         let bypassed : bool array array ref = ref [||] in
         let nf_cprogs : cprog array ref = ref [||] in
+        (* Elastic steering maps, one per slot; [None] = legacy mod-n
+           sharding (the slot is not scalable, or no elastic config). *)
+        let steers : steer option array ref = ref [||] in
         (* RSS shard steering: the packet version each slot's NF reads,
            so the send site can hash the 5-tuple that replica will
            observe. The hash runs on its own seeded stream
@@ -821,7 +966,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           Array.of_list
             (List.map (fun (_, (e : Tables.nf_entry), _) -> e.Tables.version) nf_impls)
         in
-        let shard_of ctx slot n =
+        let rss_hash ctx slot =
           match Context.get ctx nf_version_of.(slot) with
           | None -> 0
           | Some pkt ->
@@ -832,8 +977,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               let b =
                 Nfp_algo.Hashing.pack_b_int (Packet.dip_int pkt) (Packet.dport pkt)
               in
-              Nfp_algo.Hashing.rss2_int a b mod n
+              Nfp_algo.Hashing.rss2_int a b
         in
+        let shard_of ctx slot n = rss_hash ctx slot mod n in
         let merger_cores : cdelivery Nfp_sim.Server.t array ref = ref [||] in
         let agent_core : cdelivery Nfp_sim.Server.t option ref = ref None in
         let route_merge (d : cdelivery) =
@@ -995,9 +1141,18 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                     match sends.(i) with
                     | S_nf slot ->
                         let reps = !nf_servers.(slot) in
+                        (* Steered slots look the bucket up in the live
+                           map — per attempt, so a committed flip takes
+                           effect for every not-yet-offered packet, and
+                           an in-flight retry lands on the new owner. *)
                         let r =
                           if Array.length reps < 2 then 0
-                          else shard_of ctx slot (Array.length reps)
+                          else
+                            match !steers.(slot) with
+                            | Some st ->
+                                st.st_map.(rss_hash ctx slot
+                                           mod Array.length st.st_map)
+                            | None -> shard_of ctx slot (Array.length reps)
                         in
                         if Array.length !bypassed > 0 && !bypassed.(slot).(r) then begin
                           incr bypassed_packets;
@@ -1067,8 +1222,31 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                         };
                     |]
               in
-              let n_replicas = replica_count mid entry.nf in
-              let make_replica r (nf : Nfp_nf.Nf.t) =
+              let base_replicas = replica_count mid entry.nf in
+              (* Scalable = the elastic controller may add/remove
+                 replicas at runtime: the plan clears the NF for
+                 sharding AND its state supports live extraction
+                 ([Replication.migratable]). Standby replicas up to the
+                 ceiling are built now — activation is then a pure
+                 steering-map change. *)
+              let scalable =
+                match elastic with
+                | Some (ec : elastic_config) ->
+                    ec.max_replicas > 1
+                    && Replication.migratable nf0
+                    && Replication.shardable ~plan:(plan_of_mid mid)
+                         ~nf_of:(fun n ->
+                           let _, _, nfs = table.(mid - 1) in
+                           nfs n)
+                         entry.nf
+                | None -> false
+              in
+              let n_replicas =
+                match elastic with
+                | Some ec when scalable -> max base_replicas ec.max_replicas
+                | _ -> base_replicas
+              in
+              let make_replica r (nf : Nfp_nf.Nf.t) jitter =
               (* Lossless-recovery cell, armed when checkpointing is on
                  and the NF can snapshot/restore its state: the last
                  checkpoint, plus a bounded log of pre-processing packet
@@ -1128,7 +1306,19 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                         log_len := 0;
                         !extra
                       in
-                      Some (take_checkpoint, log_packet, replay, charge)
+                      (* Migration commit: the replica's state just
+                         changed out from under the checkpoint (entries
+                         carved out at the source, folded in at the
+                         destination), so the recovery cell must be
+                         re-seeded — otherwise a later crash-replay
+                         would resurrect migrated state at the source
+                         or lose absorbed state at the destination. *)
+                      let refresh () =
+                        snapref := snap ();
+                        log := [];
+                        log_len := 0
+                      in
+                      Some (take_checkpoint, log_packet, replay, charge, refresh)
                   | _ -> None
               in
               let static =
@@ -1163,7 +1353,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                 | None -> const_true
                 | Some pkt -> (
                     (match recovery with
-                    | Some (_, log_packet, _, _) -> log_packet pkt
+                    | Some (_, log_packet, _, _, _) -> log_packet pkt
                     | None -> ());
                     let degrade_mode =
                       match deg with
@@ -1207,12 +1397,12 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               in
               let server =
                 Nfp_sim.Server.create ~engine ~name ~ring_capacity:config.ring_capacity
-                  ~batch ~burst_saving_ns ~jitter:(jitter_for ()) ?watermarks:wm
+                  ~batch ~burst_saving_ns ~jitter ?watermarks:wm
                   ?fault:(fault_for name) ~service_ns ~execute ()
               in
               self_pressured := (fun () -> Nfp_sim.Server.pressured server);
               (match recovery with
-              | Some (_, _, _, charge) -> charge := Nfp_sim.Server.charge server
+              | Some (_, _, _, charge, _) -> charge := Nfp_sim.Server.charge server
               | None -> ());
               (* Bypass recovery: mark the replica, reroute this core's
                  casualties (the in-flight batch its kill reclaimed, and
@@ -1240,7 +1430,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               register_probe ~nf:(mid, entry.nf) ~drain
                 ?checkpoint:
                   (match recovery with
-                  | Some (take_checkpoint, _, _, _) ->
+                  | Some (take_checkpoint, _, _, _, _) ->
                       Some
                         (fun () ->
                           if not (Nfp_sim.Server.is_down server) then
@@ -1248,10 +1438,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   | None -> None)
                 ?replay:
                   (match recovery with
-                  | Some (_, _, replay, _) -> Some replay
+                  | Some (_, _, replay, _, _) -> Some replay
                   | None -> None)
                 server;
-              server
+              ( server,
+                match recovery with
+                | Some (_, _, _, _, refresh) -> refresh
+                | None -> fun () -> () )
               in
               let replica_nfs =
                 Array.init n_replicas (fun r ->
@@ -1263,12 +1456,20 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               in
               (* Build replicas in index order: each creation splits the
                  jitter PRNG, and the replicas=1 trace must keep the
-                 historical split sequence. *)
+                 historical split sequence. Standby replicas (index >=
+                 the static count) split the independent elastic stream
+                 instead, leaving the main sequence untouched. *)
               let reps = Array.make n_replicas None in
               Array.iteri
-                (fun r nf -> reps.(r) <- Some (make_replica r nf))
+                (fun r nf ->
+                  let jitter =
+                    if r < base_replicas then jitter_for () else elastic_jitter_for ()
+                  in
+                  reps.(r) <- Some (make_replica r nf jitter))
                 replica_nfs;
-              let reps = Array.map Option.get reps in
+              let pairs = Array.map Option.get reps in
+              let reps = Array.map fst pairs in
+              let refreshers = Array.map snd pairs in
               replica_layout :=
                 ( mid,
                   entry,
@@ -1277,15 +1478,361 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                     (fun s () -> Nfp_sim.Server.processed s)
                     reps )
                 :: !replica_layout;
-              (reps, prog))
+              (* Steering state: flows hash into [buckets] RSS buckets,
+                 buckets map to replicas. The initial identity map
+                 ([b mod active]) reproduces static sharding over the
+                 initially-active replicas. *)
+              let steer =
+                match elastic with
+                | Some (ec : elastic_config) when scalable ->
+                    let init = min n_replicas (max base_replicas ec.min_replicas) in
+                    Some
+                      {
+                        st_map = Array.init ec.buckets (fun b -> b mod init);
+                        st_epoch = 0;
+                        st_active = init;
+                        st_draining = -1;
+                        st_backoff = 0.0;
+                        st_last_op = neg_infinity;
+                        st_mig = None;
+                      }
+                | _ -> None
+              in
+              ( reps,
+                prog,
+                Option.map (fun st -> (st, replica_nfs, refreshers)) steer ))
             nf_impls
         in
-        let servers, progs = List.split servers in
+        let built = servers in
+        let servers = List.map (fun (r, _, _) -> r) built in
+        let progs = List.map (fun (_, p, _) -> p) built in
+        steers :=
+          Array.of_list
+            (List.map (fun (_, _, e) -> Option.map (fun (st, _, _) -> st) e) built);
         nf_servers := Array.of_list servers;
         nf_cprogs := Array.of_list progs;
         bypassed :=
           Array.of_list
             (List.map (fun reps -> Array.make (Array.length reps) false) servers);
+        (* ---------------------------------------------------------- *)
+        (* Elastic controller. Ticks every [control_interval_ns]      *)
+        (* while the system has work (kicked from inject, stops when  *)
+        (* idle, like the watchdog); per scalable slot it retires     *)
+        (* drained replicas, rebalances bucket ownership, and makes   *)
+        (* cooldown-gated scale decisions from ring occupancy. At     *)
+        (* most one migration is in flight per slot; its commit is an *)
+        (* independently scheduled event, so a down controller never  *)
+        (* wedges a frozen source — the commit fires and aborts.      *)
+        (* ---------------------------------------------------------- *)
+        (match elastic with
+        | None -> ()
+        | Some (ec : elastic_config) ->
+            let eslots =
+              Array.of_list
+                (List.concat
+                   (List.mapi
+                      (fun slot (reps, _, e) ->
+                        match e with
+                        | Some (st, nfs, refs) -> [ (slot, reps, nfs, refs, st) ]
+                        | None -> [])
+                      built))
+            in
+            if Array.length eslots > 0 then begin
+              let nb = ec.buckets in
+              (* Same bytes, same hash: [Flow.t] fields are the packet
+                 fields [rss_hash] reads ([sip_int] is the unsigned int
+                 of the 32-bit address), so the extract predicate's
+                 bucket agrees with the steering bucket of every packet
+                 of the flow. *)
+              let bucket_of_flow (f : Flow.t) =
+                let a =
+                  Nfp_algo.Hashing.pack_a_int
+                    (Int32.to_int f.Flow.sip land 0xffffffff)
+                    f.Flow.sport f.Flow.proto
+                in
+                let b =
+                  Nfp_algo.Hashing.pack_b_int
+                    (Int32.to_int f.Flow.dip land 0xffffffff)
+                    f.Flow.dport
+                in
+                Nfp_algo.Hashing.rss2_int a b mod nb
+              in
+              let owned st r =
+                Array.fold_left (fun acc o -> if o = r then acc + 1 else acc) 0 st.st_map
+              in
+              let alive (reps : Context.t Nfp_sim.Server.t array) r =
+                not (Nfp_sim.Server.is_down reps.(r))
+              in
+              let occ reps r =
+                float_of_int (Nfp_sim.Server.queue_length reps.(r))
+                /. float_of_int (max 1 config.ring_capacity)
+              in
+              (* Highest-numbered owned buckets first: deterministic,
+                 and a draining replica hands its range back in the
+                 order scale-out granted it. *)
+              let pick_buckets st ~src ~count =
+                let picked = ref [] and n = ref 0 in
+                for b = nb - 1 downto 0 do
+                  if !n < count && st.st_map.(b) = src then begin
+                    picked := b :: !picked;
+                    incr n
+                  end
+                done;
+                !picked
+              in
+              (* Phase 2: commit or roll back. Abort leaves the old map
+                 in force with the source unfrozen — nothing observable
+                 changed since the freeze (the backlog only aged). The
+                 commit path is one simulation event: backlog partition,
+                 state carve/fold, recovery-cell refresh, map flip,
+                 re-home — no packet can interleave. *)
+              let rec commit ((slot, reps, nfs, refs, st) as es) () =
+                match st.st_mig with
+                | None -> ()
+                | Some mg ->
+                    let now = Nfp_sim.Engine.now engine in
+                    let src = reps.(mg.mg_src) and dst = reps.(mg.mg_dst) in
+                    let abort () =
+                      st.st_mig <- None;
+                      incr migration_aborts;
+                      st.st_last_op <- now;
+                      st.st_backoff <- now +. ec.cooldown_ns;
+                      Nfp_sim.Server.unpause src
+                    in
+                    if
+                      !controller_down
+                      || Nfp_sim.Server.is_down src
+                      || Nfp_sim.Server.is_down dst
+                    then abort ()
+                    else begin
+                      let backlog = Nfp_sim.Server.take_backlog src in
+                      let moved, kept =
+                        List.partition
+                          (fun ctx -> List.mem (rss_hash ctx slot mod nb) mg.mg_buckets)
+                          backlog
+                      in
+                      if Nfp_sim.Server.free_slots dst < List.length moved then begin
+                        (* No room at the destination: put the backlog
+                           back untouched and retry until the deadline,
+                           then roll back. *)
+                        Nfp_sim.Server.requeue src backlog;
+                        if
+                          (* More frozen packets than the destination
+                             ring can ever hold: no amount of retrying
+                             helps, and every retry keeps the source
+                             frozen and its backlog growing. *)
+                          List.length moved > config.ring_capacity
+                          || now +. ec.commit_retry_ns > mg.mg_deadline
+                        then abort ()
+                        else
+                          Nfp_sim.Engine.schedule engine ~delay:ec.commit_retry_ns
+                            (commit es)
+                      end
+                      else begin
+                        Nfp_sim.Server.requeue src kept;
+                        (* State transfer: carve the moving flows' per-
+                           flow entries out of the source instance and
+                           fold them into the destination ([None] =
+                           Replicated_readonly, where replicas are
+                           interchangeable and nothing moves). *)
+                        (match nfs.(mg.mg_src).Nfp_nf.Nf.extract with
+                        | Some extract ->
+                            let in_moved flow =
+                              List.mem (bucket_of_flow flow) mg.mg_buckets
+                            in
+                            Nfp_nf.Nf.absorb nfs.(mg.mg_dst) (extract in_moved)
+                        | None -> ());
+                        refs.(mg.mg_src) ();
+                        refs.(mg.mg_dst) ();
+                        List.iter (fun b -> st.st_map.(b) <- mg.mg_dst) mg.mg_buckets;
+                        st.st_epoch <- st.st_epoch + 1;
+                        st.st_mig <- None;
+                        incr migrations;
+                        migrated_packets := !migrated_packets + List.length moved;
+                        st.st_last_op <- now;
+                        (* Unpause first: orphaned emissions of already-
+                           executed source jobs pump now, so downstream
+                           sees them before anything the destination
+                           emits for the re-homed packets. *)
+                        Nfp_sim.Server.unpause src;
+                        (* Room was verified above and nothing ran since,
+                           so these offers cannot fail; [drive] is a
+                           belt-and-braces backstop, not a code path. *)
+                        List.iter
+                          (fun ctx -> drive (fun () -> Nfp_sim.Server.offer dst ctx))
+                          moved
+                      end
+                    end
+              in
+              (* Phase 1: freeze the source and schedule the commit one
+                 transfer window later. *)
+              let start ((_, reps, _, _, st) as es) ~src ~dst ~count =
+                if
+                  count > 0 && src <> dst && alive reps src && alive reps dst
+                  && not (Nfp_sim.Server.is_paused reps.(src))
+                  && Nfp_sim.Engine.now engine >= st.st_backoff
+                then begin
+                  let buckets = pick_buckets st ~src ~count in
+                  if buckets <> [] then begin
+                    st.st_mig <-
+                      Some
+                        {
+                          mg_src = src;
+                          mg_dst = dst;
+                          mg_buckets = buckets;
+                          mg_deadline =
+                            Nfp_sim.Engine.now engine +. ec.migration_deadline_ns;
+                        };
+                    Nfp_sim.Server.pause reps.(src);
+                    Nfp_sim.Engine.schedule engine ~delay:ec.transfer_ns (commit es)
+                  end
+                end
+              in
+              let step ((_, reps, _, _, st) as es) =
+                if st.st_mig = None then begin
+                  let now = Nfp_sim.Engine.now engine in
+                  let floor_active = max 1 (min ec.min_replicas (Array.length reps)) in
+                  let limit = min ec.max_replicas (Array.length reps) in
+                  (* Retire a drained replica: it owns no buckets, so no
+                     packet can reach it — deactivation is pure
+                     bookkeeping. Its counters stay in the [health]
+                     sums (cluster totals must not dip when a core
+                     disappears from the active set). *)
+                  if st.st_draining >= 0 && owned st st.st_draining = 0 then begin
+                    st.st_active <- st.st_active - 1;
+                    st.st_draining <- -1;
+                    incr scale_ins;
+                    st.st_last_op <- now
+                  end;
+                  if st.st_draining >= 0 then begin
+                    (* Scale-in in progress: hand the draining replica's
+                       buckets to the least-owned other active replica,
+                       one batch per tick. *)
+                    let dst = ref (-1) in
+                    for r = 0 to st.st_active - 1 do
+                      if
+                        r <> st.st_draining && alive reps r
+                        && (!dst < 0 || owned st r < owned st !dst)
+                      then dst := r
+                    done;
+                    if !dst >= 0 then
+                      start es ~src:st.st_draining ~dst:!dst
+                        ~count:(min ec.migration_batch (owned st st.st_draining))
+                  end
+                  else begin
+                    (* Rebalance toward equal ownership (this is also
+                       how a just-activated replica, owning nothing,
+                       fills up). *)
+                    let mx = ref (-1) and mn = ref (-1) in
+                    for r = 0 to st.st_active - 1 do
+                      if alive reps r then begin
+                        if !mx < 0 || owned st r > owned st !mx then mx := r;
+                        if !mn < 0 || owned st r < owned st !mn then mn := r
+                      end
+                    done;
+                    if !mx >= 0 && !mn >= 0 && owned st !mx - owned st !mn >= 2 then
+                      start es ~src:!mx ~dst:!mn
+                        ~count:
+                          (min ec.migration_batch ((owned st !mx - owned st !mn) / 2))
+                    else if now -. st.st_last_op >= ec.cooldown_ns then begin
+                      let max_occ = ref 0.0 in
+                      for r = 0 to st.st_active - 1 do
+                        if alive reps r then max_occ := Float.max !max_occ (occ reps r)
+                      done;
+                      if
+                        !max_occ >= ec.scale_out_occupancy && st.st_active < limit
+                        && alive reps st.st_active
+                      then begin
+                        (* Activate the next standby; rebalance moves
+                           buckets onto it from the next tick on. *)
+                        st.st_active <- st.st_active + 1;
+                        incr scale_outs;
+                        st.st_last_op <- now
+                      end
+                      else if
+                        !max_occ <= ec.scale_in_occupancy && st.st_active > floor_active
+                      then begin
+                        st.st_draining <- st.st_active - 1;
+                        st.st_last_op <- now
+                      end
+                    end
+                  end
+                end
+              in
+              let active = ref false in
+              let rec tick () =
+                if not !controller_down then Array.iter step eslots;
+                let pending =
+                  Array.exists
+                    (fun (_, _, _, _, st) -> st.st_mig <> None || st.st_draining >= 0)
+                    eslots
+                  || List.exists
+                       (fun (p : probe) -> p.pr_queue () > 0 || p.pr_busy ())
+                       !probes
+                in
+                if pending then
+                  Nfp_sim.Engine.schedule engine ~delay:ec.control_interval_ns tick
+                else active := false
+              in
+              elastic_kick :=
+                (fun () ->
+                  if not !active then begin
+                    active := true;
+                    Nfp_sim.Engine.schedule engine ~delay:ec.control_interval_ns tick
+                  end);
+              migrating_gauge :=
+                (fun () ->
+                  Array.fold_left
+                    (fun acc (_, reps, _, _, st) ->
+                      match st.st_mig with
+                      | Some mg -> acc + Nfp_sim.Server.queue_length reps.(mg.mg_src)
+                      | None -> acc)
+                    0 eslots);
+              (* Health view: a paused source reports "migrating", an
+                 inactive replica "standby" — operators can tell a
+                 quiesced or not-yet-activated core from a dead one. *)
+              let by_name :
+                  (string, steer * int * Context.t Nfp_sim.Server.t) Hashtbl.t =
+                Hashtbl.create 32
+              in
+              Array.iter
+                (fun (_, reps, _, _, st) ->
+                  Array.iteri
+                    (fun r srv ->
+                      Hashtbl.replace by_name (Nfp_sim.Server.name srv) (st, r, srv))
+                    reps)
+                eslots;
+              core_state_override :=
+                (fun name ->
+                  match Hashtbl.find_opt by_name name with
+                  | None -> None
+                  | Some (st, r, srv) ->
+                      if Nfp_sim.Server.is_paused srv then Some "migrating"
+                      else if r >= st.st_active then Some "standby"
+                      else None);
+              (* Controller fault site: the pseudo-core "elastic". *)
+              match fault with
+              | None -> ()
+              | Some (fc : fault_config) -> (
+                  match Nfp_sim.Fault.for_core fc.plan "elastic" with
+                  | None -> ()
+                  | Some fcore ->
+                      List.iter
+                        (function
+                          | Nfp_sim.Fault.Crash { at_ns } ->
+                              Nfp_sim.Engine.schedule engine ~delay:at_ns (fun () ->
+                                  controller_down := true;
+                                  Nfp_sim.Engine.schedule engine ~delay:fc.restart_ns
+                                    (fun () -> controller_down := false))
+                          | Nfp_sim.Fault.Hang { at_ns; duration_ns } ->
+                              Nfp_sim.Engine.schedule engine ~delay:at_ns (fun () ->
+                                  controller_down := true);
+                              Nfp_sim.Engine.schedule engine
+                                ~delay:(at_ns +. duration_ns) (fun () ->
+                                  controller_down := false)
+                          | Nfp_sim.Fault.Slowdown _ | Nfp_sim.Fault.Drop _ -> ())
+                        fcore.Nfp_sim.Fault.events)
+            end);
         (* Merge completion, shared by the full-arrival path and the
            timeout path. [nil_mask] decides the drop policy; [skip_mask]
            marks branches whose versions must not feed the merge ops —
@@ -1344,7 +1891,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let execute (d : cdelivery) =
             let m = d.d_merge in
             let key = (m.m_mid, m.m_id, Context.pid d.d_ctx) in
-            if armed && Hashtbl.mem done_tbl key then begin
+            if dedup_on && Hashtbl.mem done_tbl key then begin
               incr deduped;
               const_true
             end
@@ -1364,7 +1911,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                           match Hashtbl.find_opt at key with
                           | Some e' when e' == e ->
                               Hashtbl.remove at key;
-                              if armed then Hashtbl.replace done_tbl key ();
+                              if dedup_on then Hashtbl.replace done_tbl key ();
                               incr merge_timeouts;
                               let missing =
                                 ((1 lsl m.m_expected) - 1) land lnot e.c_arrived_mask
@@ -1383,7 +1930,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               if entry.c_received < m.m_expected then const_true
               else begin
                 Hashtbl.remove at key;
-                if armed then Hashtbl.replace done_tbl key ();
+                if dedup_on then Hashtbl.replace done_tbl key ();
                 complete m d.d_ctx ~nil_mask:entry.c_nil_mask ~skip_mask:entry.c_nil_mask
               end
             end
@@ -1719,6 +2266,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                    landing on a long-idle core (e.g. merge timeouts
                    releasing a wedge) trips an instant false kill. *)
                 last_progress.(i) <- now
+              else if p.pr_paused () && not (p.pr_down ()) then
+                (* A quiesced migration source is healthy: the elastic
+                   controller froze it deliberately and owns unfreezing
+                   it (commit or abort) — declaring it dead would
+                   restart a core mid-handover. The breaker window
+                   stays open too: a pause is not progress. *)
+                last_progress.(i) <- now
               else if p.pr_busy () && not (p.pr_down ()) then
                 (* A core mid-breath is healthy: its completion event is
                    already on the calendar. With large batches a single
@@ -1809,7 +2363,12 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                  (match wstate.(i) with
                  | `Bypassed -> "bypassed"
                  | `Restarting -> "restarting"
-                 | `Up -> if p.pr_down () then "down" else "up");
+                 | `Up ->
+                     if p.pr_down () then "down"
+                     else (
+                       match !core_state_override p.pr_name with
+                       | Some s -> s
+                       | None -> "up"));
                processed = p.pr_processed ();
                queue = p.pr_queue ();
              })
@@ -1858,12 +2417,19 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
       breaker_trips = !breaker_trips;
       backoffs = !backoffs;
       degrade_switches = !degrade_switches;
+      scale_outs = !scale_outs;
+      scale_ins = !scale_ins;
+      migrations = !migrations;
+      migration_aborts = !migration_aborts;
+      migrated_packets = !migrated_packets;
+      migrating = !migrating_gauge ();
     }
   in
   {
     Nfp_sim.Harness.inject =
       (fun ~pid pkt ->
         wd_kick ();
+        !elastic_kick ();
         let mid = classify_pkt pkt in
         Nfp_sim.Engine.schedule engine
           ~delay:(wire_delay +. Nfp_sim.Cost.ns_of_cycles cost !classify_cycles)
@@ -1900,9 +2466,9 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
     health;
   }
 
-let make ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?stats
-    ?replication ~plan ~nfs engine ~output =
-  make_multi ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?stats
-    ?replication
+let make ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?elastic
+    ?stats ?replication ~plan ~nfs engine ~output =
+  make_multi ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?elastic
+    ?stats ?replication
     ~graphs:[ (Flow_match.any, plan, nfs) ]
     engine ~output

@@ -137,6 +137,60 @@ val default_overload_config : overload_config
 (** Watermarks 96/48 (3/4 and 3/8 of the default ring capacity), a
     1-in-16 trickle, degrade enabled, 2 us poll interval. *)
 
+(** {2 Elastic scale-out} *)
+
+type elastic_config = {
+  min_replicas : int;
+      (** scale-in floor; also the initially-active replica count *)
+  max_replicas : int;
+      (** scale-out ceiling; standby replicas up to this count are
+          built at deployment and activated at runtime *)
+  buckets : int;
+      (** steering granularity: flows hash into this many RSS buckets,
+          each owned by one replica; migrations re-home whole buckets.
+          Must be [>= max_replicas]. *)
+  control_interval_ns : float;  (** controller tick period *)
+  scale_out_occupancy : float;
+      (** scale out when any active replica's queue occupancy (fraction
+          of ring capacity) reaches this *)
+  scale_in_occupancy : float;
+      (** scale in when every active replica sits at or below this;
+          must be [< scale_out_occupancy] (hysteresis) *)
+  migration_batch : int;  (** max buckets re-homed per migration *)
+  transfer_ns : float;
+      (** modeled state-transfer window: the source replica stays
+          frozen this long between freeze and commit *)
+  migration_deadline_ns : float;
+      (** a migration that cannot commit by freeze + deadline
+          (destination full, a party down) aborts, rolling back to the
+          old steering map with nothing observable changed *)
+  commit_retry_ns : float;
+      (** retry period of a commit blocked on destination ring space *)
+  cooldown_ns : float;
+      (** minimum time between scale decisions per NF slot *)
+}
+(** Arms elastic scale-out with live migration (compiled path only).
+    Per NF the plan clears for sharding ({!Replication.shardable}) and
+    whose state supports runtime extraction
+    ({!Replication.migratable}), a controller watches per-replica ring
+    occupancy and scales the replica set out/in at runtime. Every
+    bucket move is a two-phase migration: freeze the source (its ring
+    keeps accepting — backpressure, never loss), wait out the transfer
+    window, then atomically carve the moving flows' state out of the
+    source NF, fold it into the destination, re-home the frozen
+    packets and flip the steering map — or abort and roll back if any
+    party crashed or the destination stayed full past the deadline.
+    Exactly-once delivery is guaranteed by the (pid, version) dedup
+    layer, which arms whenever elastic is on. A deployment built
+    without an elastic config — or with one whose thresholds never
+    trigger — produces a packet trace bit-identical to the pre-elastic
+    system. *)
+
+val default_elastic_config : elastic_config
+(** 1..4 replicas over 64 buckets; 20 us ticks, scale out at 50%
+    occupancy, in at 5%; 16-bucket batches, 30 us transfer window,
+    200 us deadline, 2 us commit retry, 50 us cooldown. *)
+
 type core_stats = {
   core : string;
       (** classifier, mid<k>:<nf> (replica 0), mid<k>:<nf>@<r> (RSS
@@ -175,6 +229,7 @@ val make :
   ?replicas:int ->
   ?fault:fault_config ->
   ?overload:overload_config ->
+  ?elastic:elastic_config ->
   ?stats:(unit -> core_stats list) ref ->
   ?replication:(unit -> replica_report list) ref ->
   plan:Nfp_core.Tables.plan ->
@@ -194,6 +249,7 @@ val make_multi :
   ?replicas:int ->
   ?fault:fault_config ->
   ?overload:overload_config ->
+  ?elastic:elastic_config ->
   ?stats:(unit -> core_stats list) ref ->
   ?replication:(unit -> replica_report list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->

@@ -71,7 +71,10 @@ let rec create ?(name = "comp") () =
         Nfp_algo.Hashing.combine !compressed (Nfp_algo.Hashing.combine !skipped !saved))
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ()))
-      ~merge ~degrade process,
+      ~merge ~degrade
+        (* Only commutative counters: migration moves the zero state. *)
+      ~extract:(fun _ -> State (0, 0, 0))
+      process,
     {
       compressed = (fun () -> !compressed);
       skipped = (fun () -> !skipped);

@@ -100,5 +100,8 @@ let rec create ?(name = "fw") ?(extra_cycles = 0) ?acl () =
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine !passed !dropped)
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ~extra_cycles ~acl ()))
-      ~merge process,
+      ~merge
+        (* Only commutative counters: migration moves the zero state. *)
+      ~extract:(fun _ -> State (0, 0))
+      process,
     { passed = (fun () -> !passed); dropped = (fun () -> !dropped) } )

@@ -61,8 +61,13 @@ let rec create ?(name = "gw") () =
         packets := n
     | _ -> invalid_arg "Gateway.restore: foreign state"
   in
+  (* Migration source half: nothing is per-flow here — the (sip, dip)
+     session key is coarser than a 5-tuple and both components are
+     commutative — so the zero state moves and the counts stay where
+     they were made; [merge] sums them back together. *)
+  let extract _pred = State (Hashtbl.create 1, 0) in
   ( Nf.make ~name ~kind:"Gateway" ~profile ~cost_cycles:(fun _ -> 150) ~state_digest
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ()))
-      ~merge process,
+      ~merge ~extract process,
     { sessions = (fun () -> Hashtbl.length !sessions); packets = (fun () -> !packets) } )

@@ -91,5 +91,8 @@ let rec create ?(name = "ids") ?(mode = `Detect) ?signatures () =
       ~state_digest:(fun () -> Nfp_algo.Hashing.combine !alerts !scanned)
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ~mode ~signatures ()))
-      ~merge ~degrade process,
+      ~merge ~degrade
+        (* Only commutative counters: migration moves the zero state. *)
+      ~extract:(fun _ -> State (0, 0))
+      process,
     { alerts = (fun () -> !alerts); scanned = (fun () -> !scanned) } )

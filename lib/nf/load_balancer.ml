@@ -61,5 +61,8 @@ let rec create ?(name = "lb") ?(vip = default_vip) ?(backends = default_backends
       ~state_digest:(fun () -> Array.fold_left Nfp_algo.Hashing.combine 17 counts)
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ~vip ~backends ()))
-      ~merge process,
+      ~merge
+        (* Only commutative counters: migration moves the zero state. *)
+      ~extract:(fun _ -> State (Array.make (Array.length backends) 0))
+      process,
     { per_backend = (fun () -> Array.copy counts) } )

@@ -72,10 +72,19 @@ let rec create ?(name = "mon") () =
         total := n
     | _ -> invalid_arg "Monitor.restore: foreign state"
   in
+  (* Migration source half: carve the matching flows' counters out of
+     the live table. The global total is commutative — it stays where
+     the packets were counted and sums back under [merge]. *)
+  let extract pred =
+    let moved = Hashtbl.create 64 in
+    Hashtbl.iter (fun flow c -> if pred flow then Hashtbl.replace moved flow c) !table;
+    Hashtbl.iter (fun flow _ -> Hashtbl.remove !table flow) moved;
+    State (moved, 0)
+  in
   ( Nf.make ~name ~kind:"Monitor" ~profile ~cost_cycles:(fun _ -> 220) ~state_digest
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ()))
-      ~merge process,
+      ~merge ~extract process,
     {
       flows = (fun () -> Hashtbl.length !table);
       lookup = (fun f -> Hashtbl.find_opt !table f);

@@ -114,11 +114,21 @@ let rec create ?(name = "nat") ?(public_ip = default_public) ?(port_base = 20000
         exhausted := ex
     | _ -> invalid_arg "Nat.restore: foreign state"
   in
+  (* Migration source half: the matching flows' bindings move with the
+     flows (the per-flow General component); the exhausted counter is
+     commutative and stays put; the port cursor only exists under
+     `Sequential, which is never shardable, so 0 is carried. *)
+  let extract pred =
+    let moved = Hashtbl.create 64 in
+    Hashtbl.iter (fun flow p -> if pred flow then Hashtbl.replace moved flow p) !bindings;
+    Hashtbl.iter (fun flow _ -> Hashtbl.remove !bindings flow) moved;
+    State (moved, 0, 0)
+  in
   ( Nf.make ~name ~kind:"NAT" ~profile ~cost_cycles:(fun _ -> 240) ~state_digest
       ~snapshot ~restore ~state_access:(state_access_of alloc)
       ~fresh:(fun () ->
         fst (create ~name ~public_ip ~port_base ~port_count ~alloc ()))
-      ~merge process,
+      ~merge ~extract process,
     {
       active_bindings = (fun () -> Hashtbl.length !bindings);
       exhausted = (fun () -> !exhausted);

@@ -31,10 +31,11 @@ type t = {
   fresh : (unit -> t) option;
   merge : (state list -> state) option;
   degrade : degrade option;
+  extract : ((Flow.t -> bool) -> state) option;
 }
 
 let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) ?snapshot
-    ?restore ?state_access ?fresh ?merge ?degrade process =
+    ?restore ?state_access ?fresh ?merge ?degrade ?extract process =
   {
     name;
     kind;
@@ -48,7 +49,19 @@ let make ~name ~kind ~profile ~cost_cycles ?(state_digest = fun () -> 0) ?snapsh
     fresh;
     merge;
     degrade;
+    extract;
   }
+
+(* Fold a shard of state carved out of another replica into this one:
+   merge the carried per-flow entries (and any commutative increments)
+   with a snapshot of the live state, then restore the union. The
+   elastic migration commit pairs this with [extract] on the source —
+   entries move exactly once, so the deployment-wide merged digest is
+   invariant across the handover. *)
+let absorb t shard =
+  match (t.snapshot, t.restore, t.merge) with
+  | Some snapshot, Some restore, Some merge -> restore (merge [ snapshot (); shard ])
+  | _ -> invalid_arg "Nf.absorb: NF lacks snapshot/restore/merge"
 
 let rename t name = { t with name }
 

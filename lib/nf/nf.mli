@@ -66,6 +66,16 @@ type t = {
       (** optional pressure-degrade mode; [None] means the NF always
           runs at full fidelity (overload can only queue or shed around
           it) *)
+  extract : ((Flow.t -> bool) -> state) option;
+      (** [extract pred] removes every per-flow entry whose flow
+          satisfies [pred] from the live state and returns a state value
+          carrying exactly those entries (commutative scalar components
+          are returned as zeros — they stay where they were counted,
+          since they sum under {!t.merge}). The elastic controller uses
+          this as the source half of a live migration; {!absorb} is the
+          destination half. NFs with no per-flow state return their
+          zero state. Required (on top of the [Shared_nothing]
+          machinery) for an NF to be migrated at runtime. *)
 }
 
 val make :
@@ -80,13 +90,22 @@ val make :
   ?fresh:(unit -> t) ->
   ?merge:(state list -> state) ->
   ?degrade:degrade ->
+  ?extract:((Flow.t -> bool) -> state) ->
   (Packet.t -> verdict) ->
   t
 (** Profile is normalized. [state_digest] defaults to a constant.
     [snapshot]/[restore] default to [None]: the recovery subsystem only
     arms checkpoint/replay for NFs that provide both. [state_access],
     [fresh] and [merge] default to [None]: the replication analysis only
-    shards NFs that declare their state and provide the machinery. *)
+    shards NFs that declare their state and provide the machinery.
+    [extract] defaults to [None]: such NFs replicate but never migrate
+    at runtime. *)
+
+val absorb : t -> state -> unit
+(** [absorb t shard] merges a state shard (typically the result of
+    another replica's {!t.extract}) into [t]'s live state:
+    [restore (merge [snapshot (); shard])].
+    @raise Invalid_argument when [t] lacks snapshot/restore/merge. *)
 
 val rename : t -> string -> t
 (** Same NF type/state sharing the underlying closures under a new

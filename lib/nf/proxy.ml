@@ -42,5 +42,8 @@ let rec create ?(name = "proxy") ?(origin = default_origin) ?(via = "Via:nfp-pro
       ~state_digest:(fun () -> !redirected)
       ~snapshot ~restore ~state_access
       ~fresh:(fun () -> fst (create ~name ~origin ~via ()))
-      ~merge process,
+      ~merge
+        (* Only a commutative counter: migration moves the zero state. *)
+      ~extract:(fun _ -> State 0)
+      process,
     { redirected = (fun () -> !redirected) } )

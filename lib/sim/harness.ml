@@ -66,7 +66,9 @@ let add_drops a b =
    [no_health]. *)
 type core_health = {
   core : string;
-  state : string;  (* "up" | "down" | "restarting" | "bypassed" *)
+  state : string;
+      (* "up" | "down" | "restarting" | "bypassed" | "migrating" |
+         "standby" *)
   processed : int;
   queue : int;
 }
@@ -94,6 +96,13 @@ type health = {
   breaker_trips : int;  (* circuit breaker gave up on a restart-looping core *)
   backoffs : int;  (* restarts delayed by exponential backoff *)
   degrade_switches : int;  (* NFs toggled into a pressure-degrade mode *)
+  (* Elastic scale-out / live migration (PR 9). *)
+  scale_outs : int;  (* replicas activated by the elastic controller *)
+  scale_ins : int;  (* replicas drained and retired *)
+  migrations : int;  (* committed bucket migrations *)
+  migration_aborts : int;  (* migrations rolled back (crash or deadline) *)
+  migrated_packets : int;  (* frozen packets re-homed by committed migrations *)
+  migrating : int;  (* gauge: packets currently frozen at quiesced sources *)
 }
 
 let no_health =
@@ -119,6 +128,12 @@ let no_health =
     breaker_trips = 0;
     backoffs = 0;
     degrade_switches = 0;
+    scale_outs = 0;
+    scale_ins = 0;
+    migrations = 0;
+    migration_aborts = 0;
+    migrated_packets = 0;
+    migrating = 0;
   }
 
 (* Combine the health of composed systems (e.g. chained cluster
@@ -146,6 +161,12 @@ let add_health a b =
     breaker_trips = a.breaker_trips + b.breaker_trips;
     backoffs = a.backoffs + b.backoffs;
     degrade_switches = a.degrade_switches + b.degrade_switches;
+    scale_outs = a.scale_outs + b.scale_outs;
+    scale_ins = a.scale_ins + b.scale_ins;
+    migrations = a.migrations + b.migrations;
+    migration_aborts = a.migration_aborts + b.migration_aborts;
+    migrated_packets = a.migrated_packets + b.migrated_packets;
+    migrating = a.migrating + b.migrating;
   }
 
 type system = {

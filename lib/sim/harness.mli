@@ -45,7 +45,10 @@ val add_drops : drops -> drops -> drops
 
 type core_health = {
   core : string;
-  state : string;  (** "up" | "down" | "restarting" | "bypassed" *)
+  state : string;
+      (** "up" | "down" | "restarting" | "bypassed" | "migrating"
+          (quiesced as a migration source) | "standby" (elastic
+          replica built but not yet activated) *)
   processed : int;
   queue : int;
 }
@@ -88,6 +91,21 @@ type health = {
   backoffs : int;  (** restarts delayed by exponential backoff *)
   degrade_switches : int;
       (** NFs toggled into a pressure-degrade mode (onsets) *)
+  scale_outs : int;
+      (** replicas activated at runtime by the elastic controller *)
+  scale_ins : int;  (** replicas drained of their buckets and retired *)
+  migrations : int;  (** bucket migrations that committed *)
+  migration_aborts : int;
+      (** migrations rolled back — crash at a party, destination full
+          past the deadline — leaving the old steering map in force *)
+  migrated_packets : int;
+      (** frozen in-flight packets re-homed to the destination replica
+          by committed migrations (exactly-once: the dedup layer drops
+          any duplicate emission) *)
+  migrating : int;
+      (** gauge, not a counter: packets currently frozen at quiesced
+          migration sources — the ledger's in-flight bucket during a
+          flip ([offered = completed + drops + shed + in_flight]) *)
 }
 (** Fault/recovery counters of a whole system plus per-core liveness. *)
 

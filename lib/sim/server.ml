@@ -37,6 +37,13 @@ type 'job t = {
   mutable busy : bool;
   mutable processed : int;
   mutable down : bool;
+  (* [paused] is the migration quiesce state: the core is healthy but
+     administratively frozen — no new breaths start and no orphans pump
+     while it holds, yet the ring keeps accepting jobs (backpressure,
+     not loss) and injected faults still land ([down] and [paused] are
+     independent). Distinct from [down] so the watchdog can tell a
+     quiesced core from a dead one. *)
+  mutable paused : bool;
   mutable fault_prng : Nfp_algo.Prng.t option;
   (* [epoch] invalidates in-flight breaths: a crash or hang bumps it,
      and a breath-completion or flush-retry event whose captured epoch
@@ -104,7 +111,10 @@ let stash t jobs emits =
     match t.casualty_sink with
     | Some sink -> sink jobs emits
     | None ->
-        t.limbo <- t.limbo @ jobs;
+        (* The reclaimed breath was inhaled from the front of the work
+           order, so it is older than anything still in limbo — prepend
+           to keep per-flow processing order across a pause/interrupt. *)
+        t.limbo <- jobs @ t.limbo;
         t.orphans <- t.orphans @ emits
 
 let has_work t = t.limbo <> [] || not (Nfp_algo.Ring.is_empty t.ring)
@@ -137,7 +147,7 @@ let rec flush t =
 (* Work reclaimed as orphans is emitted before any new breath runs, so
    downstream still sees this core's packets in processing order. *)
 and pump_orphans t =
-  if not t.down then begin
+  if (not t.down) && not t.paused then begin
     match t.orphans with
     | [] -> run_batch t
     | thunk :: rest ->
@@ -163,7 +173,8 @@ and pump_orphans t =
    exhale at completion — the rx_burst/tx_burst pattern of a DPDK poll
    loop, with all per-breath state in reused scratch arrays. *)
 and run_batch t =
-  if (not t.busy) && (not t.down) && t.orphans = [] && has_work t then begin
+  if (not t.busy) && (not t.down) && (not t.paused) && t.orphans = [] && has_work t
+  then begin
     t.busy <- true;
     let epoch = t.epoch in
     let extra = t.f.extra_ns in
@@ -275,6 +286,7 @@ let create ~engine ~name ~ring_capacity ~batch ?(burst_saving_ns = 0.0) ?jitter
       busy = false;
       processed = 0;
       down = false;
+      paused = false;
       fault_prng = None;
       epoch = 0;
       crashes = 0;
@@ -373,6 +385,50 @@ let revive ?(flush = true) t =
   in
   resume t;
   lost
+
+(* ------------------------------------------------------------------ *)
+(* Migration quiesce surface (used by the System elastic controller)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Freeze the core for a state snapshot: the in-flight breath (if any)
+   is reclaimed exactly as an interrupt would — unexecuted jobs to
+   limbo, pending emissions to orphans — but the core stays [up]; it
+   simply starts no new work until [unpause]. The ring keeps accepting
+   offers, so upstream sees backpressure, never loss. *)
+let pause t =
+  if not t.paused then begin
+    t.paused <- true;
+    if t.busy then begin
+      t.epoch <- t.epoch + 1;
+      t.busy <- false;
+      let jobs = reclaim_inflight t and emits = reclaim_emits t in
+      stash t jobs emits
+    end
+  end
+
+let unpause t =
+  if t.paused then begin
+    t.paused <- false;
+    if not t.down then pump_orphans t
+  end
+
+let is_paused t = t.paused
+
+(* Hand the unexecuted backlog — reclaimed limbo first (older), then the
+   ring contents — to the caller, clearing both. Orphaned emissions stay:
+   those jobs already executed here and must emit from here. *)
+let take_backlog t =
+  let jobs = t.limbo @ drain t in
+  t.limbo <- [];
+  jobs
+
+(* Put jobs back at the head of the work order (behind any older limbo):
+   the migration commit returns the non-migrating share of a taken
+   backlog this way. Does not kick the poll loop — callers hold the
+   core paused while they shuffle work. *)
+let requeue t jobs = t.limbo <- t.limbo @ jobs
+
+let free_slots t = Nfp_algo.Ring.capacity t.ring - Nfp_algo.Ring.length t.ring
 
 let name t = t.name
 

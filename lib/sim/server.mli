@@ -126,6 +126,43 @@ val is_down : 'job t -> bool
 
 val is_busy : 'job t -> bool
 
+(** {2 Migration quiesce surface}
+
+    Used by the [Nfp_infra.System] elastic controller to freeze a
+    replica while its per-flow state is snapshotted and transferred.
+    A paused core is healthy — not down — it just starts no new
+    breaths and pumps no orphans until {!unpause}; its ring keeps
+    accepting jobs (upstream sees backpressure, never loss), and
+    injected faults still land on it. *)
+
+val pause : 'job t -> unit
+(** Quiesce: reclaim the in-flight breath (unexecuted jobs → limbo,
+    pending emissions → orphans, exactly as a crash would) but keep
+    the core up, and start no new work until {!unpause}. Idempotent. *)
+
+val unpause : 'job t -> unit
+(** Release the freeze and restart the poll loop (orphaned emissions
+    first, then limbo, then the ring — processing order preserved).
+    A core that crashed while paused stays down until revived. *)
+
+val is_paused : 'job t -> bool
+
+val take_backlog : 'job t -> 'job list
+(** Remove and return every unexecuted job — reclaimed limbo first
+    (older), then the ring backlog, in order — leaving orphaned
+    emissions in place (those jobs already executed here). The
+    migration commit partitions this list between source and
+    destination replicas. *)
+
+val requeue : 'job t -> 'job list -> unit
+(** Append jobs to the limbo worklist (served before the ring, after
+    any older limbo). Does not kick the poll loop — callers hold the
+    core paused while redistributing work. *)
+
+val free_slots : 'job t -> int
+(** Spare capacity of the input ring — the commit-time room check
+    before a backlog handover. *)
+
 val crashes : 'job t -> int
 (** Injected [Crash] events that found the core up. *)
 
