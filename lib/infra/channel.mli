@@ -1,0 +1,87 @@
+(** Link channels: the modeled fabric edge in front of every
+    destination core's ring.
+
+    All edges landing on one core (classifier->NF, NF->NF,
+    branch->merger, merger->delivery, migration transfers) share its
+    channel, the way they share the physical ingress port; the
+    channel's fault processes come from a {!Nfp_sim.Fault.link_plan}
+    resolved by link name. A {e raw} channel applies the fabric's
+    faults and nothing else — with no matching link spec it is a
+    transparent function call, byte-identical to no channel at all. A
+    {e reliable} channel layers an ARQ protocol on the same lossy
+    fabric: per-link sequence numbers, a bounded sender window (a full
+    window refuses the send, preserving upstream cursor-retry
+    backpressure), cumulative acks on a breath-completion cadence,
+    NACK- and RTO-driven retransmission with exponential backoff and a
+    per-packet budget, a bounded reorder buffer releasing strictly in
+    sequence order, receiver-side dedup, and health probes that declare
+    the link Down after [probe_timeout_k] consecutive timeouts —
+    detouring unacked packets through the caller's [reroute] path and
+    recovering when a later send finds the partition over.
+
+    Every timer self-quenches when its work drains, so an idle channel
+    schedules nothing and the simulation's event heap empties. *)
+
+type stats = {
+  mutable link_drops : int;
+  mutable retransmits : int;
+  mutable duplicates_suppressed : int;
+  mutable reordered : int;
+  mutable partitions : int;
+  mutable reroutes : int;
+}
+(** Shared mutable taxonomy counters, aggregated across every channel
+    of a deployment and surfaced as {!Nfp_sim.Harness.link_stats}. *)
+
+val fresh_stats : unit -> stats
+
+type reliability = {
+  window : int;
+  ack_interval_ns : float;
+  rto_ns : float;
+  rto_backoff : float;
+  rto_max_ns : float;
+  retransmit_budget : int;
+  reorder_window : int;
+  probe_interval_ns : float;
+  probe_timeout_k : int;
+  ack_ns : float;
+  retransmit_ns : float;
+}
+(** ARQ knobs; see {!Nfp_infra.System.links_config} for the deployment
+    defaults and documentation of each. *)
+
+type 'a t
+
+val create :
+  engine:Nfp_sim.Engine.t ->
+  name:string ->
+  ?state:Nfp_sim.Fault.link_state ->
+  ?reliability:reliability ->
+  deliver:('a -> bool) ->
+  reroute:('a -> unit) ->
+  stats:stats ->
+  unit ->
+  'a t
+(** [deliver] offers to the destination ring ([false] = full: a raw
+    channel propagates the refusal to the sender, a reliable channel
+    buffers and retries at the stall-poll cadence). [reroute] detours a
+    packet around a Down link (reliable mode only) and must always
+    succeed — e.g. by driving a bypass-style emission off-core. *)
+
+val send : 'a t -> 'a -> bool
+(** Put one payload on the link. [false] means backpressure — the ring
+    (raw) or the sender window (reliable) is full — and the caller must
+    retry the same payload later, exactly like {!Nfp_sim.Server.offer}.
+    Everything else (loss, duplication, reordering, retransmission,
+    reroute) is absorbed by the channel and reported in {!stats}. *)
+
+val is_down : 'a t -> bool
+(** Whether the link is currently declared Down — the elastic
+    controller consults this to stop migrating toward partitioned
+    replicas. *)
+
+val in_flight : 'a t -> int
+(** Unacked sends currently held in the retransmit buffer. *)
+
+val name : 'a t -> string

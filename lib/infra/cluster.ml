@@ -1,4 +1,5 @@
-let make ?config ?fault ?overload ?elastic ?(link_latency_ns = 2000.0) ~segments
+let make ?config ?fault ?overload ?elastic ?links ?(link_latency_ns = 2000.0)
+    ~segments
     engine ~output =
   if segments = [] then invalid_arg "Cluster.make: no segments";
   let ring_drop_fns = ref [] and nf_drop_fns = ref [] and unmatched_fns = ref [] in
@@ -20,7 +21,8 @@ let make ?config ?fault ?overload ?elastic ?(link_latency_ns = 2000.0) ~segments
     | [] -> assert false
     | [ (plan, nfs) ] ->
         let system =
-          System.make ?config ?fault ?overload ?elastic ~plan ~nfs engine ~output
+          System.make ?config ?fault ?overload ?elastic ?links ~plan ~nfs engine
+            ~output
         in
         record system;
         system
@@ -31,7 +33,7 @@ let make ?config ?fault ?overload ?elastic ?(link_latency_ns = 2000.0) ~segments
               downstream.Nfp_sim.Harness.inject ~pid pkt)
         in
         let system =
-          System.make ?config ?fault ?overload ?elastic ~plan ~nfs engine
+          System.make ?config ?fault ?overload ?elastic ?links ~plan ~nfs engine
             ~output:forward
         in
         record system;
@@ -63,7 +65,8 @@ let make ?config ?fault ?overload ?elastic ?(link_latency_ns = 2000.0) ~segments
           Nfp_sim.Harness.no_health !health_fns);
   }
 
-let of_partition ?config ?fault ?overload ?elastic ?link_latency_ns ~assignments
+let of_partition ?config ?fault ?overload ?elastic ?links ?link_latency_ns
+    ~assignments
     ~profile_of ~nfs engine ~output =
   let rec plans acc = function
     | [] -> Ok (List.rev acc)
@@ -76,5 +79,6 @@ let of_partition ?config ?fault ?overload ?elastic ?link_latency_ns ~assignments
   | Error e -> Error e
   | Ok segments ->
       Ok
-        (make ?config ?fault ?overload ?elastic ?link_latency_ns ~segments engine
+        (make ?config ?fault ?overload ?elastic ?links ?link_latency_ns ~segments
+           engine
            ~output)

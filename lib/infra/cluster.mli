@@ -14,6 +14,7 @@ val make :
   ?fault:System.fault_config ->
   ?overload:System.overload_config ->
   ?elastic:System.elastic_config ->
+  ?links:System.links_config ->
   ?link_latency_ns:float ->
   segments:(Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
   Nfp_sim.Engine.t ->
@@ -29,7 +30,12 @@ val make :
     (scale-in) or have not yet activated report as ["standby"] rather
     than vanishing from the list, and {!Nfp_sim.Harness.add_health}
     sums the migration counters and the [migrating] in-flight gauge
-    across segments like any other field. @raise Invalid_argument on
+    across segments like any other field. [links] arms every segment's
+    lossy-fabric link plan and reliable channels; the per-link
+    taxonomy ({!Nfp_sim.Harness.link_stats}) aggregates across servers
+    in [health.links]. The inter-server hop itself stays lossless —
+    its segments' NI-boundary rings are already modeled — but a plan
+    matching each segment's ingress ports perturbs the same edges. @raise Invalid_argument on
     an empty segment list. *)
 
 val of_partition :
@@ -37,6 +43,7 @@ val of_partition :
   ?fault:System.fault_config ->
   ?overload:System.overload_config ->
   ?elastic:System.elastic_config ->
+  ?links:System.links_config ->
   ?link_latency_ns:float ->
   assignments:Nfp_core.Partition.assignment list ->
   profile_of:(string -> Nfp_nf.Action.t list) ->

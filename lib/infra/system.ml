@@ -125,6 +125,61 @@ let default_elastic_config =
     cooldown_ns = 50_000.0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Lossy fabric: link fault domain + opt-in reliable channels.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in, like fault/overload/elastic: a deployment built without a
+   links config is bit-for-bit the pre-links system — no channel is
+   constructed, every send site keeps its direct [Server.offer] call
+   path. With one, every inter-core edge (classifier->NF, NF->NF,
+   branch->merger, merger->delivery, migration transfers) crosses a
+   [Channel] named after its destination port ("link:mid1:NAT",
+   "link:merger#0", "link:delivery", "link:migrate:mid1:NAT@2"), so a
+   link plan can perturb any edge family by name or prefix pattern.
+   [reliable = false] models the raw fabric (drops lose packets into
+   the ledger's in-flight residual, duplicates deliver twice); [true]
+   arms the ARQ layer that makes delivery lossless over the lossy
+   fabric — the differential suite holds a lossy reliable run to the
+   same delivery multisets and state digests as the lossless run. *)
+type links_config = {
+  link_plan : Nfp_sim.Fault.link_plan;
+  reliable : bool;  (* arm the seq/ack/retransmit channels *)
+  link_window : int;
+      (* sender window per link: max unacked sends before the channel
+         refuses (backpressure, upstream cursor-retry) *)
+  ack_interval_ns : float;
+      (* cumulative-ack cadence — the granularity at which acks ride
+         breath completions *)
+  rto_ns : float;  (* initial head-of-line retransmit timeout *)
+  rto_backoff : float;  (* RTO multiplier per consecutive firing without progress *)
+  rto_max_ns : float;  (* RTO ceiling *)
+  retransmit_budget : int;
+      (* per-packet retransmissions before the link is declared Down *)
+  reorder_window : int;
+      (* receiver reorder-buffer span; arrivals beyond it are refused
+         at the port and recovered by retransmission *)
+  probe_interval_ns : float;
+      (* health-probe cadence while data is outstanding; 0 disables
+         probing (budget exhaustion still detects partitions) *)
+  probe_timeout_k : int;  (* consecutive probe timeouts declaring Down *)
+}
+
+let default_links_config =
+  {
+    link_plan = Nfp_sim.Fault.no_links;
+    reliable = true;
+    link_window = 256;
+    ack_interval_ns = 1_000.0;
+    rto_ns = 25_000.0;
+    rto_backoff = 2.0;
+    rto_max_ns = 400_000.0;
+    retransmit_budget = 16;
+    reorder_window = 256;
+    probe_interval_ns = 5_000.0;
+    probe_timeout_k = 3;
+  }
+
 (* One in-flight bucket migration: two-phase. Phase 1 (freeze) pauses
    the source replica and schedules the commit [transfer_ns] later;
    phase 2 (commit) either aborts — any party down, or no destination
@@ -216,6 +271,13 @@ type fault_config = {
          [Bypass] (the breaker exists to stop restarting). Infrastructure
          cores never trip — they have no bypass semantics — and only
          back off. *)
+  dedup_capacity : int;
+      (* bound of each (pid, version) dedup table (the delivery filter
+         and every merger's completed-merge memory). Tables prune
+         generationally: entries survive at least [dedup_capacity / 2]
+         further insertions, far longer than any replay or
+         retransmission can lag, so the exactly-once guarantee holds
+         while memory stays pinned however long a lossy run goes. *)
 }
 
 let default_fault_config =
@@ -232,7 +294,43 @@ let default_fault_config =
     backoff_factor = 2.0;
     backoff_max_ns = 2_000_000.0;
     breaker_fallback = Bypass;
+    dedup_capacity = 65_536;
   }
+
+(* Bounded (pid, version) memory with generational pruning: two
+   hash tables, [g_cur] receiving inserts and [g_prev] holding the
+   previous generation; membership consults both. When [g_cur] reaches
+   half the capacity the generations rotate and the oldest half is
+   dropped, so the table never holds more than [capacity] entries yet
+   any entry survives at least [capacity / 2] subsequent insertions —
+   the dedup window a late retransmission or replayed branch must fit
+   inside (satellite: previously these tables grew without bound). *)
+module Dedup = struct
+  type 'k t = {
+    half : int;
+    mutable g_cur : ('k, unit) Hashtbl.t;
+    mutable g_prev : ('k, unit) Hashtbl.t;
+  }
+
+  let create capacity =
+    let half = max 1 (capacity / 2) in
+    { half; g_cur = Hashtbl.create 64; g_prev = Hashtbl.create 64 }
+
+  let mem t key = Hashtbl.mem t.g_cur key || Hashtbl.mem t.g_prev key
+
+  let add t key =
+    if not (mem t key) then begin
+      if Hashtbl.length t.g_cur >= t.half then begin
+        let retired = t.g_prev in
+        Hashtbl.reset retired;
+        t.g_prev <- t.g_cur;
+        t.g_cur <- retired
+      end;
+      Hashtbl.replace t.g_cur key ()
+    end
+
+  let length t = Hashtbl.length t.g_cur + Hashtbl.length t.g_prev
+end
 
 (* The uniform control surface the watchdog holds over every core,
    whatever its job type. *)
@@ -409,8 +507,8 @@ let branch_index (spec : Tables.merge_spec) (deliverer : Tables.deliverer) =
 let empty_prog = { p_copies = [||]; p_sends = [||]; p_static = 0; p_full_srcs = [||] }
 
 let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_config)
-    ?batch_size ?replicas ?fault ?overload ?elastic ?stats ?replication ~graphs engine
-    ~output =
+    ?batch_size ?replicas ?fault ?overload ?elastic ?links ?stats ?replication
+    ~graphs engine ~output =
   if graphs = [] then invalid_arg "System.make_multi: no service graphs";
   (match (fault, path) with
   | Some _, `Interpretive ->
@@ -455,6 +553,36 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         invalid_arg "System.make_multi: elastic migration_batch must be >= 1"
   | None -> ());
   let elastic_on = elastic <> None in
+  (* A links config with an empty plan and no reliability layer is
+     normalized away entirely — nothing to perturb, nothing to arm, so
+     the send sites keep their direct call path (bit-identity). *)
+  let links =
+    match links with
+    | Some (lc : links_config)
+      when Nfp_sim.Fault.links_empty lc.link_plan && not lc.reliable ->
+        None
+    | other -> other
+  in
+  (match links with
+  | Some (lc : links_config) ->
+      if path = `Interpretive then
+        invalid_arg "System.make_multi: link channels require the `Compiled path";
+      if lc.link_window < 1 then
+        invalid_arg "System.make_multi: links link_window must be >= 1";
+      if lc.reorder_window < 1 then
+        invalid_arg "System.make_multi: links reorder_window must be >= 1";
+      if lc.retransmit_budget < 1 then
+        invalid_arg "System.make_multi: links retransmit_budget must be >= 1";
+      if
+        lc.ack_interval_ns <= 0.0 || lc.rto_ns <= 0.0 || lc.rto_max_ns <= 0.0
+        || lc.probe_interval_ns < 0.0
+      then invalid_arg "System.make_multi: links periods must be positive";
+      if lc.rto_backoff < 1.0 then
+        invalid_arg "System.make_multi: links rto_backoff must be >= 1.0";
+      if lc.probe_timeout_k < 1 then
+        invalid_arg "System.make_multi: links probe_timeout_k must be >= 1"
+  | None -> ());
+  let links_on = links <> None in
   (* Watermarks for every compiled-path ring; [None] (no overload
      config) leaves each ring's latch disarmed — the bit-identity
      guarantee. *)
@@ -507,7 +635,11 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
      is still in flight, and exactly-once delivery must hold. Pure
      bookkeeping — on a duplicate-free run the filters never fire, so
      the trace is untouched. *)
-  let dedup_on = armed || elastic_on in
+  (* ... and under links: a retransmitted branch racing its own
+     timeout-completed merge, or a fabric duplicate on a raw channel,
+     must be dropped at the merge/delivery filters just like a replayed
+     emission. *)
+  let dedup_on = armed || elastic_on || links_on in
   let log_capacity =
     match fault with Some fc -> max 1 fc.log_capacity | None -> 1
   in
@@ -585,14 +717,74 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
      twice. Version 0 marks deliveries with no version identity (twin
      chains tag version 1, compiled/interpretive paths their plan
      version), which pass through unfiltered. *)
-  let delivered_versions : (int64 * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let dedup_capacity =
+    match fault with Some fc -> max 2 fc.dedup_capacity | None -> 65_536
+  in
+  let delivered_versions : (int64 * int) Dedup.t = Dedup.create dedup_capacity in
+  let merger_dedups : (int * int * int64) Dedup.t list ref = ref [] in
+  let dedup_entries () =
+    Dedup.length delivered_versions
+    + List.fold_left (fun acc d -> acc + Dedup.length d) 0 !merger_dedups
+  in
   let deliver_out ?(version = 0) ~pid pkt =
-    if dedup_on && version > 0 && Hashtbl.mem delivered_versions (pid, version) then
+    if dedup_on && version > 0 && Dedup.mem delivered_versions (pid, version) then
       incr deduped
     else begin
-      if dedup_on && version > 0 then Hashtbl.replace delivered_versions (pid, version) ();
+      if dedup_on && version > 0 then Dedup.add delivered_versions (pid, version);
       Nfp_sim.Engine.schedule engine ~delay:wire_delay (fun () -> output ~pid pkt)
     end
+  in
+  (* Link channels: one per destination port, shared by every edge into
+     that core. [channel_for] returns [None] when links are off — the
+     caller keeps its direct offer path, compiled away from the trace.
+     All channels share one stats record (the run ledger's link
+     taxonomy) and draw fault state from the link plan by name. *)
+  let link_stats = Channel.fresh_stats () in
+  let link_reliability =
+    match links with
+    | Some (lc : links_config) when lc.reliable ->
+        Some
+          {
+            Channel.window = max 1 lc.link_window;
+            ack_interval_ns = lc.ack_interval_ns;
+            rto_ns = lc.rto_ns;
+            rto_backoff = lc.rto_backoff;
+            rto_max_ns = lc.rto_max_ns;
+            retransmit_budget = lc.retransmit_budget;
+            reorder_window = max 1 lc.reorder_window;
+            probe_interval_ns = lc.probe_interval_ns;
+            probe_timeout_k = lc.probe_timeout_k;
+            ack_ns = Nfp_sim.Cost.ns_of_cycles cost cost.ack_cycles;
+            retransmit_ns = Nfp_sim.Cost.ns_of_cycles cost cost.retransmit_cycles;
+          }
+    | _ -> None
+  in
+  let channel_for ~name ~deliver ~reroute =
+    match links with
+    | None -> None
+    | Some (lc : links_config) -> (
+        (* Only ports the plan actually perturbs get a channel: an
+           unmatched port keeps the direct call path, so arming links
+           with a plan that names nothing behaves like no links at
+           all, and the ARQ machinery never taxes healthy ports. *)
+        match Nfp_sim.Fault.link_for lc.link_plan name with
+        | None -> None
+        | Some state ->
+            Some
+              (Channel.create ~engine ~name:("link:" ^ name) ~state
+                 ?reliability:link_reliability ~deliver ~reroute ~stats:link_stats
+                 ()))
+  in
+  (* The egress edge (merger/NF -> delivery port). The reroute of a Down
+     delivery link is delivery itself — the detour models the alternate
+     path to the egress NIC, and the exactly-once filter upstream keeps
+     it safe. *)
+  let delivery_channel =
+    channel_for ~name:"delivery"
+      ~deliver:(fun (v, pid, pkt) ->
+        deliver_out ~version:v ~pid pkt;
+        true)
+      ~reroute:(fun (v, pid, pkt) -> deliver_out ~version:v ~pid pkt)
   in
   let slot_of_pid pid instances =
     Int64.to_int
@@ -953,6 +1145,10 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         (* Elastic steering maps, one per slot; [None] = legacy mod-n
            sharding (the slot is not scalable, or no elastic config). *)
         let steers : steer option array ref = ref [||] in
+        (* Link channels in front of each NF replica's port; [None] cells
+           (and the empty array, when links are off) keep the direct
+           offer path. Populated after the servers exist. *)
+        let nf_channels : Context.t Channel.t option array array ref = ref [||] in
         (* RSS shard steering: the packet version each slot's NF reads,
            so the send site can hash the 5-tuple that replica will
            observe. The hash runs on its own seeded stream
@@ -982,13 +1178,27 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         let shard_of ctx slot n = rss_hash ctx slot mod n in
         let merger_cores : cdelivery Nfp_sim.Server.t array ref = ref [||] in
         let agent_core : cdelivery Nfp_sim.Server.t option ref = ref None in
+        (* Channels into the merger ports ("merger#i", "merger-agent");
+           built with the merger cores below. A Down merger link detours
+           straight into the destination ring off-core — the merge
+           accumulation cannot be skipped, only the fabric can. *)
+        let merger_channels : cdelivery Channel.t option array ref = ref [||] in
+        let agent_channel : cdelivery Channel.t option ref = ref None in
+        let offer_merger i (d : cdelivery) =
+          let chans = !merger_channels in
+          match if Array.length chans = 0 then None else chans.(i) with
+          | Some ch -> Channel.send ch d
+          | None -> Nfp_sim.Server.offer !merger_cores.(i) d
+        in
         let route_merge (d : cdelivery) =
           match !agent_core with
-          | Some agent -> Nfp_sim.Server.offer agent d
+          | Some agent -> (
+              match !agent_channel with
+              | Some ch -> Channel.send ch d
+              | None -> Nfp_sim.Server.offer agent d)
           | None ->
-              Nfp_sim.Server.offer
-                !merger_cores.(slot_of_pid (Context.pid d.d_ctx)
-                                 (Array.length !merger_cores))
+              offer_merger
+                (slot_of_pid (Context.pid d.d_ctx) (Array.length !merger_cores))
                 d
         in
         (* NF slots: dense indices in nf_impls order. *)
@@ -1159,14 +1369,25 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                           drive (exec_prog !nf_cprogs.(slot) ctx);
                           true
                         end
-                        else Nfp_sim.Server.offer reps.(r) ctx
+                        else begin
+                          let chans = !nf_channels in
+                          match
+                            if Array.length chans = 0 then None else chans.(slot).(r)
+                          with
+                          | Some ch -> Channel.send ch ctx
+                          | None -> Nfp_sim.Server.offer reps.(r) ctx
+                        end
                     | S_merge { merge; branch; nil } ->
                         route_merge { d_ctx = ctx; d_merge = merge; d_branch = branch; d_nil = nil }
-                    | S_deliver v ->
-                        (match Context.get ctx v with
-                        | Some pkt -> deliver_out ~version:v ~pid:(Context.pid ctx) pkt
-                        | None -> ());
-                        true
+                    | S_deliver v -> (
+                        match Context.get ctx v with
+                        | None -> true
+                        | Some pkt -> (
+                            match delivery_channel with
+                            | Some ch -> Channel.send ch (v, Context.pid ctx, pkt)
+                            | None ->
+                                deliver_out ~version:v ~pid:(Context.pid ctx) pkt;
+                                true))
                   in
                   if ok then go (i + 1)
                   else begin
@@ -1514,6 +1735,43 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
         bypassed :=
           Array.of_list
             (List.map (fun reps -> Array.make (Array.length reps) false) servers);
+        (* Channelize the NF ports. Delivery re-resolves steering and
+           bypass at release time: a packet buffered on the link while a
+           migration flips its bucket, or while the watchdog bypasses
+           the replica, lands where the packet would be routed *now* —
+           the same rule the send site applies — so channel residency
+           can never resurrect a retired owner's state. The reroute of a
+           Down link runs the slot's action program off-core,
+           bypass-style: downstream sees every expected branch. *)
+        if links_on then
+          nf_channels :=
+            Array.of_list
+              (List.mapi
+                 (fun slot reps ->
+                   Array.init (Array.length reps) (fun r ->
+                       let deliver ctx =
+                         let reps = !nf_servers.(slot) in
+                         let r' =
+                           if Array.length reps < 2 then 0
+                           else
+                             match !steers.(slot) with
+                             | Some st ->
+                                 st.st_map.(rss_hash ctx slot
+                                            mod Array.length st.st_map)
+                             | None -> r
+                         in
+                         if Array.length !bypassed > 0 && !bypassed.(slot).(r') then begin
+                           incr bypassed_packets;
+                           drive (exec_prog !nf_cprogs.(slot) ctx);
+                           true
+                         end
+                         else Nfp_sim.Server.offer reps.(r') ctx
+                       in
+                       let reroute ctx = drive (exec_prog !nf_cprogs.(slot) ctx) in
+                       channel_for
+                         ~name:(Nfp_sim.Server.name reps.(r))
+                         ~deliver ~reroute))
+                 servers);
         (* ---------------------------------------------------------- *)
         (* Elastic controller. Ticks every [control_interval_ns]      *)
         (* while the system has work (kicked from inject, stops when  *)
@@ -1560,8 +1818,44 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               let owned st r =
                 Array.fold_left (fun acc o -> if o = r then acc + 1 else acc) 0 st.st_map
               in
-              let alive (reps : Context.t Nfp_sim.Server.t array) r =
-                not (Nfp_sim.Server.is_down reps.(r))
+              (* A replica behind a link the channels declared Down is
+                 unreachable, dead or not: the controller must not
+                 activate it, rebalance onto it, or migrate toward it
+                 until the partition heals. *)
+              let link_ok slot r =
+                let chans = !nf_channels in
+                if Array.length chans = 0 then true
+                else
+                  match chans.(slot).(r) with
+                  | Some ch -> not (Channel.is_down ch)
+                  | None -> true
+              in
+              let alive slot (reps : Context.t Nfp_sim.Server.t array) r =
+                (not (Nfp_sim.Server.is_down reps.(r))) && link_ok slot r
+              in
+              (* Migration transfers get their own link family
+                 ("migrate:<replica>"): moved in-flight packets cross the
+                 fabric like any other edge, so a plan can perturb the
+                 re-home path independently of the data path. *)
+              let mig_channels : (int, Context.t Channel.t option array) Hashtbl.t =
+                Hashtbl.create 8
+              in
+              Array.iter
+                (fun (slot, (reps : Context.t Nfp_sim.Server.t array), _, _, _) ->
+                  Hashtbl.replace mig_channels slot
+                    (Array.map
+                       (fun srv ->
+                         channel_for
+                           ~name:("migrate:" ^ Nfp_sim.Server.name srv)
+                           ~deliver:(fun ctx -> Nfp_sim.Server.offer srv ctx)
+                           ~reroute:(fun ctx ->
+                             drive (fun () -> Nfp_sim.Server.offer srv ctx)))
+                       reps))
+                eslots;
+              let mig_channel slot r =
+                match Hashtbl.find_opt mig_channels slot with
+                | Some arr -> arr.(r)
+                | None -> None
               in
               let occ reps r =
                 float_of_int (Nfp_sim.Server.queue_length reps.(r))
@@ -1603,6 +1897,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                       !controller_down
                       || Nfp_sim.Server.is_down src
                       || Nfp_sim.Server.is_down dst
+                      || not (link_ok slot mg.mg_dst)
                     then abort ()
                     else begin
                       let backlog = Nfp_sim.Server.take_backlog src in
@@ -1657,18 +1952,26 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                         Nfp_sim.Server.unpause src;
                         (* Room was verified above and nothing ran since,
                            so these offers cannot fail; [drive] is a
-                           belt-and-braces backstop, not a code path. *)
+                           belt-and-braces backstop, not a code path.
+                           Under links the re-home crosses the migrate
+                           channel — drops there retransmit like any
+                           other edge. *)
                         List.iter
-                          (fun ctx -> drive (fun () -> Nfp_sim.Server.offer dst ctx))
+                          (fun ctx ->
+                            match mig_channel slot mg.mg_dst with
+                            | Some ch -> drive (fun () -> Channel.send ch ctx)
+                            | None ->
+                                drive (fun () -> Nfp_sim.Server.offer dst ctx))
                           moved
                       end
                     end
               in
               (* Phase 1: freeze the source and schedule the commit one
                  transfer window later. *)
-              let start ((_, reps, _, _, st) as es) ~src ~dst ~count =
+              let start ((slot, reps, _, _, st) as es) ~src ~dst ~count =
                 if
-                  count > 0 && src <> dst && alive reps src && alive reps dst
+                  count > 0 && src <> dst && alive slot reps src
+                  && alive slot reps dst
                   && not (Nfp_sim.Server.is_paused reps.(src))
                   && Nfp_sim.Engine.now engine >= st.st_backoff
                 then begin
@@ -1688,7 +1991,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                   end
                 end
               in
-              let step ((_, reps, _, _, st) as es) =
+              let step ((slot, reps, _, _, st) as es) =
                 if st.st_mig = None then begin
                   let now = Nfp_sim.Engine.now engine in
                   let floor_active = max 1 (min ec.min_replicas (Array.length reps)) in
@@ -1711,7 +2014,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                     let dst = ref (-1) in
                     for r = 0 to st.st_active - 1 do
                       if
-                        r <> st.st_draining && alive reps r
+                        r <> st.st_draining && alive slot reps r
                         && (!dst < 0 || owned st r < owned st !dst)
                       then dst := r
                     done;
@@ -1725,7 +2028,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                        fills up). *)
                     let mx = ref (-1) and mn = ref (-1) in
                     for r = 0 to st.st_active - 1 do
-                      if alive reps r then begin
+                      if alive slot reps r then begin
                         if !mx < 0 || owned st r > owned st !mx then mx := r;
                         if !mn < 0 || owned st r < owned st !mn then mn := r
                       end
@@ -1737,11 +2040,12 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                     else if now -. st.st_last_op >= ec.cooldown_ns then begin
                       let max_occ = ref 0.0 in
                       for r = 0 to st.st_active - 1 do
-                        if alive reps r then max_occ := Float.max !max_occ (occ reps r)
+                        if alive slot reps r then
+                          max_occ := Float.max !max_occ (occ reps r)
                       done;
                       if
                         !max_occ >= ec.scale_out_occupancy && st.st_active < limit
-                        && alive reps st.st_active
+                        && alive slot reps st.st_active
                       then begin
                         (* Activate the next standby; rebalance moves
                            buckets onto it from the next tick on. *)
@@ -1877,10 +2181,13 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           (* Completed-merge memory (armed runs only): a branch arriving
              after its merge already completed — a straggler emitted by
              a salvaged core after a merge timeout force-completed the
-             accumulation — is consumed silently instead of opening a
-             fresh accumulation that would deliver a duplicate. Mergers
-             never see the same (MID, merge, PID) complete twice. *)
-          let done_tbl : (int * int * int64, unit) Hashtbl.t = Hashtbl.create 64 in
+             accumulation, or a late retransmission of a branch a
+             timeout already nil-substituted — is consumed silently
+             instead of opening a fresh accumulation that would deliver
+             a duplicate. Mergers never see the same (MID, merge, PID)
+             complete twice within the bounded dedup window. *)
+          let done_tbl : (int * int * int64) Dedup.t = Dedup.create dedup_capacity in
+          merger_dedups := done_tbl :: !merger_dedups;
           let service_ns (d : cdelivery) =
             let m = d.d_merge in
             Nfp_sim.Cost.ns_of_cycles cost
@@ -1891,7 +2198,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           let execute (d : cdelivery) =
             let m = d.d_merge in
             let key = (m.m_mid, m.m_id, Context.pid d.d_ctx) in
-            if dedup_on && Hashtbl.mem done_tbl key then begin
+            if dedup_on && Dedup.mem done_tbl key then begin
               incr deduped;
               const_true
             end
@@ -1911,7 +2218,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
                           match Hashtbl.find_opt at key with
                           | Some e' when e' == e ->
                               Hashtbl.remove at key;
-                              if dedup_on then Hashtbl.replace done_tbl key ();
+                              if dedup_on then Dedup.add done_tbl key;
                               incr merge_timeouts;
                               let missing =
                                 ((1 lsl m.m_expected) - 1) land lnot e.c_arrived_mask
@@ -1930,7 +2237,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               if entry.c_received < m.m_expected then const_true
               else begin
                 Hashtbl.remove at key;
-                if dedup_on then Hashtbl.replace done_tbl key ();
+                if dedup_on then Dedup.add done_tbl key;
                 complete m d.d_ctx ~nil_mask:entry.c_nil_mask ~skip_mask:entry.c_nil_mask
               end
             end
@@ -1945,6 +2252,15 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           server
         in
         merger_cores := Array.init (max 1 config.mergers) make_merger;
+        if links_on then
+          merger_channels :=
+            Array.map
+              (fun srv ->
+                channel_for
+                  ~name:(Nfp_sim.Server.name srv)
+                  ~deliver:(fun (d : cdelivery) -> Nfp_sim.Server.offer srv d)
+                  ~reroute:(fun d -> drive (fun () -> Nfp_sim.Server.offer srv d)))
+              !merger_cores;
         if config.mergers > 1 then begin
           let instances = !merger_cores in
           let service_ns _ =
@@ -1953,7 +2269,7 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
           in
           let execute (d : cdelivery) =
             let i = slot_of_pid (Context.pid d.d_ctx) (Array.length instances) in
-            emitter [ (fun () -> Nfp_sim.Server.offer instances.(i) d) ]
+            emitter [ (fun () -> offer_merger i d) ]
           in
           let agent =
             Nfp_sim.Server.create ~engine ~name:"merger-agent"
@@ -1962,6 +2278,11 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
               ~service_ns ~execute ()
           in
           register_probe agent;
+          if links_on then
+            agent_channel :=
+              channel_for ~name:"merger-agent"
+                ~deliver:(fun (d : cdelivery) -> Nfp_sim.Server.offer agent d)
+                ~reroute:(fun d -> drive (fun () -> Nfp_sim.Server.offer agent d));
           agent_core := Some agent
         end;
         let classifier_progs =
@@ -2423,6 +2744,16 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
       migration_aborts = !migration_aborts;
       migrated_packets = !migrated_packets;
       migrating = !migrating_gauge ();
+      links =
+        {
+          Nfp_sim.Harness.link_drops = link_stats.Channel.link_drops;
+          retransmits = link_stats.Channel.retransmits;
+          duplicates_suppressed = link_stats.Channel.duplicates_suppressed;
+          reordered = link_stats.Channel.reordered;
+          partitions = link_stats.Channel.partitions;
+          reroutes = link_stats.Channel.reroutes;
+        };
+      dedup_entries = (if dedup_on then dedup_entries () else 0);
     }
   in
   {
@@ -2467,8 +2798,8 @@ let make_multi ?(path = `Compiled) ?(classify = `Cached) ?(config = default_conf
   }
 
 let make ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?elastic
-    ?stats ?replication ~plan ~nfs engine ~output =
+    ?links ?stats ?replication ~plan ~nfs engine ~output =
   make_multi ?path ?classify ?config ?batch_size ?replicas ?fault ?overload ?elastic
-    ?stats ?replication
+    ?links ?stats ?replication
     ~graphs:[ (Flow_match.any, plan, nfs) ]
     engine ~output

@@ -95,15 +95,24 @@ type fault_config = {
           removes it; [Restart] is treated as [Bypass]. Infrastructure
           cores never trip (they only back off). Trips are counted in
           [health.breaker_trips]. *)
+  dedup_capacity : int;
+      (** bound on each (pid, version) dedup table — the delivery
+          filter and every merger's completed-merge memory. The tables
+          prune generationally (two half-capacity generations; a
+          rotation retires the older), so an entry survives at least
+          [dedup_capacity / 2] further insertions — the window a
+          replayed branch or late retransmission must land inside —
+          while live entries never exceed the bound
+          ([health.dedup_entries] is the gauge). *)
 }
 
 val default_fault_config : fault_config
 (** An empty plan, Restart everywhere, 30/120 us watchdog
     interval/deadline, 250 us merge timeout,
     {!Nfp_sim.Cost.default}'s [restart_ns], 100 us checkpoint
-    interval, a 4096-packet input log, and the circuit breaker
+    interval, a 4096-packet input log, the circuit breaker
     disabled ([breaker_threshold = 0]; factor 2.0, 2 ms delay cap and
-    a Bypass fallback once enabled). *)
+    a Bypass fallback once enabled), and 65536-entry dedup tables. *)
 
 (** {2 Overload control} *)
 
@@ -191,6 +200,73 @@ val default_elastic_config : elastic_config
     occupancy, in at 5%; 16-bucket batches, 30 us transfer window,
     200 us deadline, 2 us commit retry, 50 us cooldown. *)
 
+(** {2 Lossy fabric and reliable channels} *)
+
+type links_config = {
+  link_plan : Nfp_sim.Fault.link_plan;
+      (** which links misbehave, how, and when; link names are the
+          destination port — the core name for NF/merger/classifier
+          edges ["mid1:NAT"], ["merger#0"], the pseudo-ports
+          ["delivery"] and ["migrate:<replica>"] for the egress and
+          migration-transfer edges — with trailing-[*] prefix patterns
+          (["mid1:*"], ["*"]) matching families *)
+  reliable : bool;
+      (** arm the per-link ARQ channels (sequence numbers, cumulative
+          acks, NACK/RTO retransmission, bounded reorder buffer,
+          receiver dedup, health probes + partition reroute); [false]
+          models the raw fabric — drops are real losses (the run
+          ledger's [in_flight] residual) and duplicates deliver twice *)
+  link_window : int;
+      (** sender window per link: max unacked sends before [send]
+          refuses (backpressure — the upstream core stalls and
+          retries, exactly like a full ring) *)
+  ack_interval_ns : float;
+      (** cumulative-ack cadence — acks ride breath completions, so
+          this is the granularity at which the retransmit buffer
+          prunes *)
+  rto_ns : float;  (** initial head-of-line retransmit timeout *)
+  rto_backoff : float;
+      (** RTO multiplier per consecutive firing without ack progress
+          (exponential backoff); must be [>= 1.0] *)
+  rto_max_ns : float;  (** ceiling on the backed-off RTO *)
+  retransmit_budget : int;
+      (** retransmissions of one packet before the link is declared
+          Down and its unacked traffic reroutes *)
+  reorder_window : int;
+      (** receiver reorder-buffer span in sequence numbers; arrivals
+          beyond it are refused at the port and recovered by
+          retransmission *)
+  probe_interval_ns : float;
+      (** link health-probe cadence while data is outstanding;
+          [probe_timeout_k] consecutive probes finding the link
+          partitioned declare it Down. 0 disables probing — budget
+          exhaustion still detects partitions, just slower. *)
+  probe_timeout_k : int;  (** consecutive probe timeouts declaring Down *)
+}
+(** Arms the lossy-interconnect fault domain (compiled path only):
+    every inter-core edge whose destination port the plan names
+    (classifier->NF, NF->NF, branch->merger, merger->delivery,
+    migration transfers) becomes a modeled link with its own seeded
+    fault processes — drop probability, duplication, bounded
+    reordering, Gilbert–Elliott burst loss, partition/flap windows
+    (see {!Nfp_sim.Fault.link_fault}) — and, when [reliable] is set,
+    an ARQ channel that makes delivery exactly-once over that fabric:
+    the differential suite holds a lossy reliable run to the same
+    delivery multisets and NF state digests as the lossless run, and
+    a partition mid-run to zero delivered-packet loss via reroute
+    (test/test_links.ml). A Down link also feeds the elastic
+    controller, which stops activating or migrating toward the
+    unreachable replica until the partition heals. Link taxonomy
+    counters surface as [health.links]
+    ({!Nfp_sim.Harness.link_stats}). A deployment built without a
+    links config — or with an empty plan and [reliable = false] — is
+    bit-identical to the pre-links system. *)
+
+val default_links_config : links_config
+(** An empty plan; reliable, window 256 over a 256-seq reorder buffer,
+    1 us ack cadence, 25 us RTO backing off 2x to 400 us, a 16-retry
+    budget, 5 us probes declaring Down after 3 misses. *)
+
 type core_stats = {
   core : string;
       (** classifier, mid<k>:<nf> (replica 0), mid<k>:<nf>@<r> (RSS
@@ -230,6 +306,7 @@ val make :
   ?fault:fault_config ->
   ?overload:overload_config ->
   ?elastic:elastic_config ->
+  ?links:links_config ->
   ?stats:(unit -> core_stats list) ref ->
   ?replication:(unit -> replica_report list) ref ->
   plan:Nfp_core.Tables.plan ->
@@ -250,6 +327,7 @@ val make_multi :
   ?fault:fault_config ->
   ?overload:overload_config ->
   ?elastic:elastic_config ->
+  ?links:links_config ->
   ?stats:(unit -> core_stats list) ref ->
   ?replication:(unit -> replica_report list) ref ->
   graphs:(Flow_match.t * Nfp_core.Tables.plan * (string -> Nfp_nf.Nf.t)) list ->
@@ -334,6 +412,10 @@ val make_multi :
     per-NF pressure-degrade modes. Without it — or with watermarks the
     workload never reaches — the deployment's output is bit-identical
     to the pre-overload system (test/test_overload.ml enforces this).
+
+    [links] (compiled path only) arms the lossy-interconnect fault
+    domain and, when its [reliable] flag is set, the per-link ARQ
+    channels — see {!links_config}.
     @raise Invalid_argument on an empty table, a missing NF, invalid
-    overload watermarks, or [fault], [overload] or [replicas > 1]
-    combined with the [`Interpretive] path. *)
+    overload watermarks, or [fault], [overload], [links] or
+    [replicas > 1] combined with the [`Interpretive] path. *)

@@ -23,6 +23,8 @@ type t = {
   log_append : int;  (* appending one packet reference to the input log *)
   checkpoint_cycles : int;  (* snapshotting an NF's state tables *)
   replay_cycles : int;  (* per-packet dispatch overhead of log replay *)
+  ack_cycles : int;  (* assembling + processing one cumulative ack of a reliable channel *)
+  retransmit_cycles : int;  (* re-emitting one buffered packet onto the fabric *)
 }
 
 let default =
@@ -64,6 +66,13 @@ let default =
     log_append = 40;
     checkpoint_cycles = 12_000;
     replay_cycles = 60;
+    (* Reliable-channel terms, charged only when link channels are
+       armed: a cumulative ack is one counter exchange piggybacked on a
+       breath completion; a retransmission re-reads the tx buffer slot
+       and re-enqueues — both modeled as added transit delay on the
+       channel, never as core time (the fabric port does the work). *)
+    ack_cycles = 60;
+    retransmit_cycles = 120;
   }
 
 (* VM rings (virtio/vhost) pay vmexit-amortized synchronization that

@@ -47,6 +47,13 @@ type t = {
   replay_cycles : int;
       (** per-packet dequeue+dispatch overhead of replaying the input
           log during recovery, on top of the NF's own processing cost *)
+  ack_cycles : int;
+      (** assembling + processing one cumulative ack of a reliable link
+          channel (piggybacked on a breath completion), modeled as
+          transit delay on the channel *)
+  retransmit_cycles : int;
+      (** re-emitting one tx-buffered packet onto the fabric after a
+          loss, modeled as added transit delay of the retransmission *)
 }
 
 val default : t

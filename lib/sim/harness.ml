@@ -61,6 +61,41 @@ let add_drops a b =
     degraded = a.degraded + b.degraded;
   }
 
+(* The link taxonomy: what the lossy fabric and the reliable channels
+   did, in one record. Raw link losses live inside the run ledger's
+   [in_flight] residual (like injected fault drops: the packet was
+   offered and vanished inside the system); with reliable channels
+   armed they are transient — the retransmit machinery re-delivers, so
+   they never show up as end-of-run losses. *)
+type link_stats = {
+  link_drops : int;  (* transits lost by the fabric (incl. lost retransmissions) *)
+  retransmits : int;  (* re-emissions by reliable channels (RTO or NACK) *)
+  duplicates_suppressed : int;  (* receiver-side dedup hits (fabric dup or spurious rtx) *)
+  reordered : int;  (* transits the fabric delivered behind their successors *)
+  partitions : int;  (* links declared Down (probe timeouts or budget exhaustion) *)
+  reroutes : int;  (* packets detoured around a Down link *)
+}
+
+let no_link_stats =
+  {
+    link_drops = 0;
+    retransmits = 0;
+    duplicates_suppressed = 0;
+    reordered = 0;
+    partitions = 0;
+    reroutes = 0;
+  }
+
+let add_link_stats a b =
+  {
+    link_drops = a.link_drops + b.link_drops;
+    retransmits = a.retransmits + b.retransmits;
+    duplicates_suppressed = a.duplicates_suppressed + b.duplicates_suppressed;
+    reordered = a.reordered + b.reordered;
+    partitions = a.partitions + b.partitions;
+    reroutes = a.reroutes + b.reroutes;
+  }
+
 (* Per-core liveness as the watchdog sees it, plus the fault/recovery
    counters of the whole system. Systems without fault machinery report
    [no_health]. *)
@@ -103,6 +138,12 @@ type health = {
   migration_aborts : int;  (* migrations rolled back (crash or deadline) *)
   migrated_packets : int;  (* frozen packets re-homed by committed migrations *)
   migrating : int;  (* gauge: packets currently frozen at quiesced sources *)
+  (* Lossy fabric / reliable channels (PR 10). *)
+  links : link_stats;  (* the link taxonomy *)
+  dedup_entries : int;
+      (* gauge: live entries across the bounded (pid, version) dedup
+         tables — pinned below their configured capacity however long a
+         lossy run retransmits *)
 }
 
 let no_health =
@@ -134,6 +175,8 @@ let no_health =
     migration_aborts = 0;
     migrated_packets = 0;
     migrating = 0;
+    links = no_link_stats;
+    dedup_entries = 0;
   }
 
 (* Combine the health of composed systems (e.g. chained cluster
@@ -167,6 +210,8 @@ let add_health a b =
     migration_aborts = a.migration_aborts + b.migration_aborts;
     migrated_packets = a.migrated_packets + b.migrated_packets;
     migrating = a.migrating + b.migrating;
+    links = add_link_stats a.links b.links;
+    dedup_entries = a.dedup_entries + b.dedup_entries;
   }
 
 type system = {

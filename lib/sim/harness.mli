@@ -43,6 +43,33 @@ val add_drops : drops -> drops -> drops
 (** Field-wise sum; per-class lists merge by class. [no_drops] is its
     unit. *)
 
+type link_stats = {
+  link_drops : int;
+      (** transits lost by the fabric — drops, burst loss, partitions —
+          including lost retransmissions. Raw link losses sit in the run
+          ledger's [in_flight] residual (the packet was offered and
+          vanished inside the system, like an injected fault drop); with
+          reliable channels armed they are transient and re-delivered. *)
+  retransmits : int;
+      (** re-emissions by reliable channels, RTO- or NACK-driven *)
+  duplicates_suppressed : int;
+      (** receiver-side dedup hits: fabric duplicates and spurious
+          retransmissions consumed by the sequence filter *)
+  reordered : int;
+      (** transits the fabric delivered behind their successors *)
+  partitions : int;
+      (** links declared Down — [probe_timeout_k] consecutive probe
+          timeouts, or a packet's retransmit budget exhausted *)
+  reroutes : int;  (** packets detoured around a Down link *)
+}
+(** The link taxonomy: what the lossy fabric and the reliable channels
+    did (satellite of the lossy-interconnect fault domain). *)
+
+val no_link_stats : link_stats
+
+val add_link_stats : link_stats -> link_stats -> link_stats
+(** Field-wise sum; [no_link_stats] is its unit. *)
+
 type core_health = {
   core : string;
   state : string;
@@ -106,6 +133,14 @@ type health = {
       (** gauge, not a counter: packets currently frozen at quiesced
           migration sources — the ledger's in-flight bucket during a
           flip ([offered = completed + drops + shed + in_flight]) *)
+  links : link_stats;
+      (** the link taxonomy of the lossy fabric (see {!link_stats});
+          all-zero without a links config *)
+  dedup_entries : int;
+      (** gauge: live entries across the bounded (pid, version) dedup
+          tables (delivery filter + per-merger completed-merge memory),
+          pinned below their configured capacity by generational
+          pruning however long a lossy run retransmits *)
 }
 (** Fault/recovery counters of a whole system plus per-core liveness. *)
 
